@@ -1,0 +1,37 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench accepts environment overrides so the full paper-scale runs
+// and quick smoke runs use the same binaries:
+//   CAROL_BENCH_FAST=1      — shrink intervals/epochs for a fast pass
+//   CAROL_BENCH_INTERVALS   — override test intervals
+//   CAROL_BENCH_SEEDS       — override the number of averaged seeds
+#ifndef CAROL_BENCH_BENCH_UTIL_H_
+#define CAROL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace carol::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline bool FastMode() { return EnvInt("CAROL_BENCH_FAST", 0) != 0; }
+
+inline void PrintRule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintBanner(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace carol::bench
+
+#endif  // CAROL_BENCH_BENCH_UTIL_H_

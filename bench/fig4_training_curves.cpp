@@ -1,0 +1,54 @@
+// Figure 4 reproduction: GON offline training curves (loss, MSE and mean
+// confidence score per epoch) on the DeFog trace. The paper's model
+// converges in ~30 epochs with early stopping; this bench prints the same
+// three series.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/carol.h"
+#include "harness/runtime.h"
+
+int main() {
+  using namespace carol;
+  const bool fast = bench::FastMode();
+  const int trace_intervals =
+      bench::EnvInt("CAROL_BENCH_INTERVALS", fast ? 60 : 200);
+  const int epochs = fast ? 8 : 30;
+
+  bench::PrintBanner(
+      "Figure 4 — GON training plots (loss / MSE / confidence per epoch)");
+  std::printf(
+      "trace: DeFog (yolo, pocketsphinx, aeneas), %d intervals, topology "
+      "re-randomized every 10 intervals; 80/20 train/test split semantics "
+      "via held-in eval sweep; lr 1e-4, weight decay 1e-5, batch 32\n\n",
+      trace_intervals);
+
+  harness::RunConfig cfg;
+  cfg.intervals = trace_intervals;
+  cfg.seed = 7;
+  const workload::Trace trace = harness::CollectTrainingTrace(cfg, 10);
+
+  core::CarolConfig carol_cfg;
+  core::CarolModel model(carol_cfg);
+  const auto history = model.TrainOffline(trace, epochs);
+
+  std::printf("%-7s %-12s %-12s %-12s\n", "epoch", "loss", "mse",
+              "confidence");
+  bench::PrintRule(46);
+  for (std::size_t e = 0; e < history.size(); ++e) {
+    std::printf("%-7zu %-12.4f %-12.5f %-12.4f\n", e, history[e].loss,
+                history[e].mse, history[e].confidence);
+  }
+  bench::PrintRule(46);
+  std::printf(
+      "converged after %zu epochs (early stopping, cf. paper's ~30). "
+      "Expected shape: loss and MSE fall, confidence on real tuples "
+      "rises.\n",
+      history.size());
+  const bool loss_fell = history.back().loss < history.front().loss;
+  const bool conf_rose =
+      history.back().confidence > history.front().confidence;
+  std::printf("loss decreased: %s | confidence increased: %s\n",
+              loss_fell ? "YES" : "NO", conf_rose ? "YES" : "NO");
+  return 0;
+}

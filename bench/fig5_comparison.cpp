@@ -1,0 +1,216 @@
+// Figure 5 reproduction (a-f): CAROL vs the seven baselines and the four
+// §V-D ablations on AIoTBench workloads with fault injection, averaged
+// over seeds, using the paper's relative SLO definition (deadline = 90th
+// percentile response per app under StepGAN).
+//
+// Prints, per model: energy (kWh), avg response time (s), SLO violation
+// rate, decision time (s), memory consumption (%), fine-tuning overhead
+// (s / run) — plus every metric relative to CAROL, and the paper's
+// headline-claims block.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/ablations.h"
+#include "baselines/dyverse.h"
+#include "baselines/eclb.h"
+#include "baselines/elbs.h"
+#include "baselines/fras.h"
+#include "baselines/lbos.h"
+#include "baselines/stepgan.h"
+#include "baselines/topomad.h"
+#include "bench_util.h"
+#include "core/carol.h"
+#include "harness/runtime.h"
+#include "nn/serialize.h"
+
+namespace {
+
+using namespace carol;
+
+struct ModelEntry {
+  std::string name;
+  std::unique_ptr<core::ResilienceModel> model;
+  bool ablation = false;
+};
+
+struct Averaged {
+  double energy = 0, response = 0, slo = 0, decision = 0, memory = 0,
+         overhead = 0;
+  void Add(const harness::RunResult& r, double w) {
+    energy += w * r.total_energy_kwh;
+    response += w * r.avg_response_s;
+    slo += w * r.slo_violation_rate;
+    decision += w * r.avg_decision_time_s;
+    memory += w * r.memory_percent;
+    overhead += w * r.total_finetune_s;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  const int intervals =
+      bench::EnvInt("CAROL_BENCH_INTERVALS", fast ? 30 : 100);
+  const int seeds = bench::EnvInt("CAROL_BENCH_SEEDS", fast ? 1 : 3);
+  const int trace_intervals = fast ? 60 : 250;
+  const int train_epochs = fast ? 5 : 20;
+
+  bench::PrintBanner(
+      "Figure 5 (a-f) — CAROL vs baselines and ablations; AIoT workloads, "
+      "fault injection lambda_f=0.5, alpha=beta=0.5, " +
+      std::to_string(intervals) + " intervals x " + std::to_string(seeds) +
+      " seeds");
+
+  // --- offline phase: DeFog trace, GON training, shared across models ---
+  std::printf("[phase 1/4] collecting DeFog training trace (%d intervals) "
+              "and training surrogates...\n",
+              trace_intervals);
+  harness::RunConfig trace_cfg;
+  trace_cfg.intervals = trace_intervals;
+  trace_cfg.seed = 7;
+  const workload::Trace trace =
+      harness::CollectTrainingTrace(trace_cfg, 10);
+
+  core::CarolConfig carol_cfg;
+  auto carol = std::make_unique<core::CarolModel>(carol_cfg);
+  carol->TrainOffline(trace, train_epochs);
+  const std::string params_path = "/tmp/carol_fig5_gon_params.txt";
+  nn::SaveParameters(carol->gon().network(), params_path);
+
+  auto always = baselines::MakeAlwaysFineTune(carol_cfg);
+  nn::LoadParameters(always->gon().network(), params_path);
+  auto never = baselines::MakeNeverFineTune(carol_cfg);
+  nn::LoadParameters(never->gon().network(), params_path);
+
+  auto with_gan = std::make_unique<baselines::WithGanSurrogate>();
+  with_gan->TrainOffline(trace, fast ? 2 : 6);
+  auto trad = std::make_unique<baselines::TraditionalSurrogate>();
+  trad->TrainOffline(trace, fast ? 5 : 20);
+
+  std::vector<ModelEntry> zoo;
+  zoo.push_back({"CAROL", std::move(carol), false});
+  zoo.push_back({"DYVERSE", std::make_unique<baselines::Dyverse>(), false});
+  zoo.push_back({"ECLB", std::make_unique<baselines::Eclb>(), false});
+  zoo.push_back({"LBOS", std::make_unique<baselines::Lbos>(), false});
+  zoo.push_back({"ELBS", std::make_unique<baselines::Elbs>(), false});
+  zoo.push_back({"FRAS", std::make_unique<baselines::Fras>(), false});
+  zoo.push_back({"TopoMAD", std::make_unique<baselines::Topomad>(), false});
+  zoo.push_back({"StepGAN", std::make_unique<baselines::StepGan>(), false});
+  zoo.push_back({"Always-Fine-Tune", std::move(always), true});
+  zoo.push_back({"Never-Fine-Tune", std::move(never), true});
+  zoo.push_back({"With-GAN", std::move(with_gan), true});
+  zoo.push_back({"Trad-Surrogate", std::move(trad), true});
+
+  // --- relative-SLO calibration (paper §V-B: 90th pct under StepGAN) ---
+  std::printf("[phase 2/4] calibrating relative SLO deadlines with "
+              "StepGAN reference run...\n");
+  harness::RunConfig run_cfg;
+  run_cfg.intervals = intervals;
+  run_cfg.seed = 1;
+  baselines::StepGan slo_reference;
+  const auto deadlines =
+      harness::CalibrateRelativeSlo(slo_reference, run_cfg);
+  std::printf("  per-app deadlines (s):");
+  for (double d : deadlines) std::printf(" %.0f", d);
+  std::printf("\n");
+  run_cfg.deadline_overrides = deadlines;
+
+  // --- evaluation runs ---
+  std::printf("[phase 3/4] running %zu models x %d seeds...\n", zoo.size(),
+              seeds);
+  std::vector<Averaged> results(zoo.size());
+  const double w = 1.0 / seeds;
+  for (int seed = 0; seed < seeds; ++seed) {
+    harness::RunConfig cfg = run_cfg;
+    cfg.seed = 100 + static_cast<unsigned>(seed);
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+      harness::FederationRuntime runtime(cfg);
+      results[m].Add(runtime.Run(*zoo[m].model), w);
+    }
+  }
+
+  // --- report ---
+  std::printf("[phase 4/4] report\n\n");
+  const Averaged& ref = results[0];  // CAROL
+  auto print_block = [&](bool ablation_block) {
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+      if (zoo[m].ablation != ablation_block) continue;
+      const Averaged& r = results[m];
+      std::printf(
+          "%-17s %10.4f %9.1f %8.4f %10.4f %9.3f %11.2f   | %5.2f %5.2f "
+          "%5.2f %5.2f %5.2f %5.2f\n",
+          zoo[m].name.c_str(), r.energy, r.response, r.slo, r.decision,
+          r.memory, r.overhead, r.energy / ref.energy,
+          r.response / ref.response,
+          ref.slo > 0 ? r.slo / ref.slo : 0.0,
+          r.decision / std::max(1e-9, ref.decision),
+          r.memory / ref.memory,
+          r.overhead / std::max(1e-9, ref.overhead));
+    }
+  };
+  std::printf(
+      "%-17s %10s %9s %8s %10s %9s %11s   | relative to CAROL (x)\n",
+      "model", "energy", "response", "slo", "decision", "memory",
+      "finetune(s)");
+  std::printf(
+      "%-17s %10s %9s %8s %10s %9s %11s   | %5s %5s %5s %5s %5s %5s\n", "",
+      "(kWh)", "(s)", "rate", "time(s)", "(%)", "overhead", "enrgy",
+      "resp", "slo", "dec", "mem", "ovrhd");
+  bench::PrintRule();
+  print_block(false);
+  bench::PrintRule();
+  std::printf("ablations (paper Fig. 5 hatched bars):\n");
+  print_block(true);
+  bench::PrintRule();
+
+  // Headline claims block (paper §V-C numbers for orientation).
+  auto best_baseline = [&](auto metric) {
+    double best = 1e18;
+    std::size_t who = 1;
+    for (std::size_t m = 1; m < zoo.size(); ++m) {
+      if (zoo[m].ablation) continue;
+      const double v = metric(results[m]);
+      if (v < best) {
+        best = v;
+        who = m;
+      }
+    }
+    return std::make_pair(best, who);
+  };
+  const auto [be, bei] = best_baseline([](const Averaged& r) { return r.energy; });
+  const auto [br, bri] =
+      best_baseline([](const Averaged& r) { return r.response; });
+  const auto [bs, bsi] = best_baseline([](const Averaged& r) { return r.slo; });
+  const auto [bo, boi] =
+      best_baseline([](const Averaged& r) { return r.overhead; });
+  std::printf("\nheadline claims (paper -> measured):\n");
+  std::printf(
+      "  energy vs best baseline (%s): paper -16.45%% -> measured %+.2f%%\n",
+      zoo[bei].name.c_str(), 100.0 * (ref.energy - be) / be);
+  std::printf(
+      "  response vs best baseline (%s): paper -8.04%% -> measured %+.2f%%\n",
+      zoo[bri].name.c_str(), 100.0 * (ref.response - br) / br);
+  std::printf(
+      "  SLO violations vs best baseline (%s): paper -17.01%% -> measured "
+      "%+.2f%%\n",
+      zoo[bsi].name.c_str(),
+      bs > 0 ? 100.0 * (ref.slo - bs) / bs : 0.0);
+  std::printf(
+      "  fine-tune overhead vs best baseline (%s): paper -35.62%% -> "
+      "measured %+.2f%%\n",
+      zoo[boi].name.c_str(), 100.0 * (ref.overhead - bo) / bo);
+  // Decision time vs DYVERSE (paper: CAROL only +6.77% above it).
+  for (std::size_t m = 1; m < zoo.size(); ++m) {
+    if (zoo[m].name == "DYVERSE") {
+      std::printf(
+          "  decision time vs DYVERSE: paper +6.77%% -> measured %+.2f%% "
+          "(heuristics are near-instant in C++; ordering is the claim)\n",
+          100.0 * (ref.decision - results[m].decision) /
+              std::max(1e-9, results[m].decision));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) of the latency-critical inner
+// loops: GON forward pass, input-space generation (warm vs noise start —
+// the DESIGN.md §5.3 ablation), node-shift neighborhood expansion, tabu
+// repair and POT updates.
+#include <benchmark/benchmark.h>
+
+#include "core/carol.h"
+#include "core/encoder.h"
+#include "core/gon.h"
+#include "core/node_shift.h"
+#include "core/pot.h"
+#include "core/tabu.h"
+#include "sim/topology.h"
+
+namespace {
+
+using namespace carol;
+
+sim::SystemSnapshot MakeSnapshot(int hosts = 16, int brokers = 4) {
+  sim::SystemSnapshot snap;
+  snap.topology = sim::Topology::Initial(hosts, brokers);
+  snap.hosts.resize(static_cast<std::size_t>(hosts));
+  snap.alive.assign(static_cast<std::size_t>(hosts), true);
+  for (int i = 0; i < hosts; ++i) {
+    auto& m = snap.hosts[static_cast<std::size_t>(i)];
+    m.cpu_util = 0.4 + 0.02 * i;
+    m.ram_util = 0.3;
+    m.energy_kwh = 3e-4;
+    m.is_broker = snap.topology.is_broker(i);
+  }
+  return snap;
+}
+
+core::GonConfig BenchGonConfig() {
+  core::GonConfig cfg;  // paper-shaped defaults (64-wide, 3 layers)
+  return cfg;
+}
+
+void BM_GonForward(benchmark::State& state) {
+  core::GonModel gon(BenchGonConfig());
+  core::FeatureEncoder encoder;
+  const auto enc = encoder.Encode(MakeSnapshot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gon.Discriminate(enc));
+  }
+}
+BENCHMARK(BM_GonForward);
+
+void BM_GonGenerationWarmStart(benchmark::State& state) {
+  core::GonModel gon(BenchGonConfig());
+  core::FeatureEncoder encoder;
+  const auto enc = encoder.Encode(MakeSnapshot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gon.Generate(enc.m, enc));
+  }
+}
+BENCHMARK(BM_GonGenerationWarmStart);
+
+void BM_GonGenerationNoiseStart(benchmark::State& state) {
+  core::GonModel gon(BenchGonConfig());
+  core::FeatureEncoder encoder;
+  const auto enc = encoder.Encode(MakeSnapshot());
+  common::Rng rng(1);
+  nn::Matrix noise(enc.m.rows(), enc.m.cols());
+  for (double& v : noise.flat()) v = rng.Uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gon.Generate(noise, enc));
+  }
+}
+BENCHMARK(BM_GonGenerationNoiseStart);
+
+void BM_FailureNeighbors(benchmark::State& state) {
+  const auto hosts = static_cast<int>(state.range(0));
+  const sim::Topology g = sim::Topology::Initial(hosts, hosts / 4);
+  std::vector<bool> alive(static_cast<std::size_t>(hosts), true);
+  alive[0] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FailureNeighbors(g, 0, alive));
+  }
+}
+BENCHMARK(BM_FailureNeighbors)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TabuRepairFullCarol(benchmark::State& state) {
+  core::CarolConfig cfg;
+  core::CarolModel model(cfg);
+  auto snap = MakeSnapshot();
+  snap.alive[0] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Repair(snap.topology, {0}, snap));
+  }
+}
+BENCHMARK(BM_TabuRepairFullCarol)->Unit(benchmark::kMillisecond);
+
+void BM_PotUpdate(benchmark::State& state) {
+  core::PotThreshold pot;
+  common::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pot.Update(0.7 + 0.1 * rng.Normal()));
+  }
+}
+BENCHMARK(BM_PotUpdate);
+
+void BM_TopologyHash(benchmark::State& state) {
+  const sim::Topology g = sim::Topology::Initial(64, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Hash());
+  }
+}
+BENCHMARK(BM_TopologyHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Ablated CAROL variants (paper §V-D, hatched bars of Fig. 5):
+//   * Always-Fine-Tune / Never-Fine-Tune — CAROL with the confidence
+//     gating forced on/off (built from CarolModel configs).
+//   * With-GAN — a conventional GAN replaces the GON: a generator
+//     produces the QoS metrics in a single forward pass (faster
+//     decisions) but doubles the resident networks (higher memory) and
+//     loses the input-space-optimization prediction quality.
+//   * With-Traditional-Surrogate — a feed-forward regressor maps
+//     (S, G) straight to QoS; no likelihood output means no confidence
+//     gating, so it must fine-tune every interval (higher overheads).
+#ifndef CAROL_BASELINES_ABLATIONS_H_
+#define CAROL_BASELINES_ABLATIONS_H_
+
+#include <memory>
+
+#include "core/carol.h"
+#include "core/encoder.h"
+#include "core/gon.h"
+#include "core/resilience.h"
+#include "core/tabu.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "workload/trace.h"
+
+namespace carol::baselines {
+
+// CAROL with fine-tuning at every interval.
+std::unique_ptr<core::CarolModel> MakeAlwaysFineTune(
+    core::CarolConfig config = {});
+// CAROL that never fine-tunes after offline training.
+std::unique_ptr<core::CarolModel> MakeNeverFineTune(
+    core::CarolConfig config = {});
+
+struct WithGanConfig {
+  core::GonConfig discriminator;  // reused GON architecture for D
+  int generator_hidden = 128;
+  double generator_lr = 1e-3;
+  core::TabuConfig tabu;
+  core::PotConfig pot;
+  double alpha = 0.5;
+  double beta = 0.5;
+  int finetune_epochs = 2;
+  unsigned seed = 23;
+};
+
+// CAROL-with-GAN ablation: generator-based QoS prediction.
+class WithGanSurrogate : public core::ResilienceModel {
+ public:
+  explicit WithGanSurrogate(WithGanConfig config = {});
+  ~WithGanSurrogate() override;
+
+  // Adversarial offline training of (G, D) on the trace.
+  void TrainOffline(const workload::Trace& trace, int epochs = 15);
+
+  std::string name() const override { return "With-GAN"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // One-forward-pass QoS metrics prediction for a candidate topology.
+  nn::Matrix PredictMetrics(const core::EncodedState& context);
+  double ScoreTopology(const sim::Topology& candidate,
+                       const sim::SystemSnapshot& snapshot);
+
+ private:
+  WithGanConfig config_;
+  common::Rng rng_;
+  core::FeatureEncoder encoder_;
+  std::unique_ptr<core::GonModel> discriminator_;
+  std::unique_ptr<nn::Mlp> generator_;  // per-host: [S,roles,noise] -> M row
+  std::unique_ptr<nn::Adam> gen_opt_;
+  core::PotThreshold pot_;
+  std::vector<core::EncodedState> gamma_;
+};
+
+struct TraditionalSurrogateConfig {
+  int hidden = 96;
+  double learning_rate = 1e-3;
+  core::TabuConfig tabu;
+  double alpha = 0.5;
+  double beta = 0.5;
+  // Without a confidence signal the surrogate re-fits on the whole
+  // recent buffer every interval (the paper's stated drawback).
+  int finetune_steps_per_interval = 32;
+  unsigned seed = 29;
+};
+
+// CAROL-with-feed-forward-surrogate ablation.
+class TraditionalSurrogate : public core::ResilienceModel {
+ public:
+  explicit TraditionalSurrogate(TraditionalSurrogateConfig config = {});
+  ~TraditionalSurrogate() override;
+
+  void TrainOffline(const workload::Trace& trace, int epochs = 30);
+
+  std::string name() const override { return "Trad-Surrogate"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Predicted (energy_norm, slo_norm) for a candidate topology.
+  std::pair<double, double> PredictQos(const sim::Topology& candidate,
+                                       const sim::SystemSnapshot& snapshot);
+
+ private:
+  static std::vector<double> TopologyFeatures(
+      const sim::Topology& topo, const sim::SystemSnapshot& snapshot);
+  void SupervisedStep(const std::vector<double>& features, double energy,
+                      double slo);
+
+  TraditionalSurrogateConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<nn::Mlp> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<std::pair<std::vector<double>, std::pair<double, double>>>
+      recent_;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_ABLATIONS_H_

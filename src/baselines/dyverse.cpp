@@ -1,0 +1,86 @@
+#include "baselines/dyverse.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace carol::baselines {
+
+sim::Topology Dyverse::Repair(
+    const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot) {
+  sim::Topology topo = current;
+  for (sim::NodeId failed : failed_brokers) {
+    if (!topo.is_broker(failed)) continue;
+    // DYVERSE policy: the orphan with the least CPU utilization becomes
+    // the next broker of the same LEI.
+    sim::NodeId promote = sim::kNoNode;
+    double least = std::numeric_limits<double>::infinity();
+    for (sim::NodeId w : topo.workers_of(failed)) {
+      const auto idx = static_cast<std::size_t>(w);
+      if (idx < snapshot.alive.size() && !snapshot.alive[idx]) continue;
+      const double util = snapshot.hosts[idx].cpu_util;
+      if (util < least) {
+        least = util;
+        promote = w;
+      }
+    }
+    if (promote != sim::kNoNode) {
+      topo.Promote(promote);
+      topo.Demote(failed, promote);
+    } else {
+      for (sim::NodeId other : topo.brokers()) {
+        const auto idx = static_cast<std::size_t>(other);
+        const bool other_alive =
+            idx >= snapshot.alive.size() || snapshot.alive[idx];
+        if (other != failed && other_alive) {
+          topo.Demote(failed, other);
+          break;
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+void Dyverse::Observe(const sim::SystemSnapshot& snapshot) {
+  // Dynamic vertical scaling: re-derive per-host priority scores from the
+  // three heuristics every interval. This is DYVERSE's recurring
+  // maintenance work (its Fig. 5(f) overhead).
+  const std::size_t h = snapshot.hosts.size();
+  priorities_.assign(h, 0.0);
+  for (int sweep = 0; sweep < config_.rescoring_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < h; ++i) {
+      const auto& m = snapshot.hosts[i];
+      // System-aware: free capacity headroom.
+      const double system_score = 1.0 - std::min(1.0, m.cpu_util);
+      // Community-aware: relative load of the host's LEI.
+      const sim::NodeId broker =
+          snapshot.topology.broker_of(static_cast<sim::NodeId>(i));
+      double lei_util = 0.0;
+      int lei_size = 0;
+      for (sim::NodeId w :
+           snapshot.topology.workers_of(broker)) {
+        lei_util += snapshot.hosts[static_cast<std::size_t>(w)].cpu_util;
+        ++lei_size;
+      }
+      const double community_score =
+          lei_size > 0 ? 1.0 - std::min(1.0, lei_util / lei_size) : 0.5;
+      // Workload-aware: demand pressure of resident tasks.
+      const double workload_score =
+          1.0 / (1.0 + m.task_cpu_demand_mips / 1000.0);
+      priorities_[i] = config_.system_weight * system_score +
+                       config_.community_weight * community_score +
+                       config_.workload_weight * workload_score;
+    }
+  }
+}
+
+double Dyverse::MemoryFootprintMb() const {
+  // A priority table and three scalar heuristics: effectively noise.
+  return static_cast<double>(priorities_.capacity()) * sizeof(double) /
+             (1024.0 * 1024.0) +
+         0.05;
+}
+
+}  // namespace carol::baselines

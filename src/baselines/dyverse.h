@@ -1,0 +1,46 @@
+// DYVERSE baseline (Wang et al., "DYVERSE: DYnamic VERtical Scaling in
+// multi-tenant Edge environments", FGCS 2020) — heuristic, paper Table I
+// row 1. An ensemble of three heuristics (system-aware, community-aware,
+// workload-aware) maintains per-application priority scores that drive
+// vertical scaling; on a broker failure it promotes the orphan worker
+// with the least CPU utilization (paper §II).
+#ifndef CAROL_BASELINES_DYVERSE_H_
+#define CAROL_BASELINES_DYVERSE_H_
+
+#include <vector>
+
+#include "core/resilience.h"
+
+namespace carol::baselines {
+
+struct DyverseConfig {
+  // Weights of the three priority heuristics.
+  double system_weight = 0.4;
+  double community_weight = 0.3;
+  double workload_weight = 0.3;
+  // Simulated per-application priority re-scoring cost (the paper's
+  // dynamic vertical scaling pass), in score updates per host.
+  int rescoring_sweeps = 3;
+};
+
+class Dyverse : public core::ResilienceModel {
+ public:
+  explicit Dyverse(DyverseConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "DYVERSE"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  const std::vector<double>& priorities() const { return priorities_; }
+
+ private:
+  DyverseConfig config_;
+  std::vector<double> priorities_;  // per host
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_DYVERSE_H_

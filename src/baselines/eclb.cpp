@@ -1,0 +1,155 @@
+#include "baselines/eclb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace carol::baselines {
+
+namespace {
+double GaussianLogPdf(double x, double mean, double var) {
+  const double v = std::max(var, 1e-4);
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * 3.14159265358979 * v) + d * d / v);
+}
+}  // namespace
+
+Eclb::Eclb() {
+  // Seed class statistics with the natural interpretation of the three
+  // regimes; online updates adapt them to the observed federation.
+  classes_[0] = {0.15, 0.02, 0.15, 0.02, 1.0 / 3.0, 1};  // underloaded
+  classes_[1] = {0.55, 0.03, 0.50, 0.03, 1.0 / 3.0, 1};  // normal
+  classes_[2] = {1.10, 0.08, 0.95, 0.08, 1.0 / 3.0, 1};  // overloaded
+}
+
+std::array<double, 3> Eclb::Posterior(double cpu_util,
+                                      double ram_util) const {
+  std::array<double, 3> logp{};
+  for (std::size_t c = 0; c < 3; ++c) {
+    logp[c] = std::log(std::max(classes_[c].prior, 1e-6)) +
+              GaussianLogPdf(cpu_util, classes_[c].mean_cpu,
+                             classes_[c].var_cpu) +
+              GaussianLogPdf(ram_util, classes_[c].mean_ram,
+                             classes_[c].var_ram);
+  }
+  const double mx = *std::max_element(logp.begin(), logp.end());
+  double total = 0.0;
+  std::array<double, 3> post{};
+  for (std::size_t c = 0; c < 3; ++c) {
+    post[c] = std::exp(logp[c] - mx);
+    total += post[c];
+  }
+  for (double& p : post) p /= total;
+  return post;
+}
+
+Eclb::HostClass Eclb::Classify(double cpu_util, double ram_util) const {
+  const auto post = Posterior(cpu_util, ram_util);
+  const auto best =
+      std::max_element(post.begin(), post.end()) - post.begin();
+  return static_cast<HostClass>(best);
+}
+
+sim::Topology Eclb::Repair(const sim::Topology& current,
+                           const std::vector<sim::NodeId>& failed_brokers,
+                           const sim::SystemSnapshot& snapshot) {
+  sim::Topology topo = current;
+  for (sim::NodeId failed : failed_brokers) {
+    if (!topo.is_broker(failed)) continue;
+    sim::NodeId promote = sim::kNoNode;
+    double best_underloaded = -1.0;
+    for (sim::NodeId w : topo.workers_of(failed)) {
+      const auto idx = static_cast<std::size_t>(w);
+      if (idx < snapshot.alive.size() && !snapshot.alive[idx]) continue;
+      const auto& m = snapshot.hosts[idx];
+      const double p = Posterior(m.cpu_util, m.ram_util)[0];
+      if (p > best_underloaded) {
+        best_underloaded = p;
+        promote = w;
+      }
+    }
+    if (promote != sim::kNoNode) {
+      topo.Promote(promote);
+      topo.Demote(failed, promote);
+    } else {
+      for (sim::NodeId other : topo.brokers()) {
+        const auto idx = static_cast<std::size_t>(other);
+        const bool alive =
+            idx >= snapshot.alive.size() || snapshot.alive[idx];
+        if (other != failed && alive) {
+          topo.Demote(failed, other);
+          break;
+        }
+      }
+    }
+  }
+  // Checkpoint-and-migrate pass: move one worker from the most
+  // overloaded LEI to the most underloaded broker. (ECLB's load
+  // balancing; only computational overload is considered, a limitation
+  // the paper calls out.)
+  const auto brokers = topo.brokers();
+  if (brokers.size() >= 2) {
+    sim::NodeId hot = sim::kNoNode, cold = sim::kNoNode;
+    double hot_util = -1.0, cold_util = std::numeric_limits<double>::max();
+    for (sim::NodeId b : brokers) {
+      const auto idx = static_cast<std::size_t>(b);
+      if (idx < snapshot.alive.size() && !snapshot.alive[idx]) continue;
+      double lei = 0.0;
+      const auto ws = topo.workers_of(b);
+      for (sim::NodeId w : ws) {
+        lei += snapshot.hosts[static_cast<std::size_t>(w)].cpu_util;
+      }
+      lei /= std::max<std::size_t>(1, ws.size());
+      if (lei > hot_util) {
+        hot_util = lei;
+        hot = b;
+      }
+      if (lei < cold_util) {
+        cold_util = lei;
+        cold = b;
+      }
+    }
+    if (hot != sim::kNoNode && cold != sim::kNoNode && hot != cold &&
+        Classify(hot_util, 0.5) == HostClass::kOverloaded &&
+        topo.workers_of(hot).size() >= 2) {
+      topo.Assign(topo.workers_of(hot).front(), cold);
+    }
+  }
+  return topo;
+}
+
+void Eclb::UpdateClass(ClassStats& stats, double cpu, double ram) {
+  ++stats.count;
+  const double n = static_cast<double>(stats.count);
+  const double d_cpu = cpu - stats.mean_cpu;
+  stats.mean_cpu += d_cpu / n;
+  stats.var_cpu += (d_cpu * (cpu - stats.mean_cpu) - stats.var_cpu) / n;
+  const double d_ram = ram - stats.mean_ram;
+  stats.mean_ram += d_ram / n;
+  stats.var_ram += (d_ram * (ram - stats.mean_ram) - stats.var_ram) / n;
+}
+
+void Eclb::Observe(const sim::SystemSnapshot& snapshot) {
+  // Online Bayesian update: assign each host to its MAP class and refresh
+  // that class's sufficient statistics and priors.
+  std::array<std::size_t, 3> counts{};
+  for (const auto& m : snapshot.hosts) {
+    const auto c = static_cast<std::size_t>(Classify(m.cpu_util, m.ram_util));
+    UpdateClass(classes_[c], m.cpu_util, m.ram_util);
+    ++counts[c];
+  }
+  const double total = static_cast<double>(snapshot.hosts.size());
+  for (std::size_t c = 0; c < 3; ++c) {
+    // Smoothed prior update.
+    classes_[c].prior =
+        0.9 * classes_[c].prior + 0.1 * (counts[c] / std::max(1.0, total));
+  }
+}
+
+double Eclb::MemoryFootprintMb() const {
+  // Three Gaussian class models: negligible, but it also checkpoints task
+  // state for migrations (modeled flat cost).
+  return 0.4;
+}
+
+}  // namespace carol::baselines

@@ -1,0 +1,47 @@
+// ECLB baseline (Sharif et al., "Fault-tolerant with load balancing
+// scheduling in a fog-based IoT application", IET Communications 2020) —
+// meta-heuristic, paper Table I row 5. Uses Bayesian classification of
+// hosts into {overloaded, underloaded, normal} from their utilization
+// metrics (Gaussian naive Bayes with online-updated class statistics)
+// and migrates load away from overloaded hosts; broker repair promotes
+// the orphan with the highest "underloaded" posterior.
+#ifndef CAROL_BASELINES_ECLB_H_
+#define CAROL_BASELINES_ECLB_H_
+
+#include <array>
+
+#include "core/resilience.h"
+
+namespace carol::baselines {
+
+class Eclb : public core::ResilienceModel {
+ public:
+  Eclb();
+
+  std::string name() const override { return "ECLB"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  enum class HostClass { kUnderloaded = 0, kNormal = 1, kOverloaded = 2 };
+  // Posterior over the three classes for a (cpu, ram) utilization pair.
+  std::array<double, 3> Posterior(double cpu_util, double ram_util) const;
+  HostClass Classify(double cpu_util, double ram_util) const;
+
+ private:
+  struct ClassStats {
+    double mean_cpu, var_cpu;
+    double mean_ram, var_ram;
+    double prior;
+    std::size_t count;
+  };
+  void UpdateClass(ClassStats& stats, double cpu, double ram);
+
+  std::array<ClassStats, 3> classes_;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_ECLB_H_

@@ -1,0 +1,66 @@
+// ELBS baseline (Talaat et al., "Effective Load Balancing Strategy using
+// fuzzy and probabilistic neural networks", JNSM 2019) — surrogate model,
+// paper Table I row 7. A fuzzy inference system combines SLO deadline,
+// user priority and estimated processing time into task priority scores;
+// a probabilistic neural network (PNN, a kernel-density classifier that
+// memorizes training exemplars) acts as the QoS surrogate scoring
+// candidate topologies. The exemplar store is what gives ELBS the
+// highest memory consumption in the paper's Fig. 5(e), and the per-task
+// per-node fuzzy matchmaking pass its high decision time.
+#ifndef CAROL_BASELINES_ELBS_H_
+#define CAROL_BASELINES_ELBS_H_
+
+#include <vector>
+
+#include "core/resilience.h"
+
+namespace carol::baselines {
+
+struct ElbsConfig {
+  // PNN kernel bandwidth.
+  double bandwidth = 0.15;
+  // Exemplar store capacity (each exemplar is a host-feature vector with
+  // a QoS label). ELBS keeps the full training history in memory.
+  std::size_t max_exemplars = 4096;
+  // Fuzzy matchmaking sweeps per decision.
+  int matchmaking_rounds = 4;
+};
+
+class Elbs : public core::ResilienceModel {
+ public:
+  explicit Elbs(ElbsConfig config = {});
+
+  std::string name() const override { return "ELBS"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Triangular-membership fuzzy priority from (deadline slack, priority,
+  // estimated processing time), each in [0,1]. Exposed for tests.
+  static double FuzzyPriority(double deadline_slack, double user_priority,
+                              double processing_time);
+
+  // PNN QoS estimate for a topology-summary feature vector: returns the
+  // kernel-weighted average QoS label of stored exemplars (lower is
+  // better). Returns 0.5 when the store is empty.
+  double PnnScore(const std::vector<double>& features) const;
+
+  std::size_t exemplar_count() const { return exemplars_.size(); }
+
+ private:
+  struct Exemplar {
+    std::vector<double> features;
+    double qos_label;
+  };
+  static std::vector<double> SummarizeTopology(
+      const sim::Topology& topo, const sim::SystemSnapshot& snapshot);
+
+  ElbsConfig config_;
+  std::vector<Exemplar> exemplars_;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_ELBS_H_

@@ -1,0 +1,74 @@
+// FRAS baseline (Etemadi et al., "A cost-efficient auto-scaling mechanism
+// for IoT applications in fog computing", Cluster Computing 2021) —
+// surrogate model, paper Table I row 8. A fuzzy recurrent neural network
+// (our LSTM cell over fuzzy-encoded system summaries) predicts next-
+// interval QoS; autoscaling-style decisions pick the repair/scaling move
+// whose predicted QoS is best. The surrogate's parameters are fine-tuned
+// EVERY interval — the recurring cost that makes FRAS the best-overhead
+// baseline yet still 36% worse than CAROL in Fig. 5(f).
+#ifndef CAROL_BASELINES_FRAS_H_
+#define CAROL_BASELINES_FRAS_H_
+
+#include <deque>
+#include <memory>
+
+#include "core/resilience.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace carol::baselines {
+
+struct FrasConfig {
+  int hidden = 48;
+  int window = 8;           // recurrent history length
+  double learning_rate = 1e-3;
+  int finetune_steps = 6;   // gradient steps per interval
+  unsigned seed = 13;
+};
+
+class Fras : public core::ResilienceModel {
+ public:
+  explicit Fras(FrasConfig config = {});
+  ~Fras() override;
+
+  std::string name() const override { return "FRAS"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Predicted QoS cost (lower = better) for a candidate topology given
+  // the recurrent history. Exposed for the TopoMAD/StepGAN recovery
+  // policy and for tests.
+  double PredictQos(const sim::Topology& candidate,
+                    const sim::SystemSnapshot& snapshot);
+
+  // Shared recovery policy: scores node-shift repairs with PredictQos.
+  // TopoMAD and StepGAN reuse this (paper §V: they are detection-only
+  // methods supplemented with FRAS's policy).
+  sim::Topology PolicyRepair(const sim::Topology& current,
+                             const std::vector<sim::NodeId>& failed_brokers,
+                             const sim::SystemSnapshot& snapshot);
+
+  int finetune_invocations() const { return finetune_invocations_; }
+
+ private:
+  // Fuzzy-encoded summary of a snapshot under a candidate topology.
+  static std::vector<double> FuzzyEncode(const sim::Topology& topo,
+                                         const sim::SystemSnapshot& snap);
+  void FineTuneStep();
+
+  FrasConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<nn::LstmCell> cell_;
+  std::unique_ptr<nn::Dense> head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  // (input, observed qos) history window for per-interval fine-tuning.
+  std::deque<std::pair<std::vector<double>, double>> history_;
+  int finetune_invocations_ = 0;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_FRAS_H_

@@ -1,0 +1,70 @@
+// LBOS baseline (Talaat et al., "A load balancing and optimization
+// strategy using reinforcement learning", JAIHC 2020) — RL, paper Table I
+// row 6. Q-learning over a discretized (load level x broker count) state
+// space with topology-repair actions; the reward is a weighted average of
+// QoS metrics whose weights are periodically re-evolved with a small
+// genetic algorithm (the paper's GA-determined weights). The Q-table
+// keeps the memory footprint low — the paper's observation about LBOS —
+// but the per-decision GA and weighted round-robin passes make its
+// decision time the highest among the baselines.
+#ifndef CAROL_BASELINES_LBOS_H_
+#define CAROL_BASELINES_LBOS_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/resilience.h"
+
+namespace carol::baselines {
+
+struct LbosConfig {
+  double learning_rate = 0.2;
+  double discount = 0.9;
+  double epsilon = 0.1;   // exploration
+  int ga_population = 24;
+  int ga_generations = 12;
+  unsigned seed = 11;
+};
+
+class Lbos : public core::ResilienceModel {
+ public:
+  explicit Lbos(LbosConfig config = {});
+
+  std::string name() const override { return "LBOS"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Discretized state: load tercile (0-2) x broker-count bucket (0-3).
+  static constexpr int kStates = 12;
+  // Actions: promote-least-utilized, merge-into-coldest,
+  // rebalance-one-worker, keep-structure.
+  static constexpr int kActions = 4;
+
+  int StateOf(const sim::SystemSnapshot& snapshot) const;
+  const std::array<double, 3>& reward_weights() const { return weights_; }
+
+ private:
+  double& Q(int state, int action) {
+    return q_table_[static_cast<std::size_t>(state * kActions + action)];
+  }
+  int BestAction(int state) const;
+  sim::Topology ApplyAction(int action, const sim::Topology& topo,
+                            const std::vector<sim::NodeId>& failed_brokers,
+                            const sim::SystemSnapshot& snapshot);
+  void EvolveWeights(const sim::SystemSnapshot& snapshot);
+
+  LbosConfig config_;
+  common::Rng rng_;
+  std::vector<double> q_table_;
+  std::array<double, 3> weights_;  // energy, slo, response
+  int last_state_ = -1;
+  int last_action_ = -1;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_LBOS_H_

@@ -1,0 +1,64 @@
+// StepGAN baseline (Feng et al., "Make the rocket intelligent at IoT
+// edge: stepwise GAN for anomaly detection", IoT-J 2021) —
+// reconstruction model, paper Table I row 10. Converts the metric
+// time-series into matrices and trains a GAN stepwise over expanding
+// sub-windows; the discriminator score of the latest window is the
+// anomaly signal. Detection-only: repair borrows FRAS's policy (§V).
+// Carrying both a generator and a discriminator gives it the
+// characteristic GAN memory footprint.
+#ifndef CAROL_BASELINES_STEPGAN_H_
+#define CAROL_BASELINES_STEPGAN_H_
+
+#include <deque>
+#include <memory>
+
+#include "baselines/fras.h"
+#include "core/resilience.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace carol::baselines {
+
+struct StepGanConfig {
+  int hidden = 96;
+  int latent = 16;
+  int window = 8;
+  double learning_rate = 1e-3;
+  int train_steps_per_interval = 3;
+  unsigned seed = 19;
+};
+
+class StepGan : public core::ResilienceModel {
+ public:
+  explicit StepGan(StepGanConfig config = {});
+  ~StepGan() override;
+
+  std::string name() const override { return "StepGAN"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Discriminator realness score of the current window matrix; low
+  // scores flag anomalies. 0.5 until the window fills.
+  double WindowScore();
+
+ private:
+  std::vector<double> Summarize(const sim::SystemSnapshot& snap) const;
+  nn::Matrix WindowMatrix(std::size_t steps) const;
+  void TrainStep(std::size_t steps);
+
+  StepGanConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<nn::Mlp> generator_;
+  std::unique_ptr<nn::Mlp> discriminator_;
+  std::unique_ptr<nn::Adam> gen_opt_;
+  std::unique_ptr<nn::Adam> disc_opt_;
+  Fras policy_;
+  std::deque<std::vector<double>> window_;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_STEPGAN_H_

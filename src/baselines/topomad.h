@@ -1,0 +1,64 @@
+// TopoMAD baseline (He et al., "A spatiotemporal deep learning approach
+// for unsupervised anomaly detection in cloud systems", TNNLS 2020) —
+// reconstruction model, paper Table I row 9. A topology-aware LSTM
+// encoder feeds a variational autoencoder; the reconstruction error of
+// the latest window is the anomaly score. TopoMAD is detection-only, so
+// (per the paper's §V setup) it borrows FRAS's priority load-balancing
+// policy for the actual topology repair.
+#ifndef CAROL_BASELINES_TOPOMAD_H_
+#define CAROL_BASELINES_TOPOMAD_H_
+
+#include <deque>
+#include <memory>
+
+#include "baselines/fras.h"
+#include "core/resilience.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace carol::baselines {
+
+struct TopomadConfig {
+  int lstm_hidden = 40;
+  int latent = 8;
+  int window = 8;
+  double learning_rate = 1e-3;
+  int train_steps_per_interval = 4;
+  unsigned seed = 17;
+};
+
+class Topomad : public core::ResilienceModel {
+ public:
+  explicit Topomad(TopomadConfig config = {});
+  ~Topomad() override;
+
+  std::string name() const override { return "TopoMAD"; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Reconstruction-error anomaly score of the current window (higher =
+  // more anomalous). 0 until the window fills.
+  double AnomalyScore();
+  const std::deque<std::vector<double>>& window() const { return window_; }
+
+ private:
+  std::vector<double> Summarize(const sim::SystemSnapshot& snap) const;
+  void TrainStep();
+
+  TopomadConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<nn::LstmCell> encoder_;
+  std::unique_ptr<nn::Dense> mu_head_;
+  std::unique_ptr<nn::Dense> logvar_head_;
+  std::unique_ptr<nn::Mlp> decoder_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  Fras policy_;  // borrowed recovery policy
+  std::deque<std::vector<double>> window_;
+};
+
+}  // namespace carol::baselines
+
+#endif  // CAROL_BASELINES_TOPOMAD_H_

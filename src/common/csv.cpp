@@ -1,0 +1,61 @@
+#include "common/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace carol::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << header[i];
+    if (i + 1 < header.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& row) {
+  if (row.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out_ << row[i];
+    if (i + 1 < row.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+CsvTable ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadCsv: cannot open " + path);
+  }
+  CsvTable table;
+  std::string line;
+  if (std::getline(in, line)) {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("ReadCsv: malformed cell '" + cell + "'");
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace carol::common

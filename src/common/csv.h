@@ -1,0 +1,37 @@
+// Minimal CSV writer/reader used to persist training traces (the dataset
+// Lambda of Algorithm 1) and experiment series for the bench harness.
+#ifndef CAROL_COMMON_CSV_H_
+#define CAROL_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace carol::common {
+
+// Appends rows of doubles under a fixed header. The writer owns the stream
+// and flushes on destruction (RAII).
+class CsvWriter {
+ public:
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void WriteRow(const std::vector<double>& row);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+// Reads a CSV file of doubles produced by CsvWriter.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+// Throws std::runtime_error on missing file or malformed numeric cell.
+CsvTable ReadCsv(const std::string& path);
+
+}  // namespace carol::common
+
+#endif  // CAROL_COMMON_CSV_H_

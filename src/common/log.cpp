@@ -1,0 +1,50 @@
+#include "common/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace carol::common {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("CAROL_LOG");
+  if (env == nullptr) return;
+  const std::string value(env);
+  if (value == "error") {
+    g_level = LogLevel::kError;
+  } else if (value == "warn") {
+    g_level = LogLevel::kWarn;
+  } else if (value == "info") {
+    g_level = LogLevel::kInfo;
+  } else if (value == "debug") {
+    g_level = LogLevel::kDebug;
+  }
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::cerr << "[" << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace carol::common

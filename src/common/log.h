@@ -1,0 +1,63 @@
+// Lightweight leveled logging. The bench binaries set the level from the
+// CAROL_LOG environment variable (error|warn|info|debug); default is warn so
+// experiment output stays clean.
+#ifndef CAROL_COMMON_LOG_H_
+#define CAROL_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace carol::common {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Global log level; not thread-safe to mutate concurrently with logging,
+// set it once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Reads CAROL_LOG from the environment and applies it; unknown values keep
+// the default.
+void InitLogLevelFromEnv();
+
+// Writes a single formatted line to stderr if `level` is enabled.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+inline internal::LogStream LogError() {
+  return internal::LogStream(LogLevel::kError);
+}
+inline internal::LogStream LogWarn() {
+  return internal::LogStream(LogLevel::kWarn);
+}
+inline internal::LogStream LogInfo() {
+  return internal::LogStream(LogLevel::kInfo);
+}
+inline internal::LogStream LogDebug() {
+  return internal::LogStream(LogLevel::kDebug);
+}
+
+}  // namespace carol::common
+
+#endif  // CAROL_COMMON_LOG_H_

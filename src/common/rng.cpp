@@ -1,0 +1,74 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace carol::common {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::Poisson(double rate) {
+  if (rate <= 0.0) return 0;
+  std::poisson_distribution<int> dist(rate);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+std::size_t Rng::WeightedChoice(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("WeightedChoice: empty weights");
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("WeightedChoice: weights sum to <= 0");
+  }
+  double r = Uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::Choice(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Choice: n must be > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), engine_);
+  return idx;
+}
+
+Rng Rng::Fork() {
+  std::uniform_int_distribution<std::uint64_t> dist;
+  return Rng(dist(engine_));
+}
+
+}  // namespace carol::common

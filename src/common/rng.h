@@ -1,0 +1,65 @@
+// Deterministic random number generation utilities shared by the simulator,
+// the workload generators and the neural-network substrate.
+//
+// All stochastic components of the reproduction draw from an explicitly
+// seeded Rng so that every experiment in bench/ is reproducible from its
+// seed alone.
+#ifndef CAROL_COMMON_RNG_H_
+#define CAROL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace carol::common {
+
+// A seeded pseudo-random generator with the distributions used across the
+// codebase. Cheap to copy; copies continue the sequence independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi);
+
+  // Standard normal N(mean, stddev).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Poisson-distributed count with the given rate.
+  int Poisson(double rate);
+
+  // Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given rate (lambda).
+  double Exponential(double rate);
+
+  // Returns an index in [0, weights.size()) drawn proportionally to
+  // `weights`. Throws std::invalid_argument if weights are empty or all
+  // non-positive.
+  std::size_t WeightedChoice(std::span<const double> weights);
+
+  // Returns a uniformly chosen element index for a container of `n` items.
+  std::size_t Choice(std::size_t n);
+
+  // Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  // Derives an independent child generator; use to give subsystems their
+  // own streams so that adding draws in one does not perturb another.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace carol::common
+
+#endif  // CAROL_COMMON_RNG_H_

@@ -1,0 +1,168 @@
+#include "core/carol.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace carol::core {
+
+CarolModel::CarolModel(const CarolConfig& config)
+    : config_(config),
+      gon_(std::make_unique<GonModel>(config.gon)),
+      pot_(config.pot),
+      rng_(config.seed) {}
+
+std::vector<EpochStats> CarolModel::TrainOffline(
+    const workload::Trace& trace, int max_epochs) {
+  std::vector<EncodedState> data;
+  data.reserve(trace.size());
+  for (const auto& record : trace) {
+    data.push_back(encoder_.EncodeRecord(record));
+  }
+  return gon_->Train(data, max_epochs);
+}
+
+double CarolModel::ScoreTopology(const sim::Topology& candidate,
+                                 const sim::SystemSnapshot& snapshot) {
+  // Encode the observed metrics against the hypothetical topology, then
+  // let the GON converge M* from the warm start M_{t-1} (paper §III-B)
+  // and read the QoS objective O(M*) off the generated metrics (Eq. 7).
+  const EncodedState ctx = encoder_.EncodeForTopology(snapshot, candidate);
+  const GenerationResult gen = gon_->Generate(ctx.m, ctx);
+  double energy = 0.0, slo = 0.0;
+  for (std::size_t i = 0; i < gen.metrics.rows(); ++i) {
+    energy += gen.metrics(i, FeatureEncoder::kEnergyColumn);
+    slo += gen.metrics(i, FeatureEncoder::kSloColumn);
+  }
+  const double h = static_cast<double>(gen.metrics.rows());
+  return (config_.alpha * energy + config_.beta * slo) / std::max(1.0, h);
+}
+
+sim::Topology CarolModel::Repair(
+    const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot) {
+  if (failed_brokers.empty()) {
+    if (!config_.proactive) return current;
+    return ProactiveOptimize(current, snapshot);
+  }
+  sim::Topology topo = current;
+  std::vector<bool> alive = snapshot.alive;
+  if (alive.size() != static_cast<std::size_t>(topo.num_nodes())) {
+    alive.assign(static_cast<std::size_t>(topo.num_nodes()), true);
+  }
+  // Every failed broker is byzantine: exclude from candidate roles.
+  for (sim::NodeId b : failed_brokers) {
+    if (static_cast<std::size_t>(b) < alive.size()) {
+      alive[static_cast<std::size_t>(b)] = false;
+    }
+  }
+
+  for (sim::NodeId failed : failed_brokers) {
+    if (!topo.is_broker(failed)) continue;  // repaired by an earlier step
+    std::vector<sim::Topology> repairs =
+        FailureNeighbors(topo, failed, alive, config_.node_shift);
+    if (repairs.empty()) continue;  // nothing alive to take over
+    // Algorithm 2 line 7: start from a random node-shift...
+    const sim::Topology start = repairs[rng_.Choice(repairs.size())];
+    // ...line 8: tabu-search the neighborhood to optimize Omega.
+    TabuSearch search(config_.tabu);
+    auto neighbor_fn = [&](const sim::Topology& g) {
+      return LocalNeighbors(g, alive, config_.node_shift);
+    };
+    auto objective_fn = [&](const sim::Topology& g) {
+      return ScoreTopology(g, snapshot);
+    };
+    topo = search.Optimize(start, neighbor_fn, objective_fn);
+  }
+  return topo;
+}
+
+sim::Topology CarolModel::ProactiveOptimize(
+    const sim::Topology& current, const sim::SystemSnapshot& snapshot) {
+  // Only act on the failure precursor: sustained resource
+  // over-utilization somewhere in the fleet.
+  double max_util = 0.0;
+  for (const auto& host : snapshot.hosts) {
+    max_util = std::max(max_util, host.cpu_util);
+  }
+  if (max_util < config_.proactive_util_threshold) return current;
+  ++proactive_optimizations_;
+  std::vector<bool> alive = snapshot.alive;
+  if (alive.size() != static_cast<std::size_t>(current.num_nodes())) {
+    alive.assign(static_cast<std::size_t>(current.num_nodes()), true);
+  }
+  TabuSearch search(config_.tabu);
+  sim::Topology best = search.Optimize(
+      current,
+      [&](const sim::Topology& g) {
+        return LocalNeighbors(g, alive, config_.node_shift);
+      },
+      [&](const sim::Topology& g) { return ScoreTopology(g, snapshot); });
+  // Only move when the surrogate sees a real improvement: node shifts
+  // have reconfiguration costs the optimizer does not model.
+  const double current_score = ScoreTopology(current, snapshot);
+  return search.best_score() < current_score - 0.01 ? best : current;
+}
+
+void CarolModel::Observe(const sim::SystemSnapshot& snapshot) {
+  bool any_broker_failed = false;
+  for (std::size_t i = 0; i < snapshot.hosts.size(); ++i) {
+    if (snapshot.hosts[i].is_broker && snapshot.hosts[i].failed) {
+      any_broker_failed = true;
+      break;
+    }
+  }
+
+  const EncodedState state = encoder_.Encode(snapshot);
+  const double confidence = gon_->Discriminate(state);
+  confidence_history_.push_back(confidence);
+  const double threshold = pot_.Update(confidence);
+  threshold_history_.push_back(threshold);
+
+  if (!any_broker_failed) {
+    // Algorithm 2 line 10: grow the running dataset Gamma.
+    gamma_.push_back(state);
+    if (gamma_.size() > config_.gamma_capacity) {
+      gamma_.erase(gamma_.begin());
+    }
+  }
+
+  bool fine_tune = false;
+  switch (config_.policy) {
+    case FineTunePolicy::kConfidence:
+      fine_tune = pot_.Breach(confidence);
+      break;
+    case FineTunePolicy::kAlways:
+      fine_tune = true;
+      break;
+    case FineTunePolicy::kNever:
+      fine_tune = false;
+      break;
+  }
+  if (fine_tune && !gamma_.empty()) {
+    common::LogInfo() << name_ << ": fine-tuning at interval "
+                      << snapshot.interval << " (confidence " << confidence
+                      << " < threshold " << threshold << ")";
+    gon_->FineTune(gamma_, config_.finetune_epochs);
+    finetune_intervals_.push_back(snapshot.interval);
+    if (config_.policy == FineTunePolicy::kConfidence) {
+      gamma_.clear();  // Algorithm 2 line 16
+    }
+  }
+}
+
+double CarolModel::MemoryFootprintMb() const {
+  // GON network + the running dataset Gamma resident on the broker.
+  const double h = 16.0;
+  const double per_state =
+      (h * (FeatureEncoder::kMetricFeatures + FeatureEncoder::kSchedFeatures +
+            FeatureEncoder::kRoleFeatures) +
+       h * h) *
+      sizeof(double);
+  return gon_->MemoryFootprintMb() +
+         per_state * static_cast<double>(config_.gamma_capacity) /
+             (1024.0 * 1024.0);
+}
+
+}  // namespace carol::core

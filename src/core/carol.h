@@ -1,0 +1,116 @@
+// The CAROL resilience controller (paper Algorithm 2).
+//
+// Per interval:
+//   * For every failed broker, apply a random node-shift and run tabu
+//     search over the node-shift neighborhood, scoring candidate
+//     topologies with Omega(G) = O(GenerateMetrics(G)) where O is the
+//     convex QoS combination of Eq. (7).
+//   * When no broker failed, append the observed tuple to the running
+//     dataset Gamma, compute the confidence C = D(M_t, S_t, G_t), update
+//     the POT threshold, and fine-tune the GON on Gamma when C breaches
+//     it (then clear Gamma).
+#ifndef CAROL_CORE_CAROL_H_
+#define CAROL_CORE_CAROL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/gon.h"
+#include "core/node_shift.h"
+#include "core/pot.h"
+#include "core/resilience.h"
+#include "core/tabu.h"
+#include "workload/trace.h"
+
+namespace carol::core {
+
+// Fine-tuning policy; kConfidence is CAROL, the others are the paper's
+// §V-D ablations.
+enum class FineTunePolicy { kConfidence, kAlways, kNever };
+
+struct CarolConfig {
+  GonConfig gon;
+  PotConfig pot;
+  TabuConfig tabu;
+  NodeShiftOptions node_shift;
+  // Eq. (7) weights (alpha + beta = 1; the paper uses 0.5/0.5).
+  double alpha = 0.5;
+  double beta = 0.5;
+  FineTunePolicy policy = FineTunePolicy::kConfidence;
+  int finetune_epochs = 2;
+  // Capacity of the running dataset Gamma.
+  std::size_t gamma_capacity = 64;
+  unsigned seed = 7;
+
+  // --- proactive extension (the paper's §VI future work) ---
+  // When enabled, CAROL also re-optimizes the topology on intervals with
+  // NO broker failure if sustained overload signals an impending one
+  // (resource over-utilization is the failure precursor in the fault
+  // model). Costs extra decision time; prevents overload-induced hangs.
+  bool proactive = false;
+  double proactive_util_threshold = 1.1;
+};
+
+class CarolModel : public ResilienceModel {
+ public:
+  explicit CarolModel(const CarolConfig& config);
+
+  // Offline training on the trace Lambda (paper §IV-D/E). Returns the
+  // per-epoch stats (Figure 4).
+  std::vector<EpochStats> TrainOffline(const workload::Trace& trace,
+                                       int max_epochs = 30);
+
+  std::string name() const override { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  // Omega(G; D, S, O): surrogate QoS score of a candidate topology
+  // against the given snapshot (exposed for tests and benches).
+  double ScoreTopology(const sim::Topology& candidate,
+                       const sim::SystemSnapshot& snapshot);
+
+  // --- introspection (Figure 2 series, overhead accounting) ---
+  const std::vector<double>& confidence_history() const {
+    return confidence_history_;
+  }
+  const std::vector<double>& threshold_history() const {
+    return threshold_history_;
+  }
+  const std::vector<int>& finetune_intervals() const {
+    return finetune_intervals_;
+  }
+  int finetune_count() const {
+    return static_cast<int>(finetune_intervals_.size());
+  }
+  // Number of proactive (no-failure) re-optimizations performed.
+  int proactive_optimizations() const { return proactive_optimizations_; }
+  GonModel& gon() { return *gon_; }
+  const CarolConfig& config() const { return config_; }
+
+ private:
+  sim::Topology ProactiveOptimize(const sim::Topology& current,
+                                  const sim::SystemSnapshot& snapshot);
+
+  CarolConfig config_;
+  std::string name_ = "CAROL";
+  FeatureEncoder encoder_;
+  std::unique_ptr<GonModel> gon_;
+  PotThreshold pot_;
+  common::Rng rng_;
+  // Running dataset Gamma (Algorithm 2 line 10).
+  std::vector<EncodedState> gamma_;
+  std::vector<double> confidence_history_;
+  std::vector<double> threshold_history_;
+  std::vector<int> finetune_intervals_;
+  int proactive_optimizations_ = 0;
+};
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_CAROL_H_

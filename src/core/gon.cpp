@@ -1,0 +1,280 @@
+#include "core/gon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace carol::core {
+
+namespace {
+constexpr int kMsInputWidth =
+    FeatureEncoder::kMetricFeatures + FeatureEncoder::kSchedFeatures;  // 11
+constexpr int kGatInputWidth = 4 + FeatureEncoder::kRoleFeatures;      // 6
+}  // namespace
+
+// The composite discriminator of Figure 3: per-host feed-forward encoder
+// for [M,S], graph-attention branch for G, sigmoid likelihood head.
+struct GonModel::Network : nn::Module {
+  nn::Mlp ms_encoder;
+  nn::GraphAttention gat;
+  nn::Mlp head;
+
+  Network(const GonConfig& cfg, common::Rng& rng)
+      : ms_encoder(MsDims(cfg), rng, "gon.ms", nn::Activation::kRelu),
+        gat(kGatInputWidth, static_cast<std::size_t>(cfg.gat_width), rng,
+            "gon.gat"),
+        head({static_cast<std::size_t>(cfg.hidden_width + cfg.gat_width),
+              static_cast<std::size_t>(cfg.hidden_width), 1},
+             rng, "gon.head", nn::Activation::kSigmoid) {}
+
+  static std::vector<std::size_t> MsDims(const GonConfig& cfg) {
+    std::vector<std::size_t> dims = {kMsInputWidth};
+    for (int i = 0; i < std::max(1, cfg.num_layers); ++i) {
+      dims.push_back(static_cast<std::size_t>(cfg.hidden_width));
+    }
+    return dims;
+  }
+
+  std::vector<nn::Parameter*> Parameters() override {
+    std::vector<nn::Parameter*> out;
+    for (auto* p : ms_encoder.Parameters()) out.push_back(p);
+    for (auto* p : gat.Parameters()) out.push_back(p);
+    for (auto* p : head.Parameters()) out.push_back(p);
+    return out;
+  }
+
+  std::vector<nn::Module*> Children() override {
+    return {&ms_encoder, &gat, &head};
+  }
+};
+
+GonModel::~GonModel() = default;
+
+GonModel::GonModel(const GonConfig& config)
+    : config_(config), rng_(config.seed) {
+  net_impl_ = std::make_unique<Network>(config_, rng_);
+  net_ = net_impl_.get();
+  optimizer_ = std::make_unique<nn::Adam>(
+      net_->Parameters(), config_.train_lr, 0.9, 0.999, 1e-8,
+      config_.weight_decay);
+}
+
+nn::Value GonModel::Forward(nn::Tape& tape, nn::Value m,
+                            const EncodedState& ctx) {
+  Network& net = *net_impl_;
+  nn::Value s = tape.Leaf(ctx.s);
+  nn::Value roles = tape.Leaf(ctx.roles);
+  // E_{M,S} = ReLU(FeedForward([M, S])) per host, mean-pooled (Eq. 3).
+  nn::Value ms = tape.ConcatCols(m, s);
+  nn::Value e_ms = net.ms_encoder.Forward(tape, ms);
+  // GAT branch over utilization features + role flags (Eq. 4).
+  nn::Value u = tape.ConcatCols(tape.SliceCols(m, 0, 4), roles);
+  nn::Value e_g = net.gat.Forward(tape, u, ctx.adjacency);
+  // Sigmoid head over pooled representations (Eq. 5).
+  nn::Value pooled = tape.ConcatCols(tape.RowMean(e_ms), tape.RowMean(e_g));
+  return net.head.Forward(tape, pooled);
+}
+
+double GonModel::Discriminate(const EncodedState& state) {
+  nn::Tape tape;
+  net_->ClearBindings();
+  nn::Value m = tape.Leaf(state.m);
+  return Forward(tape, m, state).scalar();
+}
+
+GenerationResult GonModel::Generate(const nn::Matrix& m_init,
+                                    const EncodedState& context) {
+  GenerationResult result;
+  nn::Matrix m_cur = m_init;
+  const double lr = config_.generation_lr;
+  double prev_objective = -std::numeric_limits<double>::infinity();
+  double last_score = 0.0;
+  for (int step = 0; step < config_.generation_steps; ++step) {
+    nn::Tape tape;
+    net_->ClearBindings();
+    nn::Value m = tape.Leaf(m_cur, /*requires_grad=*/true);
+    nn::Value score = Forward(tape, m, context);
+    nn::Value objective = tape.Log(score);
+    last_score = score.scalar();
+    const double obj = objective.scalar();
+    tape.Backward(objective);
+    const nn::Matrix& grad = m.grad();
+    // Ascent step M <- M + gamma * grad_M log D (Eq. 1), clipped to the
+    // normalized feature box. The step is infinity-norm normalized so
+    // gamma directly controls the per-feature movement per iteration —
+    // without this, a flat discriminator would stall the generation in
+    // our [0,1]-normalized feature space (implementation note recorded
+    // in EXPERIMENTS.md).
+    double grad_scale = 0.0;
+    for (const double g : grad.flat()) {
+      grad_scale = std::max(grad_scale, std::abs(g));
+    }
+    if (grad_scale < 1e-12) break;
+    bool moved = false;
+    for (std::size_t r = 0; r < m_cur.rows(); ++r) {
+      for (std::size_t c = 0; c < m_cur.cols(); ++c) {
+        const double delta = lr * grad(r, c) / grad_scale;
+        if (std::abs(delta) > 1e-9) moved = true;
+        m_cur(r, c) = std::clamp(m_cur(r, c) + delta, 0.0, 1.0);
+      }
+    }
+    ++result.steps;
+    // "Till convergence": stop once log-likelihood improvement stalls.
+    if (!moved || std::abs(obj - prev_objective) < config_.generation_tol) {
+      break;
+    }
+    prev_objective = obj;
+  }
+  (void)last_score;
+  result.metrics = std::move(m_cur);
+  EncodedState scored = context;
+  scored.m = result.metrics;
+  result.confidence = Discriminate(scored);
+  return result;
+}
+
+double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
+  // Phase 1 (Algorithm 1, line 4): generate fake samples Z* from noise by
+  // input-space ascent. Done before the training graph is built so the
+  // generation tapes don't interleave with training bindings.
+  std::vector<nn::Matrix> fakes;
+  fakes.reserve(batch.size());
+  for (const EncodedState* state : batch) {
+    nn::Matrix noise(state->m.rows(), state->m.cols());
+    for (double& v : noise.flat()) v = rng_.Uniform(0.0, 1.0);
+    fakes.push_back(Generate(noise, *state).metrics);
+  }
+
+  // Phase 2 (line 5): ascend the discriminator objective
+  //   mean_i [ log D(M_i,S_i,G_i) + log(1 - D(Z*_i,S_i,G_i)) ]
+  // i.e. descend its negation. In addition to the generated negatives we
+  // use matching-aware negatives (a real M paired with ANOTHER sample's
+  // S,G): without them the discriminator can separate real from
+  // generated by looking at M alone and learns to ignore the topology —
+  // which would defeat the surrogate's purpose of ranking candidate
+  // graphs (implementation note, EXPERIMENTS.md).
+  nn::Tape tape;
+  net_->ClearBindings();
+  nn::Value total;
+  nn::Value one = tape.Leaf(nn::Matrix::Ones(1, 1));
+  int terms = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const EncodedState& state = *batch[i];
+    nn::Value d_real = Forward(tape, tape.Leaf(state.m), state);
+    nn::Value d_fake = Forward(tape, tape.Leaf(fakes[i]), state);
+    nn::Value sample_loss = nn::GanDiscriminatorLoss(tape, d_real, d_fake);
+    if (batch.size() > 1) {
+      // Mismatched-context negative: metrics from a different record
+      // presented under this record's (S, G).
+      std::size_t other = rng_.Choice(batch.size());
+      if (other == i) other = (other + 1) % batch.size();
+      // Only meaningful when host counts agree (they do within a run).
+      if (batch[other]->m.rows() == state.m.rows()) {
+        nn::Value d_mismatch =
+            Forward(tape, tape.Leaf(batch[other]->m), state);
+        sample_loss = tape.Add(
+            sample_loss,
+            tape.Neg(tape.Log(tape.Sub(one, d_mismatch))));
+      }
+    }
+    total = (terms == 0) ? sample_loss : tape.Add(total, sample_loss);
+    ++terms;
+  }
+  nn::Value loss = tape.Scale(total, 1.0 / static_cast<double>(terms));
+  optimizer_->ZeroGrad();
+  tape.Backward(loss);
+  net_->CollectGrads();
+  optimizer_->Step();
+  return loss.scalar();
+}
+
+EpochStats GonModel::TrainEpoch(const std::vector<EncodedState>& data) {
+  EpochStats stats;
+  if (data.empty()) return stats;
+  const auto order = rng_.Permutation(data.size());
+  double loss_sum = 0.0;
+  int batches = 0;
+  const auto bsz = static_cast<std::size_t>(std::max(1, config_.batch_size));
+  for (std::size_t start = 0; start < order.size(); start += bsz) {
+    std::vector<const EncodedState*> batch;
+    for (std::size_t k = start; k < std::min(start + bsz, order.size());
+         ++k) {
+      batch.push_back(&data[order[k]]);
+    }
+    loss_sum += TrainBatch(batch);
+    ++batches;
+  }
+  stats.loss = loss_sum / batches;
+
+  // Evaluation sweep: MSE of warm-started generation vs the recorded
+  // metrics, and mean confidence on real tuples (Figure 4's series).
+  const std::size_t eval_n = std::min<std::size_t>(data.size(), 32);
+  double mse = 0.0, conf = 0.0;
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    const EncodedState& state = data[order[i]];
+    nn::Matrix start_m = state.m;
+    for (double& v : start_m.flat()) {
+      v = std::clamp(v + rng_.Normal(0.0, 0.1), 0.0, 1.0);
+    }
+    const GenerationResult gen = Generate(start_m, state);
+    const nn::Matrix diff = gen.metrics - state.m;
+    mse += diff.Norm() * diff.Norm() /
+           static_cast<double>(diff.size());
+    conf += Discriminate(state);
+  }
+  stats.mse = mse / static_cast<double>(eval_n);
+  stats.confidence = conf / static_cast<double>(eval_n);
+  return stats;
+}
+
+std::vector<EpochStats> GonModel::Train(
+    const std::vector<EncodedState>& data, int max_epochs, int patience) {
+  std::vector<EpochStats> history;
+  double best_loss = std::numeric_limits<double>::infinity();
+  int stale = 0;
+  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    history.push_back(TrainEpoch(data));
+    common::LogInfo() << "GON epoch " << epoch << ": loss "
+                      << history.back().loss << ", mse "
+                      << history.back().mse << ", confidence "
+                      << history.back().confidence;
+    if (history.back().loss < best_loss - 1e-4) {
+      best_loss = history.back().loss;
+      stale = 0;
+    } else if (++stale >= patience) {
+      break;  // early stopping (paper §IV-E)
+    }
+  }
+  return history;
+}
+
+void GonModel::FineTune(const std::vector<EncodedState>& recent,
+                        int epochs) {
+  if (recent.empty()) return;
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<const EncodedState*> batch;
+    const auto order = rng_.Permutation(recent.size());
+    const auto take = std::min<std::size_t>(
+        recent.size(), static_cast<std::size_t>(config_.batch_size));
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(&recent[order[i]]);
+    }
+    TrainBatch(batch);
+  }
+}
+
+std::size_t GonModel::ParameterCount() { return net_->ParameterCount(); }
+
+double GonModel::MemoryFootprintMb() const {
+  const double params =
+      static_cast<double>(net_impl_->ParameterCount()) * sizeof(double);
+  // Adam keeps two moment buffers; one activation working set per layer
+  // for a 16-host forward pass.
+  const double adam = 2.0 * params;
+  const double activations = 16.0 * config_.hidden_width *
+                             (config_.num_layers + 2) * sizeof(double);
+  return (params + adam + activations) / (1024.0 * 1024.0);
+}
+
+}  // namespace carol::core

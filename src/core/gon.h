@@ -1,0 +1,118 @@
+// Generative Optimization Network surrogate (paper §III-B and Figure 3).
+//
+// A GON is a GAN without the generator: a single discriminator
+// D(M, S, G; theta) doubles as
+//   * a likelihood/confidence scorer for an observed tuple, and
+//   * a generator, by running gradient ASCENT on log D in the input space
+//     of M (Eq. 1):  M <- M + gamma * grad_M log D(M, S, G; theta).
+//
+// Architecture (Figure 3): a shared per-host feed-forward encoder over
+// [M_i, S_i] rows with ReLU, a graph-attention branch over the topology
+// with per-node features derived from M's utilization columns and role
+// flags, mean-pooled and concatenated into a sigmoid likelihood head.
+//
+// Training follows Algorithm 1: fake samples Z* are produced by the same
+// input-space ascent from noise, and theta ascends
+//   log D(M,S,G) + log(1 - D(Z*,S,G)).
+#ifndef CAROL_CORE_GON_H_
+#define CAROL_CORE_GON_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/encoder.h"
+#include "nn/autograd.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace carol::core {
+
+struct GonConfig {
+  // Width of every hidden layer (the paper fixes 128).
+  int hidden_width = 64;
+  // Number of feed-forward layers in the [M,S] encoder — the paper's
+  // memory-footprint knob (§IV-E, Fig. 6b sweeps it).
+  int num_layers = 3;
+  int gat_width = 32;
+  // gamma in Eq. (1) — the generation/learning rate of the input-space
+  // ascent (Fig. 6a sweeps it). NOTE: our features are normalized to
+  // [0,1], so the operating point differs from the paper's raw scale;
+  // 5e-2 plays the role of the paper's 1e-3 (see EXPERIMENTS.md).
+  double generation_lr = 5e-2;
+  // Maximum ascent iterations per generation; the loop stops early once
+  // the likelihood improvement drops below generation_tol ("running the
+  // following till convergence", Algorithm 1 line 4). Warm-starting from
+  // M_{t-1} (paper §III-B) keeps the typical count small.
+  int generation_steps = 20;
+  double generation_tol = 1e-5;
+  // Adam settings for discriminator training (paper §IV-E).
+  double train_lr = 1e-4;
+  double weight_decay = 1e-5;
+  int batch_size = 32;
+  unsigned seed = 42;
+};
+
+struct GenerationResult {
+  nn::Matrix metrics;   // converged M*, [H x 9], normalized
+  double confidence = 0.0;  // D(M*, S, G)
+  int steps = 0;
+};
+
+struct EpochStats {
+  double loss = 0.0;        // mean adversarial loss (Eq. 2, negated)
+  double mse = 0.0;         // mean ||Z* - M||^2 (prediction quality)
+  double confidence = 0.0;  // mean D on real tuples
+};
+
+class GonModel {
+ public:
+  explicit GonModel(const GonConfig& config);
+  ~GonModel();  // out-of-line: Network is an incomplete type here
+
+  // Likelihood score D(M,S,G) in (0,1) for an encoded tuple.
+  double Discriminate(const EncodedState& state);
+
+  // Eq. (1): ascends log D over the metrics matrix starting from
+  // `m_init` (normalized [H x 9]); S, roles and adjacency come from
+  // `context`. Returns the converged metrics and their confidence.
+  GenerationResult Generate(const nn::Matrix& m_init,
+                            const EncodedState& context);
+
+  // One minibatch-SGD epoch of Algorithm 1 over the dataset.
+  EpochStats TrainEpoch(const std::vector<EncodedState>& data);
+
+  // Convenience: full offline training until `epochs` or an early-stop
+  // patience on the epoch loss (paper uses early stopping, §IV-E).
+  // Returns the per-epoch stats (this is Figure 4's data).
+  std::vector<EpochStats> Train(const std::vector<EncodedState>& data,
+                                int max_epochs, int patience = 5);
+
+  // Fine-tuning on the running dataset Gamma (Algorithm 2 line 15): a few
+  // epochs of the same adversarial loss on recent tuples.
+  void FineTune(const std::vector<EncodedState>& recent, int epochs = 1);
+
+  // Analytic memory model: parameters + Adam moments + one activation
+  // working set, in MB. Used by Fig. 5(e)/6(b).
+  double MemoryFootprintMb() const;
+
+  std::size_t ParameterCount();
+  const GonConfig& config() const { return config_; }
+  nn::Module& network() { return *net_; }
+
+ private:
+  struct Network;
+  // Builds the discriminator graph on `tape`; m may be a requires-grad
+  // leaf (generation) or constant (scoring).
+  nn::Value Forward(nn::Tape& tape, nn::Value m, const EncodedState& ctx);
+  double TrainBatch(const std::vector<const EncodedState*>& batch);
+
+  GonConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<Network> net_impl_;
+  nn::Module* net_;  // facade over net_impl_
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_GON_H_

@@ -1,0 +1,45 @@
+// Node-shift topology operations (paper §III-B, Figure 1).
+//
+// When a broker b fails, its workers are "orphaned" and the topology must
+// be repaired by one of three worker-to-broker shift types:
+//   Type 1 (+1 broker): promote two orphans, split the rest between them;
+//   Type 2 (-1 broker): hand all orphans to an existing broker;
+//   Type 3 (same count): promote one orphan to manage its siblings.
+// The respective broker-to-worker counterparts, together with single
+// worker reassignments, form the general neighborhood the tabu search
+// explores when optimizing QoS beyond the immediate repair.
+#ifndef CAROL_CORE_NODE_SHIFT_H_
+#define CAROL_CORE_NODE_SHIFT_H_
+
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace carol::core {
+
+struct NodeShiftOptions {
+  // Cap on Type-1 promotions pairs enumerated per failed broker.
+  int max_type1_pairs = 6;
+  // Cap on worker reassignment neighbors in the general neighborhood.
+  int max_reassignments = 24;
+  // Include broker-to-worker counterpart shifts (demotions).
+  bool include_demotions = true;
+};
+
+// N(G, b): repair neighborhoods for a failed broker `b` (Algorithm 2,
+// line 7). Every returned topology is valid, demotes `b`, and only uses
+// alive nodes as brokers/targets. Returns empty when no alive node can
+// take over.
+std::vector<sim::Topology> FailureNeighbors(
+    const sim::Topology& g, sim::NodeId failed_broker,
+    const std::vector<bool>& alive, const NodeShiftOptions& options = {});
+
+// General local moves around `g` for the tabu search: single worker
+// reassignments, promotions, and demotions, restricted to alive nodes.
+std::vector<sim::Topology> LocalNeighbors(
+    const sim::Topology& g, const std::vector<bool>& alive,
+    const NodeShiftOptions& options = {});
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_NODE_SHIFT_H_

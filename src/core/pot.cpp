@@ -1,0 +1,150 @@
+#include "core/pot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace carol::core {
+
+namespace {
+
+// GPD log-likelihood for excesses y >= 0 with parameters (gamma, sigma).
+double GpdLogLikelihood(const std::vector<double>& y, double gamma,
+                        double sigma) {
+  if (sigma <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(y.size());
+  if (std::abs(gamma) < 1e-9) {
+    double sum = 0.0;
+    for (double v : y) sum += v;
+    return -n * std::log(sigma) - sum / sigma;
+  }
+  double acc = 0.0;
+  for (double v : y) {
+    const double t = 1.0 + gamma * v / sigma;
+    if (t <= 0.0) return -std::numeric_limits<double>::infinity();
+    acc += std::log(t);
+  }
+  return -n * std::log(sigma) - (1.0 + 1.0 / gamma) * acc;
+}
+
+}  // namespace
+
+GpdFit FitGpdMoments(const std::vector<double>& excesses) {
+  GpdFit fit;
+  if (excesses.size() < 2) return fit;
+  const double mean = common::Mean(excesses);
+  const double sd = common::Stddev(excesses);
+  if (mean <= 0.0 || sd <= 0.0) return fit;
+  const double ratio = mean * mean / (sd * sd);
+  fit.gamma = 0.5 * (1.0 - ratio);
+  fit.sigma = 0.5 * mean * (1.0 + ratio);
+  fit.valid = fit.sigma > 0.0;
+  return fit;
+}
+
+GpdFit FitGpdGrimshaw(const std::vector<double>& excesses) {
+  GpdFit best;
+  if (excesses.size() < 4) return FitGpdMoments(excesses);
+  const double y_max =
+      *std::max_element(excesses.begin(), excesses.end());
+  const double y_mean = common::Mean(excesses);
+  if (y_max <= 0.0 || y_mean <= 0.0) return FitGpdMoments(excesses);
+
+  // Grimshaw reduces the 2-parameter MLE to a 1-D root/maximum search in
+  // x, with gamma = mean(log(1 + x*y)) and sigma = gamma / x. We scan
+  // candidate x values over the admissible range (x > -1/y_max) and keep
+  // the likelihood maximizer; the moments fit seeds the candidate set.
+  double best_ll = -std::numeric_limits<double>::infinity();
+  auto consider = [&](double x) {
+    if (std::abs(x) < 1e-12) return;
+    if (x <= -1.0 / y_max) return;
+    double gamma = 0.0;
+    for (double v : excesses) gamma += std::log(1.0 + x * v);
+    gamma /= static_cast<double>(excesses.size());
+    const double sigma = gamma / x;
+    const double ll = GpdLogLikelihood(excesses, gamma, sigma);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best.gamma = gamma;
+      best.sigma = sigma;
+      best.valid = sigma > 0.0;
+    }
+  };
+
+  const double lo = -1.0 / y_max + 1e-9;
+  const double hi = 2.0 / y_mean;
+  for (int i = 0; i <= 200; ++i) {
+    consider(lo + (hi - lo) * static_cast<double>(i) / 200.0);
+  }
+  const GpdFit moments = FitGpdMoments(excesses);
+  if (moments.valid && moments.gamma != 0.0) {
+    consider(moments.gamma / moments.sigma);
+  }
+  if (!best.valid) return moments;
+  return best;
+}
+
+PotThreshold::PotThreshold(PotConfig config)
+    : config_(config),
+      threshold_(-std::numeric_limits<double>::infinity()) {}
+
+bool PotThreshold::Breach(double score) const {
+  return calibrated_ && score < threshold_;
+}
+
+double PotThreshold::Update(double score) {
+  ++total_observations_;
+  history_.push_back(score);
+  if (history_.size() > config_.window) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   config_.window));
+  }
+  if (history_.size() >= config_.min_calibration) {
+    Refit();
+    calibrated_ = true;
+  }
+  return threshold_;
+}
+
+void PotThreshold::Refit() {
+  // Peak threshold u: lower-tail empirical quantile of the window.
+  const double u =
+      common::Percentile(history_, config_.init_quantile * 100.0);
+  // Excesses below u (lower tail -> positive y = u - x).
+  std::vector<double> excesses;
+  for (double x : history_) {
+    if (x < u) excesses.push_back(u - x);
+  }
+  const auto n = static_cast<double>(history_.size());
+  const auto n_peaks = static_cast<double>(excesses.size());
+  if (excesses.size() < 4) {
+    // Too few tail samples: fall back to a fixed margin below u.
+    threshold_ = u - 0.05;
+    return;
+  }
+  GpdFit fit = FitGpdGrimshaw(excesses);
+  if (!fit.valid) fit = FitGpdMoments(excesses);
+  if (!fit.valid) {
+    threshold_ = u - 0.05;
+    return;
+  }
+  // Quantile of the fitted tail at the target risk (Siffer et al. Eq. 1,
+  // mirrored for the lower tail):
+  //   z_q = u - (sigma/gamma) * ((risk*n/n_peaks)^(-gamma) - 1).
+  const double ratio = config_.risk * n / n_peaks;
+  double z;
+  if (std::abs(fit.gamma) < 1e-9) {
+    z = u + fit.sigma * std::log(ratio);
+  } else {
+    z = u - (fit.sigma / fit.gamma) *
+                (std::pow(ratio, -fit.gamma) - 1.0);
+  }
+  // The trigger must stay strictly below u (it guards the tail).
+  threshold_ = std::min(z, u);
+}
+
+}  // namespace carol::core

@@ -1,0 +1,72 @@
+// Streaming Peaks-Over-Threshold (POT) thresholding for the confidence
+// series (paper §III-B, after Siffer et al., "Anomaly detection in streams
+// with extreme value theory", KDD 2017).
+//
+// CAROL fine-tunes its GON when the confidence score *dips* below a
+// dynamically maintained threshold, so this is a LOWER-tail POT: we track
+// the distribution of downward excursions below an initial empirical
+// quantile u, fit a Generalized Pareto Distribution to the excesses
+// (u - x), and set the trigger threshold z_q so that the probability of a
+// legitimate (in-distribution) score falling below z_q is `risk`.
+// Grimshaw's MLE is used for the GPD fit, with a method-of-moments
+// fallback when the likelihood search fails.
+#ifndef CAROL_CORE_POT_H_
+#define CAROL_CORE_POT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace carol::core {
+
+struct PotConfig {
+  // Target probability of triggering on in-distribution scores. The
+  // default trades a few extra fine-tunes for faster drift recovery
+  // (every trigger costs ~1 s of tuning vs minutes of degraded QoS).
+  double risk = 0.06;
+  // The peak threshold u is this empirical quantile of the calibration
+  // window (lower tail).
+  double init_quantile = 0.12;
+  // Minimum scores before the threshold becomes active.
+  std::size_t min_calibration = 24;
+  // Bounded history (sliding window) so the threshold adapts to
+  // non-stationary confidence regimes.
+  std::size_t window = 256;
+};
+
+// Fits a GPD(gamma, sigma) to positive excesses. Exposed for testing.
+struct GpdFit {
+  double gamma = 0.0;
+  double sigma = 1.0;
+  bool valid = false;
+};
+GpdFit FitGpdGrimshaw(const std::vector<double>& excesses);
+GpdFit FitGpdMoments(const std::vector<double>& excesses);
+
+class PotThreshold {
+ public:
+  explicit PotThreshold(PotConfig config = {});
+
+  // Feeds one confidence score; returns the current threshold (the value
+  // below which fine-tuning triggers). Before calibration completes the
+  // threshold is -infinity (never triggers).
+  double Update(double score);
+
+  double threshold() const { return threshold_; }
+  bool calibrated() const { return calibrated_; }
+  // True if `score` breaches (falls below) the current threshold.
+  bool Breach(double score) const;
+  std::size_t observations() const { return total_observations_; }
+
+ private:
+  void Refit();
+
+  PotConfig config_;
+  std::vector<double> history_;  // sliding window of scores
+  double threshold_;
+  bool calibrated_ = false;
+  std::size_t total_observations_ = 0;
+};
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_POT_H_

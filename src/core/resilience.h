@@ -1,0 +1,45 @@
+// The resilience-model interface shared by CAROL, all baselines and the
+// experiment harness. A model is consulted once per scheduling interval:
+// Repair() after failure detection (its wall-clock is the paper's
+// "decision time", Fig. 5d) and Observe() at interval end (its wall-clock
+// is the "fine-tuning overhead", Fig. 5f).
+#ifndef CAROL_CORE_RESILIENCE_H_
+#define CAROL_CORE_RESILIENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/federation.h"
+#include "sim/topology.h"
+
+namespace carol::core {
+
+class ResilienceModel {
+ public:
+  virtual ~ResilienceModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Returns the repaired topology G_t given the current topology, the
+  // brokers detected as failed, and the last end-of-interval snapshot.
+  // Called every interval (failed_brokers may be empty, allowing models
+  // that proactively re-optimize). Must return a valid topology; the
+  // harness falls back to a default repair otherwise.
+  virtual sim::Topology Repair(
+      const sim::Topology& current,
+      const std::vector<sim::NodeId>& failed_brokers,
+      const sim::SystemSnapshot& snapshot) = 0;
+
+  // End-of-interval observation hook: models collect data, update
+  // internal statistics and (depending on their policy) fine-tune here.
+  virtual void Observe(const sim::SystemSnapshot& /*snapshot*/) {}
+
+  // Analytic model memory footprint in MB (parameters, optimizer state,
+  // exemplar stores, replay buffers — whatever the technique keeps
+  // resident on the broker).
+  virtual double MemoryFootprintMb() const = 0;
+};
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_RESILIENCE_H_

@@ -1,0 +1,67 @@
+#include "core/tabu.h"
+
+#include <limits>
+
+namespace carol::core {
+
+void TabuSearch::PushTabu(std::size_t hash) {
+  if (tabu_set_.insert(hash).second) {
+    tabu_order_.push_back(hash);
+    while (tabu_order_.size() >
+           static_cast<std::size_t>(std::max(1, config_.tabu_list_size))) {
+      tabu_set_.erase(tabu_order_.front());
+      tabu_order_.pop_front();
+    }
+  }
+}
+
+bool TabuSearch::IsTabu(std::size_t hash) const {
+  return tabu_set_.contains(hash);
+}
+
+sim::Topology TabuSearch::Optimize(const sim::Topology& start,
+                                   const NeighborFn& neighbors,
+                                   const ObjectiveFn& objective) {
+  evaluations_ = 0;
+  tabu_order_.clear();
+  tabu_set_.clear();
+
+  sim::Topology current = start;
+  double current_score = objective(current);
+  ++evaluations_;
+  sim::Topology best = current;
+  best_score_ = current_score;
+  PushTabu(current.Hash());
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    if (evaluations_ >= config_.max_evaluations) break;
+    const std::vector<sim::Topology> frontier = neighbors(current);
+    const sim::Topology* chosen = nullptr;
+    double chosen_score = std::numeric_limits<double>::infinity();
+    for (const sim::Topology& candidate : frontier) {
+      if (evaluations_ >= config_.max_evaluations) break;
+      const std::size_t hash = candidate.Hash();
+      if (IsTabu(hash)) continue;
+      const double score = objective(candidate);
+      ++evaluations_;
+      // Aspiration: a tabu-free candidate improving on the incumbent is
+      // always eligible; among eligibles pick the best (ties keep the
+      // first for determinism).
+      if (score < chosen_score) {
+        chosen_score = score;
+        chosen = &candidate;
+      }
+    }
+    if (chosen == nullptr) break;  // neighborhood exhausted or all tabu
+    current = *chosen;
+    current_score = chosen_score;
+    PushTabu(current.Hash());
+    if (current_score < best_score_) {
+      best_score_ = current_score;
+      best = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace carol::core

@@ -1,0 +1,58 @@
+// Deterministic tabu search over the topology space (paper §III-B: chosen
+// "due to its deterministic nature and empirically faster convergence").
+// Minimizes an arbitrary objective Omega(G) over neighborhoods produced by
+// a caller-supplied expansion function, with a fixed-size tabu list of
+// topology hashes (list size L is the Fig. 6(c) sensitivity knob).
+#ifndef CAROL_CORE_TABU_H_
+#define CAROL_CORE_TABU_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "sim/topology.h"
+
+namespace carol::core {
+
+struct TabuConfig {
+  // L — maximum number of remembered topologies (paper default: 100).
+  int tabu_list_size = 100;
+  int max_iterations = 10;
+  // Hard cap on objective evaluations per Optimize call, keeping repair
+  // latency bounded in latency-critical settings (§III-B).
+  int max_evaluations = 160;
+};
+
+class TabuSearch {
+ public:
+  explicit TabuSearch(TabuConfig config = {}) : config_(config) {}
+
+  using NeighborFn =
+      std::function<std::vector<sim::Topology>(const sim::Topology&)>;
+  using ObjectiveFn = std::function<double(const sim::Topology&)>;
+
+  // Starts from `start` (which is evaluated and becomes the incumbent)
+  // and iteratively moves to the best non-tabu neighbor, keeping the best
+  // topology seen. Deterministic given deterministic callbacks.
+  sim::Topology Optimize(const sim::Topology& start,
+                         const NeighborFn& neighbors,
+                         const ObjectiveFn& objective);
+
+  int evaluations() const { return evaluations_; }
+  double best_score() const { return best_score_; }
+
+ private:
+  void PushTabu(std::size_t hash);
+  bool IsTabu(std::size_t hash) const;
+
+  TabuConfig config_;
+  std::deque<std::size_t> tabu_order_;
+  std::unordered_set<std::size_t> tabu_set_;
+  int evaluations_ = 0;
+  double best_score_ = 0.0;
+};
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_TABU_H_

@@ -1,0 +1,91 @@
+#include "faults/audit.h"
+
+#include <bit>
+
+namespace carol::faults {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t FnvMixString(std::uint64_t hash, const std::string& s) {
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+}  // namespace
+
+std::uint64_t AuditLog::HashEntry(std::uint64_t prev,
+                                  std::uint64_t sequence,
+                                  double timestamp_s,
+                                  const std::string& action) const {
+  std::uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, key_);
+  hash = FnvMix(hash, prev);
+  hash = FnvMix(hash, sequence);
+  hash = FnvMix(hash, std::bit_cast<std::uint64_t>(timestamp_s));
+  hash = FnvMixString(hash, action);
+  return hash;
+}
+
+std::uint64_t AuditLog::Append(double timestamp_s,
+                               const std::string& action) {
+  AuditEntry entry;
+  entry.sequence = entries_.empty() ? 0 : entries_.back().sequence + 1;
+  entry.timestamp_s = timestamp_s;
+  entry.action = action;
+  const std::uint64_t prev =
+      entries_.empty() ? kFnvOffset : entries_.back().chain_hash;
+  entry.chain_hash =
+      HashEntry(prev, entry.sequence, timestamp_s, action);
+  entries_.push_back(std::move(entry));
+  return entries_.back().sequence;
+}
+
+bool AuditLog::Verify(std::uint64_t key,
+                      std::uint64_t from_sequence) const {
+  if (key != key_) return false;  // signature key mismatch
+  std::uint64_t prev = kFnvOffset;
+  std::uint64_t expected_seq = 0;
+  for (const AuditEntry& e : entries_) {
+    if (e.sequence != expected_seq) return false;  // gap or reorder
+    const std::uint64_t expect =
+        HashEntry(prev, e.sequence, e.timestamp_s, e.action);
+    if (e.sequence >= from_sequence && e.chain_hash != expect) {
+      return false;  // tampered
+    }
+    // Even below from_sequence the chain links must be consistent,
+    // otherwise later hashes cannot validate.
+    if (e.chain_hash != expect) return false;
+    prev = e.chain_hash;
+    ++expected_seq;
+  }
+  return true;
+}
+
+void AuditLog::TamperAction(std::size_t index,
+                            const std::string& new_action) {
+  if (index < entries_.size()) entries_[index].action = new_action;
+}
+
+void AuditLog::DropEntry(std::size_t index) {
+  if (index < entries_.size()) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+std::uint64_t AuditLog::head_hash() const {
+  return entries_.empty() ? kFnvOffset : entries_.back().chain_hash;
+}
+
+}  // namespace carol::faults

@@ -1,0 +1,58 @@
+// Signed-log audit chain (paper §IV-G, after Haeberlen et al., "The case
+// for byzantine fault detection"): brokers append signed entries for
+// every management action; peers periodically verify the chain since the
+// previous audit. A broker whose chain fails verification is treated as
+// compromised even if it still answers pings — this is what lets the
+// detector catch byzantine (not just fail-stop) brokers.
+//
+// The "signature" here is a keyed FNV-1a chain hash: enough to detect
+// tampering/equivocation in the simulation, with the same append/verify
+// interface a real HMAC chain would have.
+#ifndef CAROL_FAULTS_AUDIT_H_
+#define CAROL_FAULTS_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace carol::faults {
+
+struct AuditEntry {
+  std::uint64_t sequence = 0;
+  double timestamp_s = 0.0;
+  std::string action;       // e.g. "schedule task 42 -> node 3"
+  std::uint64_t chain_hash = 0;  // hash over (prev_hash, fields)
+};
+
+class AuditLog {
+ public:
+  // `key` models the broker's signing key.
+  explicit AuditLog(std::uint64_t key) : key_(key) {}
+
+  // Appends a signed entry and returns its sequence number.
+  std::uint64_t Append(double timestamp_s, const std::string& action);
+
+  // Verifies the chain from `from_sequence` (inclusive) to the end using
+  // `key`; returns false on any gap, reordering or tampered entry.
+  bool Verify(std::uint64_t key, std::uint64_t from_sequence = 0) const;
+
+  // Tampering hooks for tests / fault injection: mutate or drop an entry.
+  void TamperAction(std::size_t index, const std::string& new_action);
+  void DropEntry(std::size_t index);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+  std::uint64_t head_hash() const;
+
+ private:
+  std::uint64_t HashEntry(std::uint64_t prev, std::uint64_t sequence,
+                          double timestamp_s,
+                          const std::string& action) const;
+
+  std::uint64_t key_;
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace carol::faults
+
+#endif  // CAROL_FAULTS_AUDIT_H_

@@ -1,0 +1,27 @@
+#include "faults/detector.h"
+
+namespace carol::faults {
+
+DetectionReport FailureDetector::Detect(
+    const sim::Federation& federation) const {
+  DetectionReport report;
+  const double now = federation.now_s();
+  const double latency = config_.detection_latency_s();
+  for (sim::NodeId n = 0; n < federation.num_nodes(); ++n) {
+    const auto& h = federation.host(n);
+    if (!h.FailedAt(now)) continue;
+    if (now - h.fail_from_s < latency) {
+      report.undetected.push_back(n);
+      continue;
+    }
+    ++total_detections_;
+    if (federation.topology().is_broker(n)) {
+      report.failed_brokers.push_back(n);
+    } else {
+      report.failed_workers.push_back(n);
+    }
+  }
+  return report;
+}
+
+}  // namespace carol::faults

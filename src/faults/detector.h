@@ -1,0 +1,48 @@
+// Broker failure detection (paper §IV-G): brokers ping each other every
+// 30 s (five ICMP packets, 10 s timeout) and run signed-log audits; a
+// broker reported unresponsive by all peers is considered compromised.
+//
+// In the interval-driven simulation this reduces to a detection latency:
+// a failure is only *visible* at an interval boundary if it began at least
+// `detection_latency_s` before it — failures in the last seconds of an
+// interval surface one interval later, exactly like a missed ping round.
+#ifndef CAROL_FAULTS_DETECTOR_H_
+#define CAROL_FAULTS_DETECTOR_H_
+
+#include <vector>
+
+#include "sim/federation.h"
+
+namespace carol::faults {
+
+struct DetectorConfig {
+  double ping_period_s = 30.0;
+  double ping_timeout_s = 10.0;
+
+  double detection_latency_s() const { return ping_period_s + ping_timeout_s; }
+};
+
+struct DetectionReport {
+  std::vector<sim::NodeId> failed_brokers;
+  std::vector<sim::NodeId> failed_workers;
+  // Failures present but too recent to have been confirmed yet.
+  std::vector<sim::NodeId> undetected;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(DetectorConfig config = {}) : config_(config) {}
+
+  // Detection as of the federation's current time (interval boundary).
+  DetectionReport Detect(const sim::Federation& federation) const;
+
+  int total_detections() const { return total_detections_; }
+
+ private:
+  DetectorConfig config_;
+  mutable int total_detections_ = 0;
+};
+
+}  // namespace carol::faults
+
+#endif  // CAROL_FAULTS_DETECTOR_H_

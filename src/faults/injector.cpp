@@ -1,0 +1,140 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace carol::faults {
+
+std::string ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kCpuOverload:
+      return "cpu-overload";
+    case FaultType::kRamContention:
+      return "ram-contention";
+    case FaultType::kDiskAttack:
+      return "disk-attack";
+    case FaultType::kDdos:
+      return "ddos";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultInjectorConfig config, common::Rng rng)
+    : config_(config), rng_(rng) {}
+
+sim::NodeId FaultInjector::PickTarget(const sim::Federation& federation) {
+  const auto& topo = federation.topology();
+  const bool aim_broker = rng_.Bernoulli(config_.broker_target_prob);
+  std::vector<sim::NodeId> pool;
+  for (sim::NodeId n : aim_broker ? topo.brokers() : topo.workers()) {
+    if (federation.IsAliveNow(n)) pool.push_back(n);
+  }
+  if (pool.empty()) {
+    // Fall back to any alive node.
+    for (sim::NodeId n = 0; n < federation.num_nodes(); ++n) {
+      if (federation.IsAliveNow(n)) pool.push_back(n);
+    }
+  }
+  if (pool.empty()) return sim::kNoNode;
+  return pool[rng_.Choice(pool.size())];
+}
+
+void FaultInjector::ApplyContention(sim::Federation& federation,
+                                    const FaultEvent& e) {
+  const auto& spec = federation.host(e.target).spec;
+  double cpu = 0.0, ram = 0.0, disk = 0.0, net = 0.0;
+  switch (e.type) {
+    case FaultType::kCpuOverload:
+      cpu = e.magnitude * 0.9 * spec.cpu_capacity_mips;
+      break;
+    case FaultType::kRamContention:
+      ram = e.magnitude * 0.7 * spec.ram_mb;
+      cpu = 0.15 * spec.cpu_capacity_mips;  // the hog process itself
+      break;
+    case FaultType::kDiskAttack:
+      disk = e.magnitude * 1.3 * spec.disk_bw_mbps;
+      cpu = 0.1 * spec.cpu_capacity_mips;
+      break;
+    case FaultType::kDdos:
+      net = e.magnitude * 1.5 * spec.net_bw_mbps;
+      cpu = 0.2 * spec.cpu_capacity_mips;  // connection handling
+      break;
+  }
+  federation.SetFaultLoad(e.target, cpu, ram, disk, net);
+  active_loads_.push_back(
+      {e.target, e.escalates ? e.hang_at_s : e.onset_s + e.duration_s});
+}
+
+std::vector<FaultEvent> FaultInjector::Step(sim::Federation& federation) {
+  const double t0 = federation.now_s();
+  const double dt = federation.config().interval_seconds;
+
+  // Lapse expired contention windows.
+  for (auto it = active_loads_.begin(); it != active_loads_.end();) {
+    if (it->until_s <= t0) {
+      federation.ClearFaultLoad(it->node);
+      it = active_loads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::vector<FaultEvent> events;
+
+  // Injected attacks: Poisson(lambda_f), uniform type.
+  const int attacks = rng_.Poisson(config_.lambda_per_interval);
+  for (int a = 0; a < attacks; ++a) {
+    FaultEvent e;
+    e.interval = federation.interval_index();
+    e.type = static_cast<FaultType>(rng_.UniformInt(0, 3));
+    e.target = PickTarget(federation);
+    if (e.target == sim::kNoNode) continue;
+    e.onset_s = t0 + rng_.Uniform(0.0, dt * 0.8);
+    e.magnitude = rng_.Uniform(0.6, 1.4);
+    e.duration_s = config_.attack_duration_s;
+    e.escalates = rng_.Bernoulli(config_.escalation_prob);
+    if (e.escalates) {
+      e.hang_at_s = e.onset_s + rng_.Uniform(config_.min_hang_delay_s,
+                                             config_.max_hang_delay_s);
+      e.recover_at_s =
+          e.hang_at_s +
+          rng_.Uniform(config_.reboot_min_s, config_.reboot_max_s);
+      federation.SetFailed(e.target, e.hang_at_s, e.recover_at_s);
+      ++failures_;
+    }
+    ApplyContention(federation, e);
+    common::LogInfo() << "fault: " << ToString(e.type) << " on node "
+                      << e.target << " at t=" << e.onset_s
+                      << (e.escalates ? " (escalates)" : "");
+    events.push_back(e);
+    history_.push_back(e);
+  }
+
+  // Organic overload failures from last interval's measured CPU ratios.
+  const auto& snap = federation.last_snapshot();
+  for (std::size_t i = 0; i < snap.hosts.size(); ++i) {
+    const auto node = static_cast<sim::NodeId>(i);
+    if (!federation.IsAliveNow(node)) continue;
+    if (snap.hosts[i].cpu_util <= config_.overload_fail_threshold) continue;
+    if (!rng_.Bernoulli(config_.overload_fail_prob)) continue;
+    FaultEvent e;
+    e.interval = federation.interval_index();
+    e.type = FaultType::kCpuOverload;
+    e.target = node;
+    e.onset_s = t0 + rng_.Uniform(0.0, dt * 0.5);
+    e.magnitude = snap.hosts[i].cpu_util;
+    e.escalates = true;
+    e.hang_at_s = e.onset_s;
+    e.recover_at_s = e.hang_at_s + rng_.Uniform(config_.reboot_min_s,
+                                                config_.reboot_max_s);
+    federation.SetFailed(e.target, e.hang_at_s, e.recover_at_s);
+    ++failures_;
+    common::LogInfo() << "organic overload failure on node " << node;
+    events.push_back(e);
+    history_.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace carol::faults

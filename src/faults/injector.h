@@ -1,0 +1,90 @@
+// Fault injection module (paper §IV-F, after Ye et al.): creates CPU
+// overload, RAM contention, disk attack and DDOS attack events that
+// manifest as resource over-utilization and escalate to byzantine
+// (unresponsive) node failures — primarily of broker nodes, the paper's
+// focus. Attack events arrive as a Poisson process with rate
+// lambda_f = 0.5 per interval, types sampled uniformly at random.
+//
+// In addition to injected attacks, sustained organic CPU overload can
+// also hang a node: this closes the QoS feedback loop (bad topology ->
+// contention -> more failures) that resilience models are evaluated on.
+#ifndef CAROL_FAULTS_INJECTOR_H_
+#define CAROL_FAULTS_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/federation.h"
+
+namespace carol::faults {
+
+enum class FaultType { kCpuOverload, kRamContention, kDiskAttack, kDdos };
+
+std::string ToString(FaultType type);
+
+struct FaultEvent {
+  int interval = 0;
+  double onset_s = 0.0;
+  FaultType type = FaultType::kCpuOverload;
+  sim::NodeId target = sim::kNoNode;
+  double magnitude = 1.0;     // contention scale relative to capacity
+  double duration_s = 0.0;    // contention window if no failure
+  bool escalates = false;     // becomes a byzantine failure
+  double hang_at_s = 0.0;     // failure window start (if escalates)
+  double recover_at_s = 0.0;  // failure window end
+};
+
+struct FaultInjectorConfig {
+  // Poisson rate of attack events per scheduling interval (paper: 0.5).
+  double lambda_per_interval = 0.5;
+  // Attacks are aimed at brokers with this probability (the paper injects
+  // faults "to cause the byzantine failure of broker nodes").
+  double broker_target_prob = 0.8;
+  // Probability an attack escalates from contention to a hang.
+  double escalation_prob = 0.85;
+  // Delay from attack onset to the node hanging.
+  double min_hang_delay_s = 10.0;
+  double max_hang_delay_s = 90.0;
+  // Reboot takes 1-5 minutes (paper §IV-I).
+  double reboot_min_s = 60.0;
+  double reboot_max_s = 300.0;
+  // Contention-only attack duration.
+  double attack_duration_s = 240.0;
+  // Organic failures: a host whose measured cpu ratio exceeded this for
+  // the last interval hangs with the given probability.
+  double overload_fail_threshold = 1.35;
+  double overload_fail_prob = 0.12;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultInjectorConfig config, common::Rng rng);
+
+  // Call once per interval after Federation::BeginInterval and before
+  // RunInterval: injects this interval's attacks and organic failures.
+  // Returns the events created this step.
+  std::vector<FaultEvent> Step(sim::Federation& federation);
+
+  const std::vector<FaultEvent>& history() const { return history_; }
+  int total_failures_caused() const { return failures_; }
+
+ private:
+  void ApplyContention(sim::Federation& federation, const FaultEvent& e);
+  sim::NodeId PickTarget(const sim::Federation& federation);
+
+  FaultInjectorConfig config_;
+  common::Rng rng_;
+  std::vector<FaultEvent> history_;
+  // Active contention windows to clear when they lapse.
+  struct ActiveLoad {
+    sim::NodeId node;
+    double until_s;
+  };
+  std::vector<ActiveLoad> active_loads_;
+  int failures_ = 0;
+};
+
+}  // namespace carol::faults
+
+#endif  // CAROL_FAULTS_INJECTOR_H_

@@ -1,0 +1,37 @@
+#include "faults/recovery.h"
+
+#include <limits>
+
+namespace carol::faults {
+
+sim::Topology RecoveryManager::ApplyRecoveries(
+    const sim::Topology& topology,
+    const std::vector<sim::NodeId>& recovered,
+    const sim::Federation& federation) const {
+  sim::Topology result = topology;
+  for (sim::NodeId node : recovered) {
+    // Closest alive broker other than the node itself.
+    sim::NodeId closest = sim::kNoNode;
+    double best = std::numeric_limits<double>::infinity();
+    for (sim::NodeId b : result.brokers()) {
+      if (b == node || !federation.IsAliveNow(b)) continue;
+      const double lat = federation.network().LatencyBetween(node, b);
+      if (lat < best) {
+        best = lat;
+        closest = b;
+      }
+    }
+    if (closest == sim::kNoNode) continue;  // sole broker: keep role
+    if (result.is_broker(node)) {
+      result.Demote(node, closest);
+    } else if (result.broker_of(node) != closest &&
+               !federation.IsAliveNow(result.broker_of(node))) {
+      // Its old broker is dead: move to the live one.
+      result.Assign(node, closest);
+    }
+    ++rejoins_;
+  }
+  return result;
+}
+
+}  // namespace carol::faults

@@ -1,0 +1,33 @@
+// Broker recovery (paper §IV-I): once a failed node reboots it rejoins
+// the federation as a worker of the closest active broker (by network
+// latency), applied during topology initialization at the start of each
+// interval (Algorithm 2, line 4).
+#ifndef CAROL_FAULTS_RECOVERY_H_
+#define CAROL_FAULTS_RECOVERY_H_
+
+#include <vector>
+
+#include "sim/federation.h"
+#include "sim/topology.h"
+
+namespace carol::faults {
+
+class RecoveryManager {
+ public:
+  // Returns `topology` with every node in `recovered` rejoined as a worker
+  // of the closest alive broker. A recovered node that is still marked
+  // broker in the topology is demoted (its workers move with it); if it is
+  // the only broker it stays. Nodes already consistent are left untouched.
+  sim::Topology ApplyRecoveries(const sim::Topology& topology,
+                                const std::vector<sim::NodeId>& recovered,
+                                const sim::Federation& federation) const;
+
+  int total_rejoins() const { return rejoins_; }
+
+ private:
+  mutable int rejoins_ = 0;
+};
+
+}  // namespace carol::faults
+
+#endif  // CAROL_FAULTS_RECOVERY_H_

@@ -1,0 +1,61 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace carol::harness {
+
+namespace {
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary s;
+  s.mean = common::Mean(values);
+  s.stddev = common::Stddev(values);
+  return s;
+}
+}  // namespace
+
+ExperimentResult RunExperiment(
+    const std::function<std::unique_ptr<core::ResilienceModel>()>&
+        make_model,
+    RunConfig config, int seeds) {
+  ExperimentResult result;
+  result.seeds = seeds;
+  std::vector<double> energy, response, slo, decision, memory, finetune;
+  for (int s = 0; s < seeds; ++s) {
+    RunConfig cfg = config;
+    cfg.seed = config.seed + static_cast<unsigned>(s) * 1000 + 1;
+    auto model = make_model();
+    FederationRuntime runtime(cfg);
+    RunResult run = runtime.Run(*model);
+    result.model_name = run.model_name;
+    energy.push_back(run.total_energy_kwh);
+    response.push_back(run.avg_response_s);
+    slo.push_back(run.slo_violation_rate);
+    decision.push_back(run.avg_decision_time_s);
+    memory.push_back(run.memory_percent);
+    finetune.push_back(run.total_finetune_s);
+    result.runs.push_back(std::move(run));
+  }
+  result.energy_kwh = Summarize(energy);
+  result.response_s = Summarize(response);
+  result.slo_rate = Summarize(slo);
+  result.decision_s = Summarize(decision);
+  result.memory_percent = Summarize(memory);
+  result.finetune_s = Summarize(finetune);
+  return result;
+}
+
+std::string FormatExperimentRow(const ExperimentResult& r) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-18s %8.4f±%-7.4f %7.1f±%-6.1f %6.4f±%-6.4f "
+                "%8.4f±%-7.4f %9.2f±%-7.2f",
+                r.model_name.c_str(), r.energy_kwh.mean,
+                r.energy_kwh.stddev, r.response_s.mean, r.response_s.stddev,
+                r.slo_rate.mean, r.slo_rate.stddev, r.decision_s.mean,
+                r.decision_s.stddev, r.finetune_s.mean, r.finetune_s.stddev);
+  return buffer;
+}
+
+}  // namespace carol::harness

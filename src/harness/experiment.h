@@ -1,0 +1,49 @@
+// Multi-seed experiment aggregation: the paper averages five runs with
+// diverse workloads (§V-A); this helper runs a model factory across
+// seeds and reports mean +/- sample standard deviation for each of the
+// six Fig. 5 metrics.
+#ifndef CAROL_HARNESS_EXPERIMENT_H_
+#define CAROL_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resilience.h"
+#include "harness/runtime.h"
+
+namespace carol::harness {
+
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+struct ExperimentResult {
+  std::string model_name;
+  int seeds = 0;
+  MetricSummary energy_kwh;
+  MetricSummary response_s;
+  MetricSummary slo_rate;
+  MetricSummary decision_s;
+  MetricSummary memory_percent;
+  MetricSummary finetune_s;
+  std::vector<RunResult> runs;
+};
+
+// Builds a fresh model per seed (so no state leaks between repetitions),
+// runs it, and aggregates. `make_model` may capture pretrained weights
+// and load them into each instance.
+ExperimentResult RunExperiment(
+    const std::function<std::unique_ptr<core::ResilienceModel>()>&
+        make_model,
+    RunConfig config, int seeds);
+
+// Formats one result as a fixed-width report line (used by benches and
+// examples).
+std::string FormatExperimentRow(const ExperimentResult& result);
+
+}  // namespace carol::harness
+
+#endif  // CAROL_HARNESS_EXPERIMENT_H_

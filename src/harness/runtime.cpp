@@ -1,0 +1,240 @@
+#include "harness/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "workload/profiles.h"
+
+namespace carol::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<workload::AppProfile> ProfilesFor(const RunConfig& cfg) {
+  return cfg.use_aiot ? workload::AIoTBenchProfiles()
+                      : workload::DeFogProfiles();
+}
+
+// Fallback repair when a model returns an invalid topology or leaves a
+// failed broker managing alive workers: promote the least-utilized alive
+// orphan (the DYVERSE default), or hand the LEI to another alive broker.
+sim::Topology DefaultRepair(const sim::Topology& topo,
+                            const std::vector<sim::NodeId>& failed_brokers,
+                            const sim::Federation& fed) {
+  sim::Topology fixed = topo;
+  for (sim::NodeId b : failed_brokers) {
+    if (!fixed.is_broker(b)) continue;
+    const auto orphans = fixed.workers_of(b);
+    sim::NodeId promote = sim::kNoNode;
+    double best_util = std::numeric_limits<double>::infinity();
+    for (sim::NodeId w : orphans) {
+      if (!fed.IsAliveNow(w)) continue;
+      const double util = fed.host(w).metrics.cpu_util;
+      if (util < best_util) {
+        best_util = util;
+        promote = w;
+      }
+    }
+    if (promote != sim::kNoNode) {
+      fixed.Promote(promote);
+      fixed.Demote(b, promote);
+      continue;
+    }
+    // No alive orphan: merge into any other alive broker.
+    for (sim::NodeId other : fixed.brokers()) {
+      if (other != b && fed.IsAliveNow(other)) {
+        fixed.Demote(b, other);
+        break;
+      }
+    }
+  }
+  return fixed;
+}
+
+}  // namespace
+
+std::vector<double> RunResult::PerAppP90(std::size_t num_apps) const {
+  std::vector<std::vector<double>> per_app(num_apps);
+  for (std::size_t i = 0; i < all_responses.size(); ++i) {
+    const auto app = static_cast<std::size_t>(all_response_apps[i]);
+    if (app < num_apps) per_app[app].push_back(all_responses[i]);
+  }
+  std::vector<double> p90(num_apps, 0.0);
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    p90[a] = common::Percentile(per_app[a], 90.0);
+  }
+  return p90;
+}
+
+RunResult FederationRuntime::Run(core::ResilienceModel& model) {
+  common::Rng master(config_.seed);
+  auto specs = sim::DefaultTestbedSpecs();
+  specs.resize(static_cast<std::size_t>(config_.num_nodes),
+               sim::RaspberryPi4B4GB());
+  sim::Federation fed(specs,
+                      sim::Topology::Initial(config_.num_nodes,
+                                             config_.num_brokers),
+                      config_.sim, master.Fork());
+
+  auto profiles = ProfilesFor(config_);
+  workload::WorkloadGenerator workload(profiles, config_.workload,
+                                       master.Fork());
+  if (!config_.deadline_overrides.empty()) {
+    workload.OverrideDeadlines(config_.deadline_overrides);
+  }
+  faults::FaultInjector injector(config_.faults, master.Fork());
+  faults::FailureDetector detector;
+  faults::RecoveryManager recovery;
+  sim::LeastUtilizationScheduler scheduler;
+
+  RunResult result;
+  result.model_name = model.name();
+  double decision_time_total = 0.0;
+
+  for (int interval = 0; interval < config_.intervals; ++interval) {
+    const sim::StepInfo step = fed.BeginInterval();
+
+    // Recovered nodes rejoin as workers of the closest broker (§IV-I).
+    if (!step.recovered.empty()) {
+      fed.SetTopology(
+          recovery.ApplyRecoveries(fed.topology(), step.recovered, fed));
+    }
+
+    // Failure detection, then the model's repair (decision time metric).
+    const faults::DetectionReport report = detector.Detect(fed);
+    result.broker_failures_detected +=
+        static_cast<int>(report.failed_brokers.size());
+    const auto repair_start = Clock::now();
+    sim::Topology repaired = model.Repair(
+        fed.topology(), report.failed_brokers, fed.last_snapshot());
+    decision_time_total += SecondsSince(repair_start);
+    const bool valid =
+        repaired.num_nodes() == fed.num_nodes() && repaired.IsValid();
+    if (!valid) {
+      common::LogWarn() << model.name()
+                        << ": invalid repair topology, using default";
+      repaired =
+          DefaultRepair(fed.topology(), report.failed_brokers, fed);
+    }
+    fed.SetTopology(repaired);
+
+    // This interval's fault events (may fail nodes mid-interval).
+    injector.Step(fed);
+
+    // Workload arrival, routing and the underlying scheduler's decision.
+    fed.Submit(workload.Generate(interval, fed.now_s()));
+    fed.RouteQueuedTasks();
+    const sim::SchedulingDecision decision = scheduler.Schedule(fed);
+
+    const sim::IntervalResult r = fed.RunInterval(decision);
+
+    // Model observation / fine-tuning (overhead metric).
+    const auto observe_start = Clock::now();
+    model.Observe(r.snapshot);
+    result.total_finetune_s += SecondsSince(observe_start);
+
+    // Metric accumulation.
+    result.completed += r.completed;
+    result.violated += r.violated;
+    result.interval_energy_kwh.push_back(r.energy_kwh);
+    result.interval_avg_response_s.push_back(r.snapshot.avg_response_s);
+    result.interval_slo_rate.push_back(r.snapshot.slo_rate);
+    result.all_responses.insert(result.all_responses.end(),
+                                r.response_times.begin(),
+                                r.response_times.end());
+    result.all_response_apps.insert(result.all_response_apps.end(),
+                                    r.response_app_types.begin(),
+                                    r.response_app_types.end());
+  }
+
+  result.total_tasks = workload.total_generated();
+  result.failures_injected = injector.total_failures_caused();
+  result.total_energy_kwh = fed.total_energy_kwh();
+  result.avg_response_s = common::Mean(result.all_responses);
+  result.slo_violation_rate =
+      result.completed > 0
+          ? static_cast<double>(result.violated) / result.completed
+          : 0.0;
+  result.avg_decision_time_s =
+      decision_time_total / std::max(1, config_.intervals);
+  result.memory_mb = model.MemoryFootprintMb();
+  result.memory_percent =
+      100.0 * result.memory_mb / config_.memory_reference_mb;
+  return result;
+}
+
+workload::Trace CollectTrainingTrace(const RunConfig& config,
+                                     int shuffle_every) {
+  common::Rng master(config.seed);
+  auto specs = sim::DefaultTestbedSpecs();
+  specs.resize(static_cast<std::size_t>(config.num_nodes),
+               sim::RaspberryPi4B4GB());
+  sim::Federation fed(specs,
+                      sim::Topology::Initial(config.num_nodes,
+                                             config.num_brokers),
+                      config.sim, master.Fork());
+  workload::WorkloadGenerator workload(workload::DeFogProfiles(),
+                                       config.workload, master.Fork());
+  sim::LeastUtilizationScheduler scheduler;
+  common::Rng topo_rng = master.Fork();
+
+  workload::Trace trace;
+  for (int interval = 0; interval < config.intervals; ++interval) {
+    fed.BeginInterval();
+    // Periodic topology change (paper: every ten intervals, 100 distinct
+    // topologies over the 1000-interval trace).
+    if (shuffle_every > 0 && interval % shuffle_every == 0 &&
+        interval > 0) {
+      const int brokers = topo_rng.UniformInt(
+          2, std::max(2, config.num_nodes / 3));
+      std::vector<sim::NodeId> broker_ids;
+      const auto perm =
+          topo_rng.Permutation(static_cast<std::size_t>(config.num_nodes));
+      for (int b = 0; b < brokers; ++b) {
+        broker_ids.push_back(static_cast<sim::NodeId>(perm[b]));
+      }
+      std::vector<sim::NodeId> assignment(
+          static_cast<std::size_t>(config.num_nodes));
+      for (sim::NodeId n = 0; n < config.num_nodes; ++n) {
+        const bool is_broker = std::find(broker_ids.begin(),
+                                         broker_ids.end(),
+                                         n) != broker_ids.end();
+        assignment[static_cast<std::size_t>(n)] =
+            is_broker ? n : broker_ids[topo_rng.Choice(broker_ids.size())];
+      }
+      fed.SetTopology(sim::Topology::FromAssignment(assignment));
+    }
+    fed.Submit(workload.Generate(interval, fed.now_s()));
+    fed.RouteQueuedTasks();
+    const sim::IntervalResult r =
+        fed.RunInterval(scheduler.Schedule(fed));
+    trace.push_back(workload::MakeTraceRecord(r.snapshot));
+  }
+  return trace;
+}
+
+std::vector<double> CalibrateRelativeSlo(core::ResilienceModel& reference,
+                                         const RunConfig& config) {
+  RunConfig calib = config;
+  calib.deadline_overrides.clear();
+  FederationRuntime runtime(calib);
+  const RunResult result = runtime.Run(reference);
+  const std::size_t num_apps = ProfilesFor(config).size();
+  std::vector<double> deadlines = result.PerAppP90(num_apps);
+  // Apps with no completions keep their default profile deadline.
+  const auto profiles = ProfilesFor(config);
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    if (deadlines[a] <= 0.0) deadlines[a] = profiles[a].deadline_s;
+  }
+  return deadlines;
+}
+
+}  // namespace carol::harness

@@ -1,0 +1,369 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace carol::nn {
+
+const Matrix& Value::val() const {
+  if (tape_ == nullptr) throw std::logic_error("Value: invalid handle");
+  return tape_->node(idx_).value;
+}
+
+const Matrix& Value::grad() const {
+  if (tape_ == nullptr) throw std::logic_error("Value: invalid handle");
+  return tape_->node(idx_).grad;
+}
+
+double Value::scalar() const {
+  const Matrix& m = val();
+  if (m.rows() != 1 || m.cols() != 1) {
+    throw std::logic_error("Value::scalar: not a 1x1 value");
+  }
+  return m(0, 0);
+}
+
+Value Tape::Emit(Matrix value, std::vector<std::size_t> parents,
+                 std::function<void(Tape&, std::size_t)> backward) {
+  Node n;
+  bool needs_grad = false;
+  for (std::size_t p : parents) {
+    needs_grad = needs_grad || nodes_[p].requires_grad;
+  }
+  n.requires_grad = needs_grad;
+  n.grad = Matrix::Zeros(value.rows(), value.cols());
+  n.value = std::move(value);
+  n.parents = std::move(parents);
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Value(this, nodes_.size() - 1);
+}
+
+Value Tape::Leaf(Matrix m, bool requires_grad) {
+  Node n;
+  n.grad = Matrix::Zeros(m.rows(), m.cols());
+  n.value = std::move(m);
+  n.requires_grad = requires_grad;
+  nodes_.push_back(std::move(n));
+  return Value(this, nodes_.size() - 1);
+}
+
+Value Tape::Add(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  return Emit(node(ia).value + node(ib).value, {ia, ib},
+              [ia, ib](Tape& t, std::size_t self) {
+                t.node(ia).grad += t.node(self).grad;
+                t.node(ib).grad += t.node(self).grad;
+              });
+}
+
+Value Tape::AddRowBroadcast(Value a, Value row) {
+  const std::size_t ia = a.idx_, ir = row.idx_;
+  const Matrix& av = node(ia).value;
+  const Matrix& rv = node(ir).value;
+  if (rv.rows() != 1 || rv.cols() != av.cols()) {
+    throw std::invalid_argument("AddRowBroadcast: row must be 1 x cols(a)");
+  }
+  Matrix out = av;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += rv(0, c);
+  }
+  return Emit(std::move(out), {ia, ir},
+              [ia, ir](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                t.node(ia).grad += g;
+                Matrix& rg = t.node(ir).grad;
+                for (std::size_t r = 0; r < g.rows(); ++r) {
+                  for (std::size_t c = 0; c < g.cols(); ++c) {
+                    rg(0, c) += g(r, c);
+                  }
+                }
+              });
+}
+
+Value Tape::Sub(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  return Emit(node(ia).value - node(ib).value, {ia, ib},
+              [ia, ib](Tape& t, std::size_t self) {
+                t.node(ia).grad += t.node(self).grad;
+                t.node(ib).grad -= t.node(self).grad;
+              });
+}
+
+Value Tape::Mul(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  return Emit(node(ia).value.Hadamard(node(ib).value), {ia, ib},
+              [ia, ib](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                t.node(ia).grad += g.Hadamard(t.node(ib).value);
+                t.node(ib).grad += g.Hadamard(t.node(ia).value);
+              });
+}
+
+Value Tape::MatMul(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  return Emit(node(ia).value.MatMul(node(ib).value), {ia, ib},
+              [ia, ib](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                t.node(ia).grad += g.MatMul(t.node(ib).value.Transposed());
+                t.node(ib).grad += t.node(ia).value.Transposed().MatMul(g);
+              });
+}
+
+Value Tape::Transpose(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Transposed(), {ia},
+              [ia](Tape& t, std::size_t self) {
+                t.node(ia).grad += t.node(self).grad.Transposed();
+              });
+}
+
+Value Tape::Scale(Value a, double s) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value * s, {ia},
+              [ia, s](Tape& t, std::size_t self) {
+                t.node(ia).grad += t.node(self).grad * s;
+              });
+}
+
+Value Tape::AddScalar(Value a, double s) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Map([s](double v) { return v + s; }), {ia},
+              [ia](Tape& t, std::size_t self) {
+                t.node(ia).grad += t.node(self).grad;
+              });
+}
+
+Value Tape::Neg(Value a) { return Scale(a, -1.0); }
+
+Value Tape::Relu(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(
+      node(ia).value.Map([](double v) { return v > 0.0 ? v : 0.0; }), {ia},
+      [ia](Tape& t, std::size_t self) {
+        const Matrix& g = t.node(self).grad;
+        const Matrix& x = t.node(ia).value;
+        Matrix& pg = t.node(ia).grad;
+        for (std::size_t i = 0; i < g.rows(); ++i) {
+          for (std::size_t j = 0; j < g.cols(); ++j) {
+            if (x(i, j) > 0.0) pg(i, j) += g(i, j);
+          }
+        }
+      });
+}
+
+Value Tape::Tanh(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Map([](double v) { return std::tanh(v); }),
+              {ia}, [ia](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                const Matrix& y = t.node(self).value;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t i = 0; i < g.rows(); ++i) {
+                  for (std::size_t j = 0; j < g.cols(); ++j) {
+                    pg(i, j) += g(i, j) * (1.0 - y(i, j) * y(i, j));
+                  }
+                }
+              });
+}
+
+Value Tape::Sigmoid(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Map([](double v) {
+                // Branch on the sign for numerical stability.
+                if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
+                const double e = std::exp(v);
+                return e / (1.0 + e);
+              }),
+              {ia}, [ia](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                const Matrix& y = t.node(self).value;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t i = 0; i < g.rows(); ++i) {
+                  for (std::size_t j = 0; j < g.cols(); ++j) {
+                    pg(i, j) += g(i, j) * y(i, j) * (1.0 - y(i, j));
+                  }
+                }
+              });
+}
+
+Value Tape::Exp(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Map([](double v) { return std::exp(v); }), {ia},
+              [ia](Tape& t, std::size_t self) {
+                t.node(ia).grad +=
+                    t.node(self).grad.Hadamard(t.node(self).value);
+              });
+}
+
+Value Tape::Log(Value a) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.Map([](double v) {
+                return std::log(std::max(v, kLogEps));
+              }),
+              {ia}, [ia](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                const Matrix& x = t.node(ia).value;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t i = 0; i < g.rows(); ++i) {
+                  for (std::size_t j = 0; j < g.cols(); ++j) {
+                    pg(i, j) += g(i, j) / std::max(x(i, j), kLogEps);
+                  }
+                }
+              });
+}
+
+Value Tape::ConcatCols(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  const std::size_t ca = node(ia).value.cols();
+  return Emit(node(ia).value.ConcatCols(node(ib).value), {ia, ib},
+              [ia, ib, ca](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                t.node(ia).grad += g.SliceCols(0, ca);
+                t.node(ib).grad += g.SliceCols(ca, g.cols());
+              });
+}
+
+Value Tape::ConcatRows(Value a, Value b) {
+  const std::size_t ia = a.idx_, ib = b.idx_;
+  const std::size_t ra = node(ia).value.rows();
+  return Emit(node(ia).value.ConcatRows(node(ib).value), {ia, ib},
+              [ia, ib, ra](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                t.node(ia).grad += g.SliceRows(0, ra);
+                t.node(ib).grad += g.SliceRows(ra, g.rows());
+              });
+}
+
+Value Tape::SliceCols(Value a, std::size_t c0, std::size_t c1) {
+  const std::size_t ia = a.idx_;
+  return Emit(node(ia).value.SliceCols(c0, c1), {ia},
+              [ia, c0](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t r = 0; r < g.rows(); ++r) {
+                  for (std::size_t c = 0; c < g.cols(); ++c) {
+                    pg(r, c0 + c) += g(r, c);
+                  }
+                }
+              });
+}
+
+Value Tape::SumAll(Value a) {
+  const std::size_t ia = a.idx_;
+  Matrix out(1, 1);
+  out(0, 0) = node(ia).value.Sum();
+  return Emit(std::move(out), {ia}, [ia](Tape& t, std::size_t self) {
+    const double g = t.node(self).grad(0, 0);
+    Matrix& pg = t.node(ia).grad;
+    for (double& v : pg.flat()) v += g;
+  });
+}
+
+Value Tape::MeanAll(Value a) {
+  const std::size_t ia = a.idx_;
+  const double inv =
+      node(ia).value.size() == 0
+          ? 0.0
+          : 1.0 / static_cast<double>(node(ia).value.size());
+  Matrix out(1, 1);
+  out(0, 0) = node(ia).value.MeanValue();
+  return Emit(std::move(out), {ia}, [ia, inv](Tape& t, std::size_t self) {
+    const double g = t.node(self).grad(0, 0) * inv;
+    Matrix& pg = t.node(ia).grad;
+    for (double& v : pg.flat()) v += g;
+  });
+}
+
+Value Tape::RowMean(Value a) {
+  const std::size_t ia = a.idx_;
+  const std::size_t rows = node(ia).value.rows();
+  const double inv = rows == 0 ? 0.0 : 1.0 / static_cast<double>(rows);
+  return Emit(node(ia).value.RowMean(), {ia},
+              [ia, inv](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t r = 0; r < pg.rows(); ++r) {
+                  for (std::size_t c = 0; c < pg.cols(); ++c) {
+                    pg(r, c) += g(0, c) * inv;
+                  }
+                }
+              });
+}
+
+Value Tape::MaskedRowSoftmax(Value a, Matrix mask) {
+  const std::size_t ia = a.idx_;
+  const Matrix& x = node(ia).value;
+  if (mask.rows() != x.rows() || mask.cols() != x.cols()) {
+    throw std::invalid_argument("MaskedRowSoftmax: mask shape mismatch");
+  }
+  Matrix out(x.rows(), x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (mask(r, c) != 0.0) mx = std::max(mx, x(r, c));
+    }
+    if (!std::isfinite(mx)) continue;  // empty row mask -> zeros
+    double denom = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (mask(r, c) != 0.0) {
+        out(r, c) = std::exp(x(r, c) - mx);
+        denom += out(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (mask(r, c) != 0.0) out(r, c) /= denom;
+    }
+  }
+  return Emit(std::move(out), {ia},
+              [ia, mask = std::move(mask)](Tape& t, std::size_t self) {
+                const Matrix& g = t.node(self).grad;
+                const Matrix& y = t.node(self).value;
+                Matrix& pg = t.node(ia).grad;
+                for (std::size_t r = 0; r < y.rows(); ++r) {
+                  double dot = 0.0;
+                  for (std::size_t c = 0; c < y.cols(); ++c) {
+                    if (mask(r, c) != 0.0) dot += g(r, c) * y(r, c);
+                  }
+                  for (std::size_t c = 0; c < y.cols(); ++c) {
+                    if (mask(r, c) != 0.0) {
+                      pg(r, c) += y(r, c) * (g(r, c) - dot);
+                    }
+                  }
+                }
+              });
+}
+
+void Tape::Backward(Value output) {
+  if (output.tape_ != this) {
+    throw std::invalid_argument("Backward: value from another tape");
+  }
+  Node& out = node(output.idx_);
+  if (out.value.rows() != 1 || out.value.cols() != 1) {
+    throw std::invalid_argument("Backward: output must be 1x1");
+  }
+  // Mark the subgraph reachable from the output (iterative DFS).
+  std::vector<char> reachable(nodes_.size(), 0);
+  std::vector<std::size_t> stack = {output.idx_};
+  while (!stack.empty()) {
+    const std::size_t idx = stack.back();
+    stack.pop_back();
+    if (reachable[idx]) continue;
+    reachable[idx] = 1;
+    for (std::size_t p : nodes_[idx].parents) {
+      if (!reachable[p]) stack.push_back(p);
+    }
+  }
+  out.grad(0, 0) = 1.0;
+  for (std::size_t i = output.idx_ + 1; i-- > 0;) {
+    if (!reachable[i] || !nodes_[i].backward) continue;
+    if (!nodes_[i].requires_grad) continue;
+    nodes_[i].backward(*this, i);
+  }
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+}  // namespace carol::nn

@@ -1,0 +1,128 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// The paper's GON surrogate needs two kinds of exact gradients:
+//   * d(loss)/d(theta) for discriminator training (Algorithm 1), and
+//   * d(log D)/d(M) *with respect to the input* for the optimization-based
+//     generation step, Eq. (1):  M <- M + gamma * grad_M log D(M,S,G).
+// A tape-based autograd gives both from the same machinery.
+//
+// Usage: build a computation with Tape ops, call Backward on a 1x1 output,
+// then read gradients off any node handle. Nodes are appended in
+// topological order, so the backward pass is a reverse sweep over the
+// subgraph reachable from the seed.
+#ifndef CAROL_NN_AUTOGRAD_H_
+#define CAROL_NN_AUTOGRAD_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace carol::nn {
+
+class Tape;
+
+// Lightweight handle to a tape node. Valid only while its Tape is alive and
+// not cleared.
+class Value {
+ public:
+  Value() = default;
+
+  const Matrix& val() const;
+  const Matrix& grad() const;
+  std::size_t rows() const { return val().rows(); }
+  std::size_t cols() const { return val().cols(); }
+  // Convenience for 1x1 outputs.
+  double scalar() const;
+  bool valid() const { return tape_ != nullptr; }
+  std::size_t index() const { return idx_; }
+
+ private:
+  friend class Tape;
+  Value(Tape* tape, std::size_t idx) : tape_(tape), idx_(idx) {}
+  Tape* tape_ = nullptr;
+  std::size_t idx_ = 0;
+};
+
+// The computation tape. Not thread-safe; use one per training thread.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // Registers an input. Leaves with requires_grad=true accumulate
+  // gradients during Backward.
+  Value Leaf(Matrix m, bool requires_grad = false);
+
+  // --- arithmetic ---
+  Value Add(Value a, Value b);             // same shape
+  Value AddRowBroadcast(Value a, Value row);  // row is 1 x cols(a)
+  Value Sub(Value a, Value b);
+  Value Mul(Value a, Value b);             // Hadamard
+  Value MatMul(Value a, Value b);
+  Value Transpose(Value a);
+  Value Scale(Value a, double s);
+  Value AddScalar(Value a, double s);
+  Value Neg(Value a);
+
+  // --- elementwise nonlinearities ---
+  Value Relu(Value a);
+  Value Tanh(Value a);
+  Value Sigmoid(Value a);
+  Value Exp(Value a);
+  // Natural log with inputs clamped to [kLogEps, inf) for stability.
+  Value Log(Value a);
+
+  // --- structural ---
+  Value ConcatCols(Value a, Value b);
+  Value ConcatRows(Value a, Value b);
+  Value SliceCols(Value a, std::size_t c0, std::size_t c1);
+
+  // --- reductions ---
+  Value SumAll(Value a);   // 1x1
+  Value MeanAll(Value a);  // 1x1
+  Value RowMean(Value a);  // mean over rows -> 1 x cols
+
+  // Row-wise softmax restricted to positions where mask(r,c) == 1;
+  // masked-out positions produce exactly 0. Rows with an empty mask
+  // produce all zeros. Used by the graph-attention layer.
+  Value MaskedRowSoftmax(Value a, Matrix mask);
+
+  // Seeds d(output)/d(output) = 1 and sweeps the reachable subgraph.
+  // `output` must be 1x1; throws std::invalid_argument otherwise.
+  void Backward(Value output);
+
+  // Drops all nodes; outstanding Value handles become invalid.
+  void Clear();
+  std::size_t size() const { return nodes_.size(); }
+
+  // Minimum value the Log op clamps its inputs to.
+  static constexpr double kLogEps = 1e-12;
+
+ private:
+  friend class Value;
+
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    bool requires_grad = false;
+    // Parent node indices (always < own index).
+    std::vector<std::size_t> parents;
+    // Propagates this node's grad into the parents' grads.
+    std::function<void(Tape&, std::size_t)> backward;
+  };
+
+  Node& node(std::size_t idx) { return nodes_[idx]; }
+  const Node& node(std::size_t idx) const { return nodes_[idx]; }
+
+  Value Emit(Matrix value, std::vector<std::size_t> parents,
+             std::function<void(Tape&, std::size_t)> backward);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace carol::nn
+
+#endif  // CAROL_NN_AUTOGRAD_H_

@@ -1,0 +1,192 @@
+#include "nn/layers.h"
+
+#include <stdexcept>
+
+namespace carol::nn {
+
+std::size_t Module::ParameterCount() {
+  std::size_t total = 0;
+  for (Parameter* p : Parameters()) total += p->size();
+  return total;
+}
+
+double Module::ParameterMegabytes() {
+  return static_cast<double>(ParameterCount() * sizeof(double)) /
+         (1024.0 * 1024.0);
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->grad.Fill(0.0);
+}
+
+void Module::CollectGrads() {
+  for (auto& [param, leaf] : bindings_) {
+    param->grad += leaf.grad();
+  }
+  bindings_.clear();
+  for (Module* child : Children()) child->CollectGrads();
+}
+
+void Module::ClearBindings() {
+  bindings_.clear();
+  for (Module* child : Children()) child->ClearBindings();
+}
+
+Value Module::Bind(Tape& tape, Parameter& param) {
+  Value leaf = tape.Leaf(param.value, /*requires_grad=*/true);
+  bindings_.emplace_back(&param, leaf);
+  return leaf;
+}
+
+Value Activate(Tape& tape, Value x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return tape.Relu(x);
+    case Activation::kTanh:
+      return tape.Tanh(x);
+    case Activation::kSigmoid:
+      return tape.Sigmoid(x);
+  }
+  throw std::logic_error("Activate: unknown activation");
+}
+
+Dense::Dense(std::size_t in, std::size_t out, common::Rng& rng,
+             std::string name, Activation act)
+    : in_(in),
+      out_(out),
+      act_(act),
+      w_(name + ".w", Matrix::Xavier(in, out, rng)),
+      b_(name + ".b", Matrix::Zeros(1, out)) {}
+
+Value Dense::Forward(Tape& tape, Value x) {
+  if (x.cols() != in_) {
+    throw std::invalid_argument("Dense::Forward: input width " +
+                                std::to_string(x.cols()) + " != " +
+                                std::to_string(in_));
+  }
+  Value w = Bind(tape, w_);
+  Value b = Bind(tape, b_);
+  Value y = tape.AddRowBroadcast(tape.MatMul(x, w), b);
+  return Activate(tape, y, act_);
+}
+
+std::vector<Parameter*> Dense::Parameters() { return {&w_, &b_}; }
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, common::Rng& rng,
+         std::string name, Activation output_act, Activation hidden_act) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least {in, out} dims");
+  }
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], rng,
+                         name + ".l" + std::to_string(i),
+                         last ? output_act : hidden_act);
+  }
+}
+
+Value Mlp::Forward(Tape& tape, Value x) {
+  Value h = x;
+  for (auto& layer : layers_) h = layer.Forward(tape, h);
+  return h;
+}
+
+std::vector<Parameter*> Mlp::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Module*> Mlp::Children() {
+  std::vector<Module*> out;
+  out.reserve(layers_.size());
+  for (auto& layer : layers_) out.push_back(&layer);
+  return out;
+}
+
+GraphAttention::GraphAttention(std::size_t in, std::size_t out,
+                               common::Rng& rng, std::string name)
+    : in_(in),
+      out_(out),
+      w_(name + ".w", Matrix::Xavier(in, out, rng)),
+      b_(name + ".b", Matrix::Zeros(1, out)),
+      wq_(name + ".wq", Matrix::Xavier(out, out, rng)) {}
+
+Value GraphAttention::Forward(Tape& tape, Value u, const Matrix& adjacency) {
+  const std::size_t h = u.rows();
+  if (adjacency.rows() != h || adjacency.cols() != h) {
+    throw std::invalid_argument("GraphAttention: adjacency must be HxH");
+  }
+  if (u.cols() != in_) {
+    throw std::invalid_argument("GraphAttention: input width mismatch");
+  }
+  Matrix mask = adjacency;
+  for (std::size_t i = 0; i < h; ++i) mask(i, i) = 1.0;  // self-loops
+
+  Value w = Bind(tape, w_);
+  Value b = Bind(tape, b_);
+  Value wq = Bind(tape, wq_);
+
+  Value hidden = tape.Tanh(tape.AddRowBroadcast(tape.MatMul(u, w), b));
+  Value query = tape.MatMul(hidden, wq);
+  Value scores = tape.MatMul(query, tape.Transpose(hidden));
+  Value attn = tape.MaskedRowSoftmax(scores, std::move(mask));
+  return tape.Sigmoid(tape.MatMul(attn, hidden));
+}
+
+std::vector<Parameter*> GraphAttention::Parameters() {
+  return {&w_, &b_, &wq_};
+}
+
+LstmCell::LstmCell(std::size_t in, std::size_t hidden, common::Rng& rng,
+                   std::string name)
+    : in_(in),
+      hidden_(hidden),
+      wx_(name + ".wx", Matrix::Xavier(in, 4 * hidden, rng)),
+      wh_(name + ".wh", Matrix::Xavier(hidden, 4 * hidden, rng)),
+      b_(name + ".b", Matrix::Zeros(1, 4 * hidden)) {}
+
+LstmCell::State LstmCell::InitialState(Tape& tape, std::size_t batch_rows) {
+  return State{tape.Leaf(Matrix::Zeros(batch_rows, hidden_)),
+               tape.Leaf(Matrix::Zeros(batch_rows, hidden_))};
+}
+
+LstmCell::State LstmCell::Forward(Tape& tape, Value x, const State& prev) {
+  if (x.cols() != in_) {
+    throw std::invalid_argument("LstmCell::Forward: input width mismatch");
+  }
+  Value wx = Bind(tape, wx_);
+  Value wh = Bind(tape, wh_);
+  Value b = Bind(tape, b_);
+
+  Value gates = tape.AddRowBroadcast(
+      tape.Add(tape.MatMul(x, wx), tape.MatMul(prev.h, wh)), b);
+  Value i = tape.Sigmoid(tape.SliceCols(gates, 0, hidden_));
+  Value f = tape.Sigmoid(tape.SliceCols(gates, hidden_, 2 * hidden_));
+  Value g = tape.Tanh(tape.SliceCols(gates, 2 * hidden_, 3 * hidden_));
+  Value o = tape.Sigmoid(tape.SliceCols(gates, 3 * hidden_, 4 * hidden_));
+  Value c = tape.Add(tape.Mul(f, prev.c), tape.Mul(i, g));
+  Value h = tape.Mul(o, tape.Tanh(c));
+  return State{h, c};
+}
+
+std::vector<Parameter*> LstmCell::Parameters() { return {&wx_, &wh_, &b_}; }
+
+Value MseLoss(Tape& tape, Value pred, const Matrix& target) {
+  Value t = tape.Leaf(target);
+  Value diff = tape.Sub(pred, t);
+  return tape.MeanAll(tape.Mul(diff, diff));
+}
+
+Value GanDiscriminatorLoss(Tape& tape, Value d_real, Value d_fake) {
+  Value one = tape.Leaf(Matrix::Ones(1, 1));
+  Value term_real = tape.Log(d_real);
+  Value term_fake = tape.Log(tape.Sub(one, d_fake));
+  return tape.Neg(tape.Add(term_real, term_fake));
+}
+
+}  // namespace carol::nn

@@ -1,0 +1,177 @@
+// Neural-network building blocks used by the CAROL GON discriminator
+// (Figure 3 of the paper: feed-forward encoders + one graph-attention layer
+// + sigmoid head) and by the learned baselines (LSTM/VAE for TopoMAD, GAN
+// for StepGAN and the With-GAN ablation, recurrent surrogate for FRAS).
+#ifndef CAROL_NN_LAYERS_H_
+#define CAROL_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+
+namespace carol::nn {
+
+// A trainable tensor. Gradients are accumulated here (across a whole
+// minibatch graph) by Module::CollectGrads after Tape::Backward.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter(std::string n, Matrix v)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(Matrix::Zeros(value.rows(), value.cols())) {}
+
+  std::size_t size() const { return value.size(); }
+};
+
+// Base class for anything that owns Parameters. Forward passes bind
+// parameters as tape leaves; after Backward, CollectGrads moves the leaf
+// gradients into Parameter::grad (summing across all bindings made since
+// the last ClearBindings, i.e. across a minibatch).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual std::vector<Parameter*> Parameters() = 0;
+
+  // Composite modules (Mlp, the GON network, ...) MUST expose their
+  // sub-modules here: forward passes record parameter->leaf bindings on
+  // the sub-module that owns the parameter, and CollectGrads /
+  // ClearBindings traverse the module tree to reach them.
+  virtual std::vector<Module*> Children() { return {}; }
+
+  // Total number of scalar parameters.
+  std::size_t ParameterCount();
+  // Parameter memory in megabytes (doubles), used by the analytic memory
+  // model of Fig. 5(e).
+  double ParameterMegabytes();
+
+  void ZeroGrad();
+  // Sums leaf grads recorded during forward passes into Parameter::grad,
+  // recursively over the module tree.
+  void CollectGrads();
+  // Must be called whenever a new tape is started (bindings reference the
+  // previous tape's nodes). Recursive.
+  void ClearBindings();
+
+ protected:
+  // Binds `param` as a requires-grad leaf on `tape` and records the
+  // binding for CollectGrads.
+  Value Bind(Tape& tape, Parameter& param);
+
+ private:
+  std::vector<std::pair<Parameter*, Value>> bindings_;
+};
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+// Applies an activation as a tape op.
+Value Activate(Tape& tape, Value x, Activation act);
+
+// Fully connected layer: y = act(x W + b), x is [N x in].
+class Dense : public Module {
+ public:
+  Dense(std::size_t in, std::size_t out, common::Rng& rng,
+        std::string name = "dense", Activation act = Activation::kNone);
+
+  Value Forward(Tape& tape, Value x);
+  std::vector<Parameter*> Parameters() override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Activation act_;
+  Parameter w_;
+  Parameter b_;
+};
+
+// Multi-layer perceptron with ReLU hidden activations and a configurable
+// output activation. `dims` is {in, h1, ..., out}.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<std::size_t>& dims, common::Rng& rng,
+      std::string name = "mlp", Activation output_act = Activation::kNone,
+      Activation hidden_act = Activation::kRelu);
+
+  Value Forward(Tape& tape, Value x);
+  std::vector<Parameter*> Parameters() override;
+  std::vector<Module*> Children() override;
+  std::size_t depth() const { return layers_.size(); }
+
+ private:
+  std::vector<Dense> layers_;
+};
+
+// Graph attention layer (Velickovic et al., Eq. (4) of the paper).
+// Input: per-node features u [H x in] and a 0/1 adjacency matrix [H x H].
+// Self-loops are added internally. Output: e [H x out], computed as
+//   h_j = tanh(u_j W + b)
+//   a_ij = softmax_{j in n(i)} ((h_i Wq) . h_j)
+//   e_i  = sigma( sum_j a_ij h_j )
+// which keeps the computation agnostic to the number of hosts, the paper's
+// stated motivation for the GAT branch.
+class GraphAttention : public Module {
+ public:
+  GraphAttention(std::size_t in, std::size_t out, common::Rng& rng,
+                 std::string name = "gat");
+
+  Value Forward(Tape& tape, Value u, const Matrix& adjacency);
+  std::vector<Parameter*> Parameters() override;
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Parameter w_;
+  Parameter b_;
+  Parameter wq_;
+};
+
+// Standard LSTM cell; state is a pair of [N x hidden] values. Used by the
+// TopoMAD (LSTM+VAE) and FRAS (recurrent surrogate) baselines.
+class LstmCell : public Module {
+ public:
+  LstmCell(std::size_t in, std::size_t hidden, common::Rng& rng,
+           std::string name = "lstm");
+
+  struct State {
+    Value h;
+    Value c;
+  };
+
+  State InitialState(Tape& tape, std::size_t batch_rows);
+  State Forward(Tape& tape, Value x, const State& prev);
+  std::vector<Parameter*> Parameters() override;
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t in_;
+  std::size_t hidden_;
+  Parameter wx_;  // [in x 4*hidden]
+  Parameter wh_;  // [hidden x 4*hidden]
+  Parameter b_;   // [1 x 4*hidden]
+};
+
+// --- common losses (built from tape ops) ---
+
+// Mean squared error between pred and a constant target.
+Value MseLoss(Tape& tape, Value pred, const Matrix& target);
+
+// Binary cross-entropy pieces used by Algorithm 1:
+//   L = -[ log D(real) + log(1 - D(fake)) ]
+// `d_real` / `d_fake` are 1x1 discriminator outputs in (0,1).
+Value GanDiscriminatorLoss(Tape& tape, Value d_real, Value d_fake);
+
+}  // namespace carol::nn
+
+#endif  // CAROL_NN_LAYERS_H_

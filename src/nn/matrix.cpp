@@ -1,0 +1,315 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace carol::nn {
+
+namespace {
+void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch (" +
+                                std::to_string(a.rows()) + "x" +
+                                std::to_string(a.cols()) + " vs " +
+                                std::to_string(b.rows()) + "x" +
+                                std::to_string(b.cols()) + ")");
+  }
+}
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> data) {
+  rows_ = data.size();
+  cols_ = rows_ == 0 ? 0 : data.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : data) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::Ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0);
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                     double mean, double stddev) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Normal(mean, stddev);
+  return m;
+}
+
+Matrix Matrix::Xavier(std::size_t fan_in, std::size_t fan_out,
+                      common::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Matrix m(fan_in, fan_out);
+  for (double& v : m.data_) v = rng.Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::FromFlat(std::size_t rows, std::size_t cols,
+                        std::vector<double> flat) {
+  if (flat.size() != rows * cols) {
+    throw std::invalid_argument("FromFlat: buffer size mismatch");
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(flat);
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  return data_[r * cols_ + c];
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at: index out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  return std::span<double>(data_).subspan(r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  return std::span<const double>(data_).subspan(r * cols_, cols_);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CheckSameShape(*this, other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CheckSameShape(*this, other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  CheckSameShape(*this, other, "Hadamard");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] *= other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument(
+        "MatMul: inner dimension mismatch (" + std::to_string(rows_) + "x" +
+        std::to_string(cols_) + " * " + std::to_string(other.rows_) + "x" +
+        std::to_string(other.cols_) + ")");
+  }
+  Matrix out(rows_, other.cols_, 0.0);
+  // ikj loop order for cache-friendly access of the row-major operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = data_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& fn) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = fn(v);
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  if (rows_ != other.rows_) {
+    throw std::invalid_argument("ConcatCols: row count mismatch");
+  }
+  Matrix out(rows_, cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy(row(r).begin(), row(r).end(), out.row(r).begin());
+    std::copy(other.row(r).begin(), other.row(r).end(),
+              out.row(r).begin() + static_cast<std::ptrdiff_t>(cols_));
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatRows(const Matrix& other) const {
+  if (cols_ != other.cols_) {
+    throw std::invalid_argument("ConcatRows: column count mismatch");
+  }
+  Matrix out(rows_ + other.rows_, cols_);
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  std::copy(other.data_.begin(), other.data_.end(),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(data_.size()));
+  return out;
+}
+
+Matrix Matrix::SliceCols(std::size_t c0, std::size_t c1) const {
+  if (c0 > c1 || c1 > cols_) {
+    throw std::out_of_range("SliceCols: bad column range");
+  }
+  Matrix out(rows_, c1 - c0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      out(r, c - c0) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(std::size_t r0, std::size_t r1) const {
+  if (r0 > r1 || r1 > rows_) {
+    throw std::out_of_range("SliceRows: bad row range");
+  }
+  Matrix out(r1 - r0, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_),
+            out.data_.begin());
+  return out;
+}
+
+double Matrix::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Matrix::MeanValue() const {
+  return data_.empty() ? 0.0 : Sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::MaxValue() const {
+  return data_.empty() ? 0.0 : *std::max_element(data_.begin(), data_.end());
+}
+
+double Matrix::MinValue() const {
+  return data_.empty() ? 0.0 : *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::RowMean() const {
+  Matrix out = RowSum();
+  if (rows_ > 0) out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+Matrix Matrix::RowSum() const {
+  Matrix out(1, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(0, c) += (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Matrix::AllFinite() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  CheckSameShape(*this, other, "MaxAbsDiff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  const std::size_t rlim = std::min<std::size_t>(rows_, max_rows);
+  const std::size_t clim = std::min<std::size_t>(cols_, max_cols);
+  for (std::size_t r = 0; r < rlim; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (std::size_t c = 0; c < clim; ++c) {
+      os << (*this)(r, c);
+      if (c + 1 < clim) os << ", ";
+    }
+    if (clim < cols_) os << ", ...";
+    os << "]";
+    if (r + 1 < rlim) os << "\n";
+  }
+  if (rlim < rows_) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace carol::nn

@@ -1,0 +1,107 @@
+// Dense row-major matrix of doubles. This is the only tensor type in the
+// from-scratch deep-learning substrate; the networks in the paper (128-unit
+// feed-forward stacks, one graph-attention layer, small LSTMs) are small
+// enough that a straightforward dense CPU implementation is faithful.
+#ifndef CAROL_NN_MATRIX_H_
+#define CAROL_NN_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace carol::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Builds from nested initializer data; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> data);
+
+  static Matrix Zeros(std::size_t rows, std::size_t cols);
+  static Matrix Ones(std::size_t rows, std::size_t cols);
+  static Matrix Identity(std::size_t n);
+  // I.i.d. normal entries.
+  static Matrix Randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                      double mean = 0.0, double stddev = 1.0);
+  // Xavier/Glorot uniform initialization for a (fan_in x fan_out) weight.
+  static Matrix Xavier(std::size_t fan_in, std::size_t fan_out,
+                       common::Rng& rng);
+  // Wraps a flat row-major buffer.
+  static Matrix FromFlat(std::size_t rows, std::size_t cols,
+                         std::vector<double> flat);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c);
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  // Elementwise arithmetic. Shapes must match exactly; throws
+  // std::invalid_argument otherwise.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  // Hadamard (elementwise) product.
+  Matrix Hadamard(const Matrix& other) const;
+  // Standard matrix product; inner dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Transposed() const;
+  // Applies `fn` to every element, returning a new matrix.
+  Matrix Map(const std::function<double(double)>& fn) const;
+
+  // Appends the columns of `other` to the right; row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+  // Stacks `other` below; column counts must match.
+  Matrix ConcatRows(const Matrix& other) const;
+  // Copies columns [c0, c1) into a new matrix.
+  Matrix SliceCols(std::size_t c0, std::size_t c1) const;
+  // Copies rows [r0, r1) into a new matrix.
+  Matrix SliceRows(std::size_t r0, std::size_t r1) const;
+
+  double Sum() const;
+  double MeanValue() const;
+  double MaxValue() const;
+  double MinValue() const;
+  // Frobenius norm.
+  double Norm() const;
+  // Mean over rows: returns a 1 x cols matrix.
+  Matrix RowMean() const;
+  // Sum over rows: returns a 1 x cols matrix.
+  Matrix RowSum() const;
+
+  void Fill(double value);
+  // True if all entries are finite.
+  bool AllFinite() const;
+  // Max |a - b| over elements; shapes must match.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const;
+
+  std::string ToString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace carol::nn
+
+#endif  // CAROL_NN_MATRIX_H_

@@ -1,0 +1,51 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace carol::nn {
+
+void SaveParameters(Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SaveParameters: cannot open " + path);
+  const auto params = module.Parameters();
+  out << "carol-params v1\n" << params.size() << "\n";
+  out << std::setprecision(17);
+  for (const Parameter* p : params) {
+    out << p->name << ' ' << p->value.rows() << ' ' << p->value.cols()
+        << '\n';
+    for (double v : p->value.flat()) out << v << ' ';
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("SaveParameters: write failed");
+}
+
+void LoadParameters(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LoadParameters: cannot open " + path);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "carol-params" || version != "v1") {
+    throw std::runtime_error("LoadParameters: bad header in " + path);
+  }
+  std::size_t count = 0;
+  in >> count;
+  auto params = module.Parameters();
+  if (count != params.size()) {
+    throw std::runtime_error("LoadParameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    std::size_t rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    if (name != p->name || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      throw std::runtime_error("LoadParameters: mismatch at " + p->name);
+    }
+    for (double& v : p->value.flat()) in >> v;
+  }
+  if (!in) throw std::runtime_error("LoadParameters: truncated file");
+}
+
+}  // namespace carol::nn

@@ -1,0 +1,27 @@
+// Save/load of module parameters as a simple self-describing text format:
+//   carol-params v1
+//   <count>
+//   <name> <rows> <cols>
+//   <row-major doubles...>
+// Used to persist the offline-trained GON between the trace-generation and
+// evaluation phases of the bench harness.
+#ifndef CAROL_NN_SERIALIZE_H_
+#define CAROL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/layers.h"
+
+namespace carol::nn {
+
+// Writes all parameters of `module` to `path`.
+// Throws std::runtime_error on IO failure.
+void SaveParameters(Module& module, const std::string& path);
+
+// Loads parameters into `module`. Names, order and shapes must match what
+// SaveParameters wrote; throws std::runtime_error otherwise.
+void LoadParameters(Module& module, const std::string& path);
+
+}  // namespace carol::nn
+
+#endif  // CAROL_NN_SERIALIZE_H_

@@ -1,0 +1,534 @@
+#include "sim/federation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace carol::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kMiEps = 1e-6;
+}  // namespace
+
+Federation::Federation(std::vector<NodeSpec> specs, Topology topology,
+                       SimConfig config, common::Rng rng)
+    : topology_(std::move(topology)),
+      config_(config),
+      rng_(rng),
+      network_(static_cast<int>(specs.size()), config.network, rng_) {
+  if (specs.empty()) {
+    throw std::invalid_argument("Federation: no node specs");
+  }
+  if (static_cast<int>(specs.size()) != topology_.num_nodes()) {
+    throw std::invalid_argument("Federation: spec/topology size mismatch");
+  }
+  if (!topology_.IsValid()) {
+    throw std::invalid_argument("Federation: invalid initial topology");
+  }
+  hosts_.reserve(specs.size());
+  for (auto& spec : specs) {
+    HostRuntime h;
+    h.spec = std::move(spec);
+    hosts_.push_back(std::move(h));
+  }
+  last_snapshot_ = Snapshot();
+}
+
+const HostRuntime& Federation::host(NodeId node) const {
+  return hosts_.at(static_cast<std::size_t>(node));
+}
+
+HostRuntime& Federation::mutable_host(NodeId node) {
+  return hosts_.at(static_cast<std::size_t>(node));
+}
+
+bool Federation::IsAliveAt(NodeId node, double t) const {
+  return !host(node).FailedAt(t);
+}
+
+std::vector<bool> Federation::AliveVector() const {
+  std::vector<bool> alive(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    alive[i] = !hosts_[i].FailedAt(now_s_);
+  }
+  return alive;
+}
+
+void Federation::SetFailed(NodeId node, double from_s, double until_s) {
+  HostRuntime& h = mutable_host(node);
+  if (h.fail_from_s >= 0.0) {
+    // Repeated attacks on an already-compromised node extend the outage
+    // to the union extent of both windows.
+    h.fail_from_s = std::min(h.fail_from_s, from_s);
+    h.fail_until_s = std::max(h.fail_until_s, until_s);
+  } else {
+    h.fail_from_s = from_s;
+    h.fail_until_s = until_s;
+  }
+}
+
+void Federation::SetFaultLoad(NodeId node, double cpu_mips, double ram_mb,
+                              double disk_mbps, double net_mbps) {
+  HostRuntime& h = mutable_host(node);
+  h.fault_cpu_mips = cpu_mips;
+  h.fault_ram_mb = ram_mb;
+  h.fault_disk_mbps = disk_mbps;
+  h.fault_net_mbps = net_mbps;
+}
+
+void Federation::ClearFaultLoad(NodeId node) {
+  SetFaultLoad(node, 0.0, 0.0, 0.0, 0.0);
+}
+
+void Federation::Submit(std::vector<Task> tasks) {
+  for (auto& task : tasks) {
+    task.remaining_mi = task.total_mi;
+    tasks_.push_back(std::move(task));
+    queued_.push_back(tasks_.size() - 1);
+  }
+}
+
+std::vector<const Task*> Federation::UnplacedTasks() const {
+  std::vector<const Task*> out;
+  for (std::size_t idx : queued_) {
+    if (tasks_[idx].broker != kNoNode) out.push_back(&tasks_[idx]);
+  }
+  return out;
+}
+
+std::vector<const Task*> Federation::ActiveTasksOn(NodeId node) const {
+  std::vector<const Task*> out;
+  for (std::size_t idx : active_) {
+    if (tasks_[idx].assigned_host == node) out.push_back(&tasks_[idx]);
+  }
+  return out;
+}
+
+int Federation::active_task_count() const {
+  return static_cast<int>(active_.size());
+}
+
+int Federation::queued_task_count() const {
+  return static_cast<int>(queued_.size());
+}
+
+StepInfo Federation::BeginInterval() {
+  StepInfo info;
+  const double t0 = now_s_;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
+    if (h.fail_from_s >= 0.0 && h.fail_until_s <= t0) {
+      // Failure window elapsed: the node rebooted (§IV-I).
+      h.fail_from_s = -1.0;
+      h.fail_until_s = -1.0;
+      h.fault_cpu_mips = h.fault_ram_mb = 0.0;
+      h.fault_disk_mbps = h.fault_net_mbps = 0.0;
+      info.recovered.push_back(n);
+    } else if (h.FailedAt(t0)) {
+      if (topology_.is_broker(n)) {
+        info.failed_brokers.push_back(n);
+      } else {
+        info.failed_workers.push_back(n);
+      }
+    }
+  }
+  // Worker failure policy (paper §III-A): requeue tasks of failed workers;
+  // the underlying least-utilization scheduler reruns them on the least
+  // loaded worker of the LEI.
+  for (NodeId w : info.failed_workers) {
+    MigrateTasksOff(w, config_.migration_delay_s);
+  }
+  return info;
+}
+
+void Federation::MigrateTasksOff(NodeId node, double extra_delay_s) {
+  for (auto it = active_.begin(); it != active_.end();) {
+    Task& task = tasks_[*it];
+    if (task.assigned_host == node) {
+      task.assigned_host = kNoNode;
+      task.broker = kNoNode;
+      task.placed_time_s = -1.0;
+      task.startup_delay_s = extra_delay_s;
+      queued_.push_back(*it);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Federation::SetTopology(const Topology& topology) {
+  if (topology.num_nodes() != num_nodes()) {
+    throw std::invalid_argument("SetTopology: node count mismatch");
+  }
+  if (!topology.IsValid()) {
+    throw std::invalid_argument("SetTopology: invalid topology");
+  }
+  const double t0 = now_s_;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
+    const bool was_broker = topology_.is_broker(n);
+    const bool is_broker = topology.is_broker(n);
+    if (was_broker != is_broker) {
+      h.reconfig_until_s =
+          std::max(h.reconfig_until_s, t0 + config_.role_change_overhead_s);
+      if (is_broker) {
+        // A worker shifted to the broker layer stops executing tasks;
+        // they are checkpointed and rescheduled (paper §III-B).
+        MigrateTasksOff(n, config_.migration_delay_s);
+      }
+    } else if (!is_broker &&
+               topology_.broker_of(n) != topology.broker_of(n)) {
+      h.reconfig_until_s =
+          std::max(h.reconfig_until_s, t0 + config_.reassign_overhead_s);
+    }
+  }
+  topology_ = topology;
+}
+
+void Federation::RouteQueuedTasks() {
+  const auto alive = AliveVector();
+  int stranded = 0;
+  for (std::size_t idx : queued_) {
+    Task& task = tasks_[idx];
+    // (Re-)route tasks with no broker, a demoted broker, or a dead broker.
+    const bool needs_route =
+        task.broker == kNoNode || !topology_.is_broker(task.broker) ||
+        !alive[static_cast<std::size_t>(task.broker)];
+    if (!needs_route) continue;
+    const NodeId broker =
+        network_.RouteToBroker(task.gateway_site, topology_, alive, rng_);
+    task.broker = broker;  // may be kNoNode -> stays stranded
+    if (broker == kNoNode) ++stranded;
+  }
+  if (stranded > 0) {
+    common::LogDebug() << "RouteQueuedTasks: " << stranded
+                       << " tasks stranded (no alive broker)";
+  }
+}
+
+double Federation::BrokerOverheadMips(NodeId broker) const {
+  const HostRuntime& h = host(broker);
+  const double workers =
+      static_cast<double>(topology_.workers_of(broker).size());
+  return h.spec.cpu_capacity_mips *
+         (config_.broker_base_overhead_frac +
+          config_.broker_per_worker_overhead_frac * workers);
+}
+
+void Federation::ApplyPlacement(const SchedulingDecision& decision,
+                                double t0, IntervalResult* result) {
+  for (auto it = queued_.begin(); it != queued_.end();) {
+    Task& task = tasks_[*it];
+    const auto found = decision.placement.find(task.id);
+    bool placed = false;
+    if (found != decision.placement.end() && task.broker != kNoNode) {
+      const NodeId target = found->second;
+      const bool valid_target =
+          target >= 0 && target < num_nodes() &&
+          !topology_.is_broker(target) && IsAliveAt(target, t0) &&
+          IsAliveAt(topology_.broker_of(target), t0);
+      if (valid_target) {
+        const HostRuntime& h = host(target);
+        const double route_latency =
+            2.0 * (network_.LatencyFromSite(task.gateway_site, task.broker) +
+                   network_.LatencyBetween(task.broker, target));
+        const double transfer =
+            task.input_mb / std::max(1.0, h.spec.net_bw_mbps);
+        task.startup_delay_s += route_latency + transfer;
+        task.assigned_host = target;
+        task.placed_time_s = t0;
+        active_.push_back(*it);
+        it = queued_.erase(it);
+        placed = true;
+      }
+    }
+    if (!placed) ++it;
+  }
+  result->stranded = static_cast<int>(queued_.size());
+}
+
+std::vector<double> Federation::ComputeRates(
+    double t, const std::vector<std::size_t>& active,
+    std::vector<double>* host_cpu_ratio, std::vector<double>* host_ram_ratio,
+    std::vector<double>* host_disk_ratio,
+    std::vector<double>* host_net_ratio) const {
+  const std::size_t h_count = hosts_.size();
+  std::vector<double> task_cpu(h_count, 0.0), ram(h_count, 0.0),
+      disk(h_count, 0.0), net(h_count, 0.0);
+
+  auto runnable = [&](const Task& task) {
+    if (task.assigned_host == kNoNode) return false;
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    const HostRuntime& h = hosts_[hidx];
+    if (h.FailedAt(t) || t < h.reconfig_until_s) return false;
+    if (t < task.placed_time_s + task.startup_delay_s) return false;
+    // A failed broker stalls its whole LEI (the motivating failure mode).
+    const NodeId broker = topology_.broker_of(task.assigned_host);
+    if (hosts_[static_cast<std::size_t>(broker)].FailedAt(t)) return false;
+    return true;
+  };
+
+  std::vector<char> task_runnable(active.size(), 0);
+  std::vector<int> lei_tasks(h_count, 0);  // active tasks per broker
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const Task& task = tasks_[active[k]];
+    if (!runnable(task)) continue;
+    task_runnable[k] = 1;
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    task_cpu[hidx] += task.mips_demand;
+    ram[hidx] += task.ram_mb;
+    disk[hidx] += task.disk_mbps;
+    net[hidx] += task.net_mbps;
+    ++lei_tasks[static_cast<std::size_t>(
+        topology_.broker_of(task.assigned_host))];
+  }
+
+  host_cpu_ratio->assign(h_count, 0.0);
+  host_ram_ratio->assign(h_count, 0.0);
+  host_disk_ratio->assign(h_count, 0.0);
+  host_net_ratio->assign(h_count, 0.0);
+  std::vector<double> share(h_count, 1.0), slow(h_count, 1.0);
+  std::vector<double> broker_ratio(h_count, 0.0);
+  for (std::size_t i = 0; i < h_count; ++i) {
+    const HostRuntime& h = hosts_[i];
+    const NodeId node = static_cast<NodeId>(i);
+    double overhead = 0.0;
+    if (topology_.is_broker(node)) {
+      // Static management cost plus the per-task cost of every container
+      // the broker currently manages in its LEI.
+      overhead = BrokerOverheadMips(node) +
+                 h.spec.cpu_capacity_mips *
+                     config_.broker_per_task_overhead_frac *
+                     static_cast<double>(lei_tasks[i]);
+      broker_ratio[i] = (overhead + h.fault_cpu_mips + task_cpu[i]) /
+                        h.spec.cpu_capacity_mips;
+    }
+    const double cap_total = h.spec.cpu_capacity_mips;
+    const double cap_tasks = std::max(1.0, cap_total - overhead);
+    const double contended = task_cpu[i] + h.fault_cpu_mips;
+    (*host_cpu_ratio)[i] = (contended + overhead) / cap_total;
+    (*host_ram_ratio)[i] = (ram[i] + h.fault_ram_mb) / h.spec.ram_mb;
+    (*host_disk_ratio)[i] =
+        (disk[i] + h.fault_disk_mbps) / h.spec.disk_bw_mbps;
+    (*host_net_ratio)[i] = (net[i] + h.fault_net_mbps) / h.spec.net_bw_mbps;
+    share[i] = contended > cap_tasks ? cap_tasks / contended : 1.0;
+    double s = 1.0;
+    if ((*host_ram_ratio)[i] > 1.0) s *= config_.ram_thrash_slowdown;
+    if ((*host_disk_ratio)[i] > 1.0) s /= (*host_disk_ratio)[i];
+    if ((*host_net_ratio)[i] > 1.0) s /= (*host_net_ratio)[i];
+    slow[i] = s;
+  }
+
+  std::vector<double> rates(active.size(), 0.0);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    if (!task_runnable[k]) continue;
+    const Task& task = tasks_[active[k]];
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    // A saturated broker throttles scheduling/result delivery for its
+    // whole LEI — the broker-bottleneck effect that motivates broker
+    // resilience in the first place.
+    const auto bidx =
+        static_cast<std::size_t>(topology_.broker_of(task.assigned_host));
+    const double broker_slow =
+        broker_ratio[bidx] > 1.0 ? 1.0 / broker_ratio[bidx] : 1.0;
+    rates[k] = task.mips_demand * share[hidx] * slow[hidx] * broker_slow;
+  }
+  return rates;
+}
+
+IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
+  const double t0 = now_s_;
+  const double t1 = t0 + config_.interval_seconds;
+  IntervalResult result;
+  result.interval = interval_;
+
+  // Arrivals this interval = everything still unplaced before placement.
+  result.arrivals = static_cast<int>(queued_.size());
+  ApplyPlacement(decision, t0, &result);
+
+  // Segment breakpoints: host state changes and task availability times.
+  std::set<double> breakset = {t1};
+  auto add_bp = [&](double t) {
+    if (t > t0 + kEps && t < t1 - kEps) breakset.insert(t);
+  };
+  for (const HostRuntime& h : hosts_) {
+    if (h.fail_from_s >= 0.0) {
+      add_bp(h.fail_from_s);
+      add_bp(h.fail_until_s);
+    }
+    add_bp(h.reconfig_until_s);
+  }
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    add_bp(task.placed_time_s + task.startup_delay_s);
+  }
+
+  const std::size_t h_count = hosts_.size();
+  std::vector<double> cpu_integral(h_count, 0.0), ram_integral(h_count, 0.0),
+      disk_integral(h_count, 0.0), net_integral(h_count, 0.0),
+      energy_j(h_count, 0.0);
+  std::vector<int> host_completed(h_count, 0), host_violated(h_count, 0);
+
+  double t = t0;
+  while (t < t1 - kEps) {
+    const double seg_end = *breakset.upper_bound(t + kEps);
+    std::vector<double> cpu_r, ram_r, disk_r, net_r;
+    const std::vector<double> rates =
+        ComputeRates(t, active_, &cpu_r, &ram_r, &disk_r, &net_r);
+
+    // Earliest completion inside this segment.
+    double t_next = seg_end;
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      if (rates[k] > kEps) {
+        const double eta = tasks_[active_[k]].remaining_mi / rates[k];
+        t_next = std::min(t_next, t + eta);
+      }
+    }
+    t_next = std::min(std::max(t_next, t + kEps), seg_end);
+    const double dt = t_next - t;
+
+    // Integrate utilization and energy over [t, t_next).
+    for (std::size_t i = 0; i < h_count; ++i) {
+      const HostRuntime& h = hosts_[i];
+      cpu_integral[i] += cpu_r[i] * dt;
+      ram_integral[i] += ram_r[i] * dt;
+      disk_integral[i] += disk_r[i] * dt;
+      net_integral[i] += net_r[i] * dt;
+      double power = 0.0;
+      if (h.FailedAt(t)) {
+        power = h.spec.idle_power_w;  // hung or rebooting
+      } else if (cpu_r[i] <= kEps &&
+                 !topology_.is_broker(static_cast<NodeId>(i))) {
+        power = h.spec.idle_power_w * config_.standby_power_frac;
+      } else {
+        power = h.spec.idle_power_w +
+                (h.spec.peak_power_w - h.spec.idle_power_w) *
+                    std::min(1.0, cpu_r[i]);
+      }
+      energy_j[i] += power * dt;
+    }
+
+    // Advance progress; collect completions. Erasure is deferred so the
+    // `rates` indices stay aligned with `active_` during the sweep.
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      Task& task = tasks_[active_[k]];
+      if (rates[k] <= kEps) continue;
+      task.remaining_mi -= rates[k] * dt;
+      if (task.remaining_mi > kMiEps) continue;
+      task.remaining_mi = 0.0;
+      task.finish_time_s = t_next;
+      const NodeId hostid = task.assigned_host;
+      const auto hidx = static_cast<std::size_t>(hostid);
+      const double out_transfer =
+          task.output_mb / std::max(1.0, hosts_[hidx].spec.net_bw_mbps);
+      const double out_latency =
+          2.0 * (network_.LatencyBetween(hostid, task.broker) +
+                 network_.LatencyFromSite(task.gateway_site, task.broker));
+      const double response = task.finish_time_s - task.arrival_time_s +
+                              out_transfer + out_latency;
+      result.response_times.push_back(response);
+      result.response_app_types.push_back(task.app_type);
+      result.response_deadlines.push_back(task.slo_deadline_s);
+      ++result.completed;
+      ++host_completed[hidx];
+      if (response > task.slo_deadline_s) {
+        ++result.violated;
+        ++host_violated[hidx];
+      }
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [this](std::size_t idx) {
+                                   return tasks_[idx].finished();
+                                 }),
+                  active_.end());
+
+    t = t_next;
+  }
+
+  // Interval accounting.
+  const double interval_kwh =
+      std::accumulate(energy_j.begin(), energy_j.end(), 0.0) / 3.6e6;
+  total_energy_kwh_ += interval_kwh;
+  result.energy_kwh = interval_kwh;
+
+  // Per-host metric rows (this becomes M_t).
+  const double inv_dt = 1.0 / config_.interval_seconds;
+  for (std::size_t i = 0; i < h_count; ++i) {
+    HostRuntime& h = hosts_[i];
+    HostMetricsRow& m = h.metrics;
+    m = HostMetricsRow{};
+    m.cpu_util = cpu_integral[i] * inv_dt;
+    m.ram_util = ram_integral[i] * inv_dt;
+    m.disk_util = disk_integral[i] * inv_dt;
+    m.net_util = net_integral[i] * inv_dt;
+    m.energy_kwh = energy_j[i] / 3.6e6;
+    m.slo_violation_rate =
+        host_completed[i] > 0
+            ? static_cast<double>(host_violated[i]) / host_completed[i]
+            : 0.0;
+    m.is_broker = topology_.is_broker(static_cast<NodeId>(i));
+    m.failed = h.FailedAt(t1 - kEps);
+  }
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    HostMetricsRow& m = hosts_[hidx].metrics;
+    m.task_cpu_demand_mips += task.mips_demand;
+    m.task_ram_demand_mb += task.ram_mb;
+    m.avg_deadline_s += task.slo_deadline_s;
+  }
+  for (std::size_t i = 0; i < h_count; ++i) {
+    HostMetricsRow& m = hosts_[i].metrics;
+    const auto n = ActiveTasksOn(static_cast<NodeId>(i)).size();
+    if (n > 0) m.avg_deadline_s /= static_cast<double>(n);
+  }
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    if (task.placed_time_s == t0) {
+      const auto hidx = static_cast<std::size_t>(task.assigned_host);
+      hosts_[hidx].metrics.sched_cpu_demand_mips += task.mips_demand;
+      hosts_[hidx].metrics.sched_task_count += 1.0;
+    }
+  }
+
+  now_s_ = t1;
+  ++interval_;
+
+  result.snapshot = Snapshot();
+  result.snapshot.interval_energy_kwh = interval_kwh;
+  result.snapshot.avg_response_s =
+      result.response_times.empty()
+          ? 0.0
+          : std::accumulate(result.response_times.begin(),
+                            result.response_times.end(), 0.0) /
+                static_cast<double>(result.response_times.size());
+  result.snapshot.slo_rate =
+      result.completed > 0
+          ? static_cast<double>(result.violated) / result.completed
+          : 0.0;
+  last_snapshot_ = result.snapshot;
+  return result;
+}
+
+SystemSnapshot Federation::Snapshot() const {
+  SystemSnapshot snap;
+  snap.interval = interval_;
+  snap.time_s = now_s_;
+  snap.topology = topology_;
+  snap.hosts.reserve(hosts_.size());
+  for (const HostRuntime& h : hosts_) snap.hosts.push_back(h.metrics);
+  snap.alive = AliveVector();
+  snap.total_energy_kwh = total_energy_kwh_;
+  snap.active_tasks = static_cast<int>(active_.size());
+  snap.queued_tasks = static_cast<int>(queued_.size());
+  return snap;
+}
+
+}  // namespace carol::sim

@@ -1,0 +1,75 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carol::sim {
+
+Network::Network(int num_nodes, const NetworkConfig& config,
+                 common::Rng& rng)
+    : num_nodes_(num_nodes), config_(config) {
+  if (num_nodes <= 0 || config.num_sites <= 0) {
+    throw std::invalid_argument("Network: bad node/site count");
+  }
+  const int block = std::max(1, num_nodes / config.num_sites);
+  node_site_.resize(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    node_site_[static_cast<std::size_t>(i)] =
+        std::min(i / block, config.num_sites - 1);
+  }
+  const auto sites = static_cast<std::size_t>(config.num_sites);
+  site_latency_.assign(sites * sites, config.lan_latency_s);
+  for (std::size_t a = 0; a < sites; ++a) {
+    for (std::size_t b = a + 1; b < sites; ++b) {
+      const double wan =
+          rng.Uniform(config.wan_latency_min_s, config.wan_latency_max_s);
+      site_latency_[a * sites + b] = wan;
+      site_latency_[b * sites + a] = wan;
+    }
+  }
+}
+
+int Network::site_of(NodeId node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw std::out_of_range("Network::site_of: node out of range");
+  }
+  return node_site_[static_cast<std::size_t>(node)];
+}
+
+double Network::SiteLatency(int s1, int s2) const {
+  return site_latency_[static_cast<std::size_t>(s1) *
+                           static_cast<std::size_t>(config_.num_sites) +
+                       static_cast<std::size_t>(s2)];
+}
+
+double Network::LatencyBetween(NodeId a, NodeId b) const {
+  return SiteLatency(site_of(a), site_of(b));
+}
+
+double Network::LatencyFromSite(int site, NodeId node) const {
+  if (site < 0 || site >= config_.num_sites) {
+    throw std::out_of_range("Network::LatencyFromSite: bad site");
+  }
+  return SiteLatency(site, site_of(node));
+}
+
+NodeId Network::RouteToBroker(int site, const Topology& topology,
+                              const std::vector<bool>& alive,
+                              common::Rng& rng) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<NodeId> candidates;
+  for (NodeId b : topology.brokers()) {
+    if (!alive[static_cast<std::size_t>(b)]) continue;
+    const double lat = LatencyFromSite(site, b);
+    if (lat < best - 1e-12) {
+      best = lat;
+      candidates = {b};
+    } else if (lat < best + 1e-12) {
+      candidates.push_back(b);
+    }
+  }
+  if (candidates.empty()) return kNoNode;
+  return candidates[rng.Choice(candidates.size())];
+}
+
+}  // namespace carol::sim

@@ -1,0 +1,60 @@
+// Network model: geographic sites, LAN/WAN latencies and gateway routing.
+//
+// Replaces the paper's NetLimiter-shaped inter-broker latencies and the
+// gateway mobility model (§IV-C): each node belongs to a fixed geographic
+// site; intra-site links are LAN, inter-site links are WAN with latencies
+// sampled once at construction. Gateways submit tasks from a site and the
+// federation routes each task to the closest *active* broker, breaking
+// ties uniformly at random (paper §III-A, Workload Model).
+#ifndef CAROL_SIM_NETWORK_H_
+#define CAROL_SIM_NETWORK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+
+namespace carol::sim {
+
+struct NetworkConfig {
+  int num_sites = 4;
+  double lan_latency_s = 0.002;
+  double wan_latency_min_s = 0.020;
+  double wan_latency_max_s = 0.080;
+};
+
+class Network {
+ public:
+  // Assigns nodes to sites in contiguous blocks (node i -> site
+  // i / (num_nodes / num_sites)) and samples a symmetric WAN latency
+  // matrix from the configured range.
+  Network(int num_nodes, const NetworkConfig& config, common::Rng& rng);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_sites() const { return config_.num_sites; }
+  int site_of(NodeId node) const;
+
+  // One-way latency between two nodes.
+  double LatencyBetween(NodeId a, NodeId b) const;
+  // One-way latency from a gateway at `site` to `node`.
+  double LatencyFromSite(int site, NodeId node) const;
+
+  // Closest active broker to a gateway at `site` (ties broken uniformly).
+  // `alive` maps NodeId -> liveness. Returns kNoNode if no broker is alive.
+  NodeId RouteToBroker(int site, const Topology& topology,
+                       const std::vector<bool>& alive,
+                       common::Rng& rng) const;
+
+ private:
+  double SiteLatency(int s1, int s2) const;
+
+  int num_nodes_;
+  NetworkConfig config_;
+  std::vector<int> node_site_;
+  std::vector<double> site_latency_;  // num_sites x num_sites, row-major
+};
+
+}  // namespace carol::sim
+
+#endif  // CAROL_SIM_NETWORK_H_

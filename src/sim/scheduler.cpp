@@ -1,0 +1,101 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace carol::sim {
+
+namespace {
+
+struct WorkerLoad {
+  NodeId node = kNoNode;
+  double cpu_demand = 0.0;   // resident + already-scheduled MIPS
+  double ram_demand = 0.0;
+  double capacity = 1.0;
+  double ram_capacity = 1.0;
+
+  double ratio() const { return cpu_demand / capacity; }
+};
+
+std::vector<WorkerLoad> CollectWorkers(const Federation& fed) {
+  std::vector<WorkerLoad> loads;
+  const Topology& topo = fed.topology();
+  for (NodeId w : topo.workers()) {
+    if (!fed.IsAliveNow(w)) continue;
+    if (!fed.IsAliveNow(topo.broker_of(w))) continue;
+    WorkerLoad load;
+    load.node = w;
+    const HostRuntime& h = fed.host(w);
+    load.capacity = h.spec.cpu_capacity_mips;
+    load.ram_capacity = h.spec.ram_mb;
+    load.cpu_demand = h.fault_cpu_mips;
+    load.ram_demand = h.fault_ram_mb;
+    for (const Task* task : fed.ActiveTasksOn(w)) {
+      load.cpu_demand += task->mips_demand;
+      load.ram_demand += task->ram_mb;
+    }
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+}  // namespace
+
+SchedulingDecision LeastUtilizationScheduler::Schedule(
+    const Federation& federation) {
+  SchedulingDecision decision;
+  std::vector<WorkerLoad> loads = CollectWorkers(federation);
+  if (loads.empty()) return decision;
+  const Topology& topo = federation.topology();
+
+  for (const Task* task : federation.UnplacedTasks()) {
+    WorkerLoad* best = nullptr;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    auto consider = [&](WorkerLoad& load, bool respect_ram) {
+      const double projected =
+          (load.cpu_demand + task->mips_demand) / load.capacity;
+      if (respect_ram &&
+          load.ram_demand + task->ram_mb > load.ram_capacity) {
+        return;
+      }
+      if (projected < best_ratio) {
+        best_ratio = projected;
+        best = &load;
+      }
+    };
+
+    // Pass 1: workers of the task's own LEI, RAM-respecting.
+    for (WorkerLoad& load : loads) {
+      if (topo.broker_of(load.node) == task->broker) consider(load, true);
+    }
+    // Pass 2: spill federation-wide if the LEI is saturated.
+    if (best == nullptr || best_ratio > spill_threshold_) {
+      for (WorkerLoad& load : loads) consider(load, true);
+    }
+    // Pass 3: ignore RAM (better overloaded than stranded).
+    if (best == nullptr) {
+      for (WorkerLoad& load : loads) consider(load, false);
+    }
+    if (best != nullptr) {
+      decision.placement[task->id] = best->node;
+      best->cpu_demand += task->mips_demand;
+      best->ram_demand += task->ram_mb;
+    }
+  }
+  return decision;
+}
+
+SchedulingDecision RoundRobinScheduler::Schedule(
+    const Federation& federation) {
+  SchedulingDecision decision;
+  std::vector<WorkerLoad> loads = CollectWorkers(federation);
+  if (loads.empty()) return decision;
+  for (const Task* task : federation.UnplacedTasks()) {
+    decision.placement[task->id] = loads[cursor_ % loads.size()].node;
+    ++cursor_;
+  }
+  return decision;
+}
+
+}  // namespace carol::sim

@@ -1,0 +1,54 @@
+// The underlying task scheduler producing the decision S_t (paper §III-A:
+// "we assume an underlying scheduler in the system independent from the
+// proposed fault-tolerance solution"). The default is a least-utilization
+// first-fit in the spirit of the GOBI layer the paper builds on.
+#ifndef CAROL_SIM_SCHEDULER_H_
+#define CAROL_SIM_SCHEDULER_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/federation.h"
+
+namespace carol::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  // Produces placements for the federation's currently unplaced tasks.
+  virtual SchedulingDecision Schedule(const Federation& federation) = 0;
+};
+
+// Places each task on the worker (of the task's LEI first, spilling over
+// federation-wide when the LEI is saturated) with the lowest projected CPU
+// demand ratio. RAM capacity is respected as a hard constraint when
+// possible.
+class LeastUtilizationScheduler : public Scheduler {
+ public:
+  // `spill_threshold` is the projected demand/capacity ratio above which
+  // the scheduler looks outside the task's own LEI.
+  explicit LeastUtilizationScheduler(double spill_threshold = 1.2)
+      : spill_threshold_(spill_threshold) {}
+
+  std::string name() const override { return "least-utilization"; }
+  SchedulingDecision Schedule(const Federation& federation) override;
+
+ private:
+  double spill_threshold_;
+};
+
+// Round-robin over alive workers; deliberately topology-oblivious. Used in
+// tests and as a lower bound in ablations.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  SchedulingDecision Schedule(const Federation& federation) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace carol::sim
+
+#endif  // CAROL_SIM_SCHEDULER_H_

@@ -1,0 +1,216 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace carol::sim {
+
+Topology::Topology(int num_nodes) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("Topology: num_nodes must be positive");
+  }
+  assignment_.assign(static_cast<std::size_t>(num_nodes), 0);
+  assignment_[0] = 0;  // node 0 is the sole broker
+}
+
+Topology Topology::Initial(int num_nodes, int num_brokers) {
+  if (num_brokers <= 0 || num_brokers > num_nodes) {
+    throw std::invalid_argument("Topology::Initial: bad broker count");
+  }
+  Topology t(num_nodes);
+  // Spread brokers evenly: with 16 nodes / 4 brokers this picks
+  // 0, 4, 8, 12 — the first (8 GB) node of each site in the default fleet.
+  const int stride = num_nodes / num_brokers;
+  std::vector<NodeId> brokers;
+  for (int b = 0; b < num_brokers; ++b) brokers.push_back(b * stride);
+  for (NodeId b : brokers) t.assignment_[static_cast<std::size_t>(b)] = b;
+  int next = 0;
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    if (std::find(brokers.begin(), brokers.end(), i) != brokers.end()) {
+      continue;
+    }
+    // Prefer the broker of the node's own stride block (its site), which
+    // reproduces the paper's symmetric initial LEIs.
+    const NodeId site_broker = (i / stride) * stride;
+    if (std::find(brokers.begin(), brokers.end(), site_broker) !=
+        brokers.end()) {
+      t.assignment_[static_cast<std::size_t>(i)] = site_broker;
+    } else {
+      t.assignment_[static_cast<std::size_t>(i)] =
+          brokers[static_cast<std::size_t>(next++ % num_brokers)];
+    }
+  }
+  return t;
+}
+
+Topology Topology::FromAssignment(const std::vector<NodeId>& assignment) {
+  if (assignment.empty()) {
+    throw std::invalid_argument("FromAssignment: empty assignment");
+  }
+  Topology t;
+  t.assignment_ = assignment;
+  if (!t.IsValid()) {
+    throw std::invalid_argument("FromAssignment: invalid encoding");
+  }
+  return t;
+}
+
+void Topology::CheckNode(NodeId node, const char* op) const {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::out_of_range(std::string(op) + ": node " +
+                            std::to_string(node) + " out of range");
+  }
+}
+
+int Topology::broker_count() const {
+  int count = 0;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (assignment_[static_cast<std::size_t>(i)] == i) ++count;
+  }
+  return count;
+}
+
+bool Topology::is_broker(NodeId node) const {
+  CheckNode(node, "is_broker");
+  return assignment_[static_cast<std::size_t>(node)] == node;
+}
+
+std::vector<NodeId> Topology::brokers() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (assignment_[static_cast<std::size_t>(i)] == i) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::workers() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (assignment_[static_cast<std::size_t>(i)] != i) out.push_back(i);
+  }
+  return out;
+}
+
+NodeId Topology::broker_of(NodeId node) const {
+  CheckNode(node, "broker_of");
+  return assignment_[static_cast<std::size_t>(node)];
+}
+
+std::vector<NodeId> Topology::workers_of(NodeId broker) const {
+  CheckNode(broker, "workers_of");
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (i != broker && assignment_[static_cast<std::size_t>(i)] == broker) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int Topology::lei_of(NodeId node) const {
+  const NodeId b = broker_of(node);
+  const auto bs = brokers();
+  const auto it = std::find(bs.begin(), bs.end(), b);
+  return it == bs.end() ? -1 : static_cast<int>(it - bs.begin());
+}
+
+void Topology::Promote(NodeId worker) {
+  CheckNode(worker, "Promote");
+  assignment_[static_cast<std::size_t>(worker)] = worker;
+}
+
+void Topology::Demote(NodeId broker, NodeId new_broker) {
+  CheckNode(broker, "Demote");
+  CheckNode(new_broker, "Demote");
+  if (!is_broker(broker)) {
+    throw std::invalid_argument("Demote: node is not a broker");
+  }
+  if (broker == new_broker || !is_broker(new_broker)) {
+    throw std::invalid_argument("Demote: new_broker must be another broker");
+  }
+  for (NodeId w : workers_of(broker)) {
+    assignment_[static_cast<std::size_t>(w)] = new_broker;
+  }
+  assignment_[static_cast<std::size_t>(broker)] = new_broker;
+}
+
+void Topology::Assign(NodeId worker, NodeId broker) {
+  CheckNode(worker, "Assign");
+  CheckNode(broker, "Assign");
+  if (!is_broker(broker)) {
+    throw std::invalid_argument("Assign: target is not a broker");
+  }
+  if (is_broker(worker)) {
+    throw std::invalid_argument(
+        "Assign: node is a broker (demote it instead)");
+  }
+  assignment_[static_cast<std::size_t>(worker)] = broker;
+}
+
+bool Topology::IsValid() const {
+  if (assignment_.empty()) return false;
+  bool any_broker = false;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    const NodeId target = assignment_[static_cast<std::size_t>(i)];
+    if (target < 0 || target >= num_nodes()) return false;
+    if (target == i) {
+      any_broker = true;
+    } else if (assignment_[static_cast<std::size_t>(target)] != target) {
+      return false;  // worker pointing at a non-broker
+    }
+  }
+  return any_broker;
+}
+
+std::vector<double> Topology::AdjacencyFlat() const {
+  const std::size_t h = assignment_.size();
+  std::vector<double> adj(h * h, 0.0);
+  const auto bs = brokers();
+  for (std::size_t a = 0; a < bs.size(); ++a) {
+    for (std::size_t b = a + 1; b < bs.size(); ++b) {
+      adj[static_cast<std::size_t>(bs[a]) * h +
+          static_cast<std::size_t>(bs[b])] = 1.0;
+      adj[static_cast<std::size_t>(bs[b]) * h +
+          static_cast<std::size_t>(bs[a])] = 1.0;
+    }
+  }
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    const NodeId b = assignment_[static_cast<std::size_t>(i)];
+    if (b != i) {
+      adj[static_cast<std::size_t>(i) * h + static_cast<std::size_t>(b)] =
+          1.0;
+      adj[static_cast<std::size_t>(b) * h + static_cast<std::size_t>(i)] =
+          1.0;
+    }
+  }
+  return adj;
+}
+
+std::size_t Topology::Hash() const {
+  std::size_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (NodeId v : assignment_) {
+    hash ^= static_cast<std::size_t>(v) + 0x9e3779b9;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (NodeId b : brokers()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{" << b << ":[";
+    const auto ws = workers_of(b);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      os << ws[i];
+      if (i + 1 < ws.size()) os << ",";
+    }
+    os << "]}";
+  }
+  return os.str();
+}
+
+}  // namespace carol::sim

@@ -1,0 +1,84 @@
+// Broker-worker topology graph G_t of the edge federation (paper §III-A).
+//
+// Every node is either a broker or a worker assigned to exactly one broker;
+// brokers form a clique (they synchronize management state), workers
+// connect only to their broker. Local Edge Infrastructure (LEI) = a broker
+// plus its workers.
+#ifndef CAROL_SIM_TOPOLOGY_H_
+#define CAROL_SIM_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace carol::sim {
+
+class Topology {
+ public:
+  Topology() = default;
+  // All nodes start as workers of node 0 (which becomes the sole broker).
+  explicit Topology(int num_nodes);
+
+  // The paper's starting configuration: `num_brokers` LEIs with brokers
+  // spread evenly across the node range and remaining nodes assigned
+  // round-robin, i.e. symmetric worker distribution.
+  static Topology Initial(int num_nodes, int num_brokers);
+
+  // Rebuilds a topology from a broker_of vector (assignment[i] == i marks
+  // a broker). Throws std::invalid_argument if the encoding is invalid.
+  static Topology FromAssignment(const std::vector<NodeId>& assignment);
+
+  int num_nodes() const { return static_cast<int>(assignment_.size()); }
+  int broker_count() const;
+  int worker_count() const { return num_nodes() - broker_count(); }
+
+  bool is_broker(NodeId node) const;
+  // Sorted list of broker ids.
+  std::vector<NodeId> brokers() const;
+  std::vector<NodeId> workers() const;
+  // Broker managing `node`; for a broker returns the node itself.
+  NodeId broker_of(NodeId node) const;
+  std::vector<NodeId> workers_of(NodeId broker) const;
+  // LEI index of a node = position of its broker in brokers().
+  int lei_of(NodeId node) const;
+
+  // --- mutations (the node-shift primitives build on these) ---
+  // Makes `worker` a broker (its former siblings stay with their broker).
+  void Promote(NodeId worker);
+  // Makes `broker` a worker of `new_broker`; all its workers move to
+  // `new_broker` too. Throws std::invalid_argument if it is the last
+  // broker or new_broker is not a broker.
+  void Demote(NodeId broker, NodeId new_broker);
+  // Reassigns `worker` to `broker`. Throws on role violations.
+  void Assign(NodeId worker, NodeId broker);
+
+  // True iff there is at least one broker and every worker points at a
+  // broker. (Mutation methods preserve validity; this guards topologies
+  // assembled externally, e.g. by baseline policies.)
+  bool IsValid() const;
+
+  // Undirected adjacency (broker clique + worker-broker edges), flattened
+  // row-major HxH with 0/1 entries. No self loops.
+  std::vector<double> AdjacencyFlat() const;
+
+  // FNV-1a over the assignment vector; used by the tabu list.
+  std::size_t Hash() const;
+
+  bool operator==(const Topology& other) const = default;
+
+  // e.g. "{0:[1,2,3]},{4:[5,6,7]}".
+  std::string ToString() const;
+
+ private:
+  void CheckNode(NodeId node, const char* op) const;
+
+  // assignment_[i] == i  -> node i is a broker;
+  // assignment_[i] == b  -> node i is a worker of broker b.
+  std::vector<NodeId> assignment_;
+};
+
+}  // namespace carol::sim
+
+#endif  // CAROL_SIM_TOPOLOGY_H_

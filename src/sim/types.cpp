@@ -1,0 +1,60 @@
+#include "sim/types.h"
+
+namespace carol::sim {
+
+NodeSpec RaspberryPi4B4GB() {
+  NodeSpec s;
+  s.name = "rpi4b-4gb";
+  s.cpu_capacity_mips = 4000.0;
+  s.ram_mb = 4096.0;
+  s.disk_bw_mbps = 90.0;
+  s.net_bw_mbps = 120.0;
+  s.idle_power_w = 2.7;
+  s.peak_power_w = 6.4;
+  return s;
+}
+
+NodeSpec RaspberryPi4B8GB() {
+  NodeSpec s;
+  s.name = "rpi4b-8gb";
+  s.cpu_capacity_mips = 4800.0;
+  s.ram_mb = 8192.0;
+  s.disk_bw_mbps = 100.0;
+  s.net_bw_mbps = 120.0;
+  s.idle_power_w = 2.9;
+  s.peak_power_w = 7.3;
+  return s;
+}
+
+std::vector<NodeSpec> DefaultTestbedSpecs() {
+  // 4 sites x 4 nodes. Node (site*4 + 0) is the 8 GB initial broker of the
+  // site; each site also holds one additional 8 GB node (so 8 of each part
+  // federation-wide, matching the paper's testbed).
+  std::vector<NodeSpec> specs;
+  specs.reserve(16);
+  for (int site = 0; site < 4; ++site) {
+    specs.push_back(RaspberryPi4B8GB());
+    specs.push_back(RaspberryPi4B8GB());
+    specs.push_back(RaspberryPi4B4GB());
+    specs.push_back(RaspberryPi4B4GB());
+  }
+  return specs;
+}
+
+std::vector<double> HostMetricsRow::Features() const {
+  return {cpu_util,
+          ram_util,
+          disk_util,
+          net_util,
+          energy_kwh,
+          slo_violation_rate,
+          task_cpu_demand_mips,
+          task_ram_demand_mb,
+          avg_deadline_s,
+          sched_cpu_demand_mips,
+          sched_task_count,
+          is_broker ? 1.0 : 0.0,
+          failed ? 1.0 : 0.0};
+}
+
+}  // namespace carol::sim

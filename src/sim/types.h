@@ -1,0 +1,102 @@
+// Core value types of the federated-edge simulator: hardware profiles,
+// tasks and per-host metrics rows. The simulator replaces the paper's
+// 16-node Raspberry-Pi testbed (see DESIGN.md, "Substitutions").
+#ifndef CAROL_SIM_TYPES_H_
+#define CAROL_SIM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace carol::sim {
+
+using NodeId = int;
+using TaskId = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+// Static hardware profile of an edge node.
+struct NodeSpec {
+  std::string name;
+  double cpu_capacity_mips = 4000.0;  // aggregate over cores
+  double ram_mb = 4096.0;
+  double disk_bw_mbps = 90.0;   // sequential throughput
+  double net_bw_mbps = 120.0;   // ~1 Gbps line rate in MB/s
+  double idle_power_w = 2.7;
+  double peak_power_w = 6.4;
+};
+
+// The paper's testbed: Raspberry Pi 4B, 8 nodes with 4 GB RAM and 8 with
+// 8 GB (the 8 GB parts also clock slightly higher in our model to make the
+// federation heterogeneous in compute, not just memory).
+NodeSpec RaspberryPi4B4GB();
+NodeSpec RaspberryPi4B8GB();
+
+// The default 16-node fleet: ids 0..15, alternating sites of 4 nodes; the
+// first node of each site is an 8 GB part (initial broker candidates).
+std::vector<NodeSpec> DefaultTestbedSpecs();
+
+// One unit of work (a containerized application instance, bag-of-tasks
+// model). All resource demands are per-task while active.
+struct Task {
+  TaskId id = 0;
+  int app_type = 0;          // index into the workload profile table
+  std::string app_name;
+  double total_mi = 0.0;     // total work, million instructions
+  double remaining_mi = 0.0;
+  double mips_demand = 0.0;  // preferred processing rate (MIPS)
+  double ram_mb = 0.0;
+  double disk_mbps = 0.0;
+  double net_mbps = 0.0;
+  double input_mb = 0.0;     // transferred on placement
+  double output_mb = 0.0;    // transferred on completion
+  double slo_deadline_s = 0.0;
+  double arrival_time_s = 0.0;
+  int gateway_site = 0;      // which geographic site submitted it
+
+  // Runtime bookkeeping (managed by the Federation).
+  NodeId assigned_host = kNoNode;
+  NodeId broker = kNoNode;
+  double placed_time_s = -1.0;
+  double finish_time_s = -1.0;
+  double startup_delay_s = 0.0;  // routing + data-transfer latency
+
+  bool placed() const { return assigned_host != kNoNode; }
+  bool finished() const { return finish_time_s >= 0.0; }
+};
+
+// One row of the performance-metrics matrix M_t (paper §IV-A):
+// u_i = resource utilizations, q_i = QoS metrics, t_i = task demands with
+// SLO deadlines, plus the per-host component of the scheduling decision S.
+struct HostMetricsRow {
+  // u_i — utilizations over the last interval; cpu may exceed 1 under
+  // overload (demand / capacity), which is exactly the fault signal the
+  // paper's resource-over-utilization model needs.
+  double cpu_util = 0.0;
+  double ram_util = 0.0;
+  double disk_util = 0.0;
+  double net_util = 0.0;
+  // q_i
+  double energy_kwh = 0.0;
+  double slo_violation_rate = 0.0;
+  // t_i — aggregate demands of tasks resident on this host
+  double task_cpu_demand_mips = 0.0;
+  double task_ram_demand_mb = 0.0;
+  double avg_deadline_s = 0.0;
+  // Per-host component of the scheduling decision (new tasks directed
+  // here this interval).
+  double sched_cpu_demand_mips = 0.0;
+  double sched_task_count = 0.0;
+  // Roles / liveness
+  bool is_broker = false;
+  bool failed = false;
+
+  // Number of scalar features exported to the neural encoders.
+  static constexpr int kFeatureCount = 13;
+  // Flattens the row in a fixed order (documented in encoder.cc).
+  std::vector<double> Features() const;
+};
+
+}  // namespace carol::sim
+
+#endif  // CAROL_SIM_TYPES_H_

@@ -1,0 +1,48 @@
+#include "workload/gateway.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace carol::workload {
+
+GatewayMobility::GatewayMobility(GatewayMobilityConfig config,
+                                 common::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config.num_sites <= 0) {
+    throw std::invalid_argument("GatewayMobility: need at least one site");
+  }
+  weights_.assign(static_cast<std::size_t>(config.num_sites), 1.0);
+}
+
+void GatewayMobility::Step() {
+  if (rng_.Bernoulli(config_.wave_prob)) {
+    // Migration wave: a crowd converges on one site.
+    ++waves_;
+    const std::size_t target = rng_.Choice(weights_.size());
+    const double total =
+        std::accumulate(weights_.begin(), weights_.end(), 0.0);
+    const double moved = total * config_.wave_mass;
+    for (double& w : weights_) w *= (1.0 - config_.wave_mass);
+    weights_[target] += moved;
+  } else {
+    // Bounded multiplicative random walk.
+    for (double& w : weights_) {
+      w *= std::exp(rng_.Normal(0.0, config_.drift));
+      w = std::clamp(w, config_.min_weight, config_.max_weight);
+    }
+  }
+}
+
+int GatewayMobility::SampleSite(common::Rng& rng) const {
+  return static_cast<int>(rng.WeightedChoice(weights_));
+}
+
+std::vector<double> GatewayMobility::Distribution() const {
+  std::vector<double> dist = weights_;
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  for (double& v : dist) v /= total;
+  return dist;
+}
+
+}  // namespace carol::workload

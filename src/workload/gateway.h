@@ -1,0 +1,56 @@
+// Gateway mobility model (paper §IV-C, after Looga et al. "Mammoth"):
+// the population of gateway devices drifts between geographic sites over
+// time, skewing which LEI receives the load. This produces the
+// non-stationary *spatial* load distribution that complements the
+// generator's temporal non-stationarity.
+//
+// Model: per-site attraction weights follow a bounded multiplicative
+// random walk with occasional migration waves (a crowd moving between
+// sites). Tasks sample their origin site from the normalized weights.
+#ifndef CAROL_WORKLOAD_GATEWAY_H_
+#define CAROL_WORKLOAD_GATEWAY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace carol::workload {
+
+struct GatewayMobilityConfig {
+  int num_sites = 4;
+  // Per-interval multiplicative drift magnitude of site weights.
+  double drift = 0.15;
+  // Probability per interval of a migration wave (mass moves to one site).
+  double wave_prob = 0.02;
+  // Fraction of total attraction a wave concentrates on its target site.
+  double wave_mass = 0.5;
+  // Weights are clamped to [min_weight, max_weight] before normalizing.
+  double min_weight = 0.05;
+  double max_weight = 8.0;
+};
+
+class GatewayMobility {
+ public:
+  GatewayMobility(GatewayMobilityConfig config, common::Rng rng);
+
+  // Advances the mobility state by one scheduling interval.
+  void Step();
+
+  // Samples the origin site of one task.
+  int SampleSite(common::Rng& rng) const;
+
+  // Current normalized site distribution.
+  std::vector<double> Distribution() const;
+
+  int waves() const { return waves_; }
+
+ private:
+  GatewayMobilityConfig config_;
+  common::Rng rng_;
+  std::vector<double> weights_;
+  int waves_ = 0;
+};
+
+}  // namespace carol::workload
+
+#endif  // CAROL_WORKLOAD_GATEWAY_H_

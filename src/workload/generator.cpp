@@ -1,0 +1,109 @@
+#include "workload/generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace carol::workload {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<AppProfile> apps,
+                                     WorkloadConfig config, common::Rng rng)
+    : apps_(std::move(apps)), config_(config), rng_(rng) {
+  if (apps_.empty()) {
+    throw std::invalid_argument("WorkloadGenerator: no app profiles");
+  }
+  mix_weights_.assign(apps_.size(), 1.0);
+  if (config_.gateway_mobility) {
+    GatewayMobilityConfig mcfg = config_.mobility;
+    mcfg.num_sites = config_.num_sites;
+    mobility_.emplace(mcfg, rng_.Fork());
+  }
+}
+
+std::vector<double> WorkloadGenerator::SiteDistribution() const {
+  if (mobility_.has_value()) return mobility_->Distribution();
+  return std::vector<double>(static_cast<std::size_t>(config_.num_sites),
+                             1.0 / config_.num_sites);
+}
+
+double WorkloadGenerator::RateMultiplier(int interval) const {
+  if (!config_.non_stationary) return 1.0;
+  const double angle = 2.0 * std::numbers::pi *
+                       (static_cast<double>(interval) + phase_) /
+                       config_.burst_period_intervals;
+  const double mult = 1.0 + config_.burst_amplitude * std::sin(angle);
+  return std::max(0.1, mult);
+}
+
+void WorkloadGenerator::MaybeRegimeShift() {
+  if (!config_.non_stationary) return;
+  if (!rng_.Bernoulli(config_.regime_shift_prob)) return;
+  ++regime_shifts_;
+  phase_ = rng_.Uniform(0.0, config_.burst_period_intervals);
+  // Redraw the application mix (normalized exponential draws give a
+  // Dirichlet(1) sample): some regimes are light-CNN heavy, others are
+  // dominated by the large networks.
+  for (double& w : mix_weights_) w = rng_.Exponential(1.0) + 0.05;
+}
+
+sim::Task WorkloadGenerator::MakeTask(int app_index, int site,
+                                      double now_s) {
+  const AppProfile& app = apps_[static_cast<std::size_t>(app_index)];
+  sim::Task task;
+  task.id = next_id_++;
+  task.app_type = app_index;
+  task.app_name = app.name;
+  task.total_mi = rng_.Uniform(app.mi_min, app.mi_max);
+  task.remaining_mi = task.total_mi;
+  task.mips_demand = app.mips_demand * rng_.Uniform(0.9, 1.1);
+  task.ram_mb = rng_.Uniform(app.ram_min_mb, app.ram_max_mb);
+  task.disk_mbps = app.disk_mbps;
+  task.net_mbps = app.net_mbps;
+  task.input_mb = app.input_mb;
+  task.output_mb = app.output_mb;
+  task.slo_deadline_s = app.deadline_s;
+  task.arrival_time_s = now_s;
+  task.gateway_site = site;
+  return task;
+}
+
+std::vector<sim::Task> WorkloadGenerator::Generate(int interval,
+                                                   double now_s) {
+  MaybeRegimeShift();
+  if (mobility_.has_value()) mobility_->Step();
+  const double rate = config_.lambda_per_site * RateMultiplier(interval);
+  std::vector<sim::Task> tasks;
+  if (mobility_.has_value()) {
+    // With mobility, the federation-wide rate is fixed but its spatial
+    // distribution follows the drifting gateway population.
+    const int n = rng_.Poisson(rate * config_.num_sites);
+    for (int i = 0; i < n; ++i) {
+      const int app = static_cast<int>(rng_.WeightedChoice(mix_weights_));
+      tasks.push_back(MakeTask(app, mobility_->SampleSite(rng_), now_s));
+    }
+  } else {
+    for (int site = 0; site < config_.num_sites; ++site) {
+      const int n = rng_.Poisson(rate);
+      for (int i = 0; i < n; ++i) {
+        const int app =
+            static_cast<int>(rng_.WeightedChoice(mix_weights_));
+        tasks.push_back(MakeTask(app, site, now_s));
+      }
+    }
+  }
+  total_generated_ += static_cast<int>(tasks.size());
+  return tasks;
+}
+
+void WorkloadGenerator::OverrideDeadlines(
+    const std::vector<double>& deadlines) {
+  if (deadlines.size() != apps_.size()) {
+    throw std::invalid_argument(
+        "OverrideDeadlines: need one deadline per app");
+  }
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    apps_[i].deadline_s = deadlines[i];
+  }
+}
+
+}  // namespace carol::workload

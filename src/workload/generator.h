@@ -1,0 +1,75 @@
+// Bag-of-tasks workload generator (paper §III-A and §V-A).
+//
+// At the start of each scheduling interval every geographic site submits
+// Poisson(lambda) new tasks through its gateway, drawn from the active
+// application mix. Non-stationarity — the property CAROL's confidence-
+// aware fine-tuning exists to handle — comes from two mechanisms:
+//   * a slow sinusoidal modulation of the arrival rate (diurnal load), and
+//   * random regime shifts that redraw the per-site application mix and
+//     rate phase (workload composition changes).
+#ifndef CAROL_WORKLOAD_GENERATOR_H_
+#define CAROL_WORKLOAD_GENERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/types.h"
+#include "workload/gateway.h"
+#include "workload/profiles.h"
+
+namespace carol::workload {
+
+struct WorkloadConfig {
+  // Poisson rate per site per interval (the paper's lambda_t = 1.2).
+  double lambda_per_site = 1.2;
+  int num_sites = 4;
+  bool non_stationary = true;
+  // Sinusoidal modulation: rate *= 1 + amplitude*sin(2*pi*t/period).
+  double burst_amplitude = 0.7;
+  double burst_period_intervals = 40.0;
+  // Probability per interval of a regime shift (phase + mix redraw).
+  double regime_shift_prob = 0.03;
+  // Spatial non-stationarity: route arrivals through the §IV-C gateway
+  // mobility model instead of uniform site selection.
+  bool gateway_mobility = false;
+  GatewayMobilityConfig mobility;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(std::vector<AppProfile> apps, WorkloadConfig config,
+                    common::Rng rng);
+
+  // Creates the new tasks arriving at `now_s` (start of `interval`).
+  std::vector<sim::Task> Generate(int interval, double now_s);
+
+  // Replaces the per-app SLO deadlines (relative-SLO calibration, §V-B).
+  // `deadlines` must have one entry per app profile.
+  void OverrideDeadlines(const std::vector<double>& deadlines);
+
+  const std::vector<AppProfile>& apps() const { return apps_; }
+  int total_generated() const { return total_generated_; }
+  int regime_shifts() const { return regime_shifts_; }
+  // Current gateway site distribution (uniform when mobility is off).
+  std::vector<double> SiteDistribution() const;
+
+ private:
+  double RateMultiplier(int interval) const;
+  void MaybeRegimeShift();
+  sim::Task MakeTask(int app_index, int site, double now_s);
+
+  std::vector<AppProfile> apps_;
+  WorkloadConfig config_;
+  common::Rng rng_;
+  std::optional<GatewayMobility> mobility_;
+  std::vector<double> mix_weights_;  // per app
+  double phase_ = 0.0;
+  int total_generated_ = 0;
+  int regime_shifts_ = 0;
+  sim::TaskId next_id_ = 1;
+};
+
+}  // namespace carol::workload
+
+#endif  // CAROL_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,77 @@
+#include "workload/profiles.h"
+
+namespace carol::workload {
+
+std::vector<AppProfile> DeFogProfiles() {
+  // Yolo: object detection — CPU and memory heavy with large image I/O.
+  AppProfile yolo{.name = "yolo",
+                  .mi_min = 180e3,
+                  .mi_max = 300e3,
+                  .mips_demand = 1250.0,
+                  .ram_min_mb = 800.0,
+                  .ram_max_mb = 1100.0,
+                  .disk_mbps = 8.0,
+                  .net_mbps = 4.0,
+                  .input_mb = 60.0,
+                  .output_mb = 2.0,
+                  .deadline_s = 420.0};
+  // PocketSphinx: speech-to-text — CPU bound, moderate memory.
+  AppProfile sphinx{.name = "pocketsphinx",
+                    .mi_min = 100e3,
+                    .mi_max = 180e3,
+                    .mips_demand = 1100.0,
+                    .ram_min_mb = 250.0,
+                    .ram_max_mb = 400.0,
+                    .disk_mbps = 4.0,
+                    .net_mbps = 2.0,
+                    .input_mb = 25.0,
+                    .output_mb = 0.5,
+                    .deadline_s = 300.0};
+  // Aeneas: forced audio/text alignment — disk-heavy.
+  AppProfile aeneas{.name = "aeneas",
+                    .mi_min = 60e3,
+                    .mi_max = 130e3,
+                    .mips_demand = 950.0,
+                    .ram_min_mb = 200.0,
+                    .ram_max_mb = 350.0,
+                    .disk_mbps = 25.0,
+                    .net_mbps = 2.0,
+                    .input_mb = 35.0,
+                    .output_mb = 1.0,
+                    .deadline_s = 260.0};
+  return {yolo, sphinx, aeneas};
+}
+
+std::vector<AppProfile> AIoTBenchProfiles() {
+  // Work scales follow the networks' relative FLOPs per image (ResNet18
+  // ~1.8G, ResNet34 ~3.6G, ResNeXt32x4d ~4.2G, SqueezeNet ~0.35G,
+  // GoogLeNet ~1.5G, MobileNetV2 ~0.3G, MnasNet ~0.33G) applied to COCO
+  // image batches; memory follows parameter+activation footprints.
+  auto make = [](std::string name, double mi_lo, double mi_hi,
+                 double ram_lo, double ram_hi, double deadline) {
+    AppProfile p;
+    p.name = std::move(name);
+    p.mi_min = mi_lo;
+    p.mi_max = mi_hi;
+    p.mips_demand = 1200.0;
+    p.ram_min_mb = ram_lo;
+    p.ram_max_mb = ram_hi;
+    p.disk_mbps = 6.0;
+    p.net_mbps = 3.0;
+    p.input_mb = 40.0;
+    p.output_mb = 1.0;
+    p.deadline_s = deadline;
+    return p;
+  };
+  return {
+      make("resnet18", 150e3, 230e3, 650.0, 850.0, 380.0),
+      make("resnet34", 260e3, 380e3, 850.0, 1100.0, 520.0),
+      make("resnext32x4d", 300e3, 440e3, 1000.0, 1300.0, 580.0),
+      make("squeezenet", 40e3, 75e3, 220.0, 320.0, 150.0),
+      make("googlenet", 120e3, 190e3, 450.0, 600.0, 320.0),
+      make("mobilenetv2", 35e3, 65e3, 260.0, 360.0, 140.0),
+      make("mnasnet", 38e3, 70e3, 280.0, 380.0, 145.0),
+  };
+}
+
+}  // namespace carol::workload

@@ -1,0 +1,46 @@
+// Application profiles replacing the paper's benchmark binaries.
+//
+// Offline training traces use DeFog (Yolo, PocketSphinx, Aeneas — §IV-D);
+// test-time workloads use AIoTBench's seven CNN applications (§V-A):
+// ResNet18, ResNet34, ResNeXt32x4d (heavy) and SqueezeNet, GoogLeNet,
+// MobileNetV2, MnasNet (light). Resource envelopes are scaled from the
+// applications' published compute/memory footprints onto the simulator's
+// Raspberry-Pi-class MIPS scale; what matters for the evaluation is the
+// heterogeneity and contention they induce, not the binaries themselves
+// (see DESIGN.md, Substitutions).
+#ifndef CAROL_WORKLOAD_PROFILES_H_
+#define CAROL_WORKLOAD_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+namespace carol::workload {
+
+struct AppProfile {
+  std::string name;
+  // Total work per task, sampled uniformly from [mi_min, mi_max].
+  double mi_min = 0.0;
+  double mi_max = 0.0;
+  // Preferred processing rate (one container ~ one Pi core's MIPS share).
+  double mips_demand = 1000.0;
+  // Resident memory, sampled uniformly from [ram_min_mb, ram_max_mb].
+  double ram_min_mb = 0.0;
+  double ram_max_mb = 0.0;
+  double disk_mbps = 0.0;
+  double net_mbps = 0.0;
+  double input_mb = 0.0;
+  double output_mb = 0.0;
+  // Default absolute SLO deadline; bench harnesses override this with the
+  // paper's relative SLO (90th percentile of StepGAN's response, §V-B).
+  double deadline_s = 300.0;
+};
+
+// DeFog benchmark suite subset used for the offline GON training trace.
+std::vector<AppProfile> DeFogProfiles();
+
+// AIoTBench CNN suite used at test time.
+std::vector<AppProfile> AIoTBenchProfiles();
+
+}  // namespace carol::workload
+
+#endif  // CAROL_WORKLOAD_PROFILES_H_

@@ -1,0 +1,72 @@
+#include "workload/trace.h"
+
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace carol::workload {
+
+TraceRecord MakeTraceRecord(const sim::SystemSnapshot& snapshot) {
+  TraceRecord rec;
+  rec.interval = snapshot.interval;
+  const int h = snapshot.topology.num_nodes();
+  rec.assignment.reserve(static_cast<std::size_t>(h));
+  for (sim::NodeId n = 0; n < h; ++n) {
+    rec.assignment.push_back(snapshot.topology.broker_of(n));
+  }
+  rec.host_features.reserve(snapshot.hosts.size());
+  for (const auto& row : snapshot.hosts) {
+    rec.host_features.push_back(row.Features());
+  }
+  rec.energy_kwh = snapshot.interval_energy_kwh;
+  rec.slo_rate = snapshot.slo_rate;
+  rec.avg_response_s = snapshot.avg_response_s;
+  return rec;
+}
+
+void SaveTrace(const Trace& trace, const std::string& path) {
+  std::vector<std::string> header = {"interval", "host", "broker_of",
+                                     "energy_kwh", "slo_rate",
+                                     "avg_response_s"};
+  const int f = sim::HostMetricsRow::kFeatureCount;
+  for (int i = 0; i < f; ++i) header.push_back("f" + std::to_string(i));
+  common::CsvWriter writer(path, header);
+  for (const TraceRecord& rec : trace) {
+    for (std::size_t h = 0; h < rec.host_features.size(); ++h) {
+      std::vector<double> row = {static_cast<double>(rec.interval),
+                                 static_cast<double>(h),
+                                 static_cast<double>(rec.assignment[h]),
+                                 rec.energy_kwh, rec.slo_rate,
+                                 rec.avg_response_s};
+      row.insert(row.end(), rec.host_features[h].begin(),
+                 rec.host_features[h].end());
+      writer.WriteRow(row);
+    }
+  }
+}
+
+Trace LoadTrace(const std::string& path) {
+  const common::CsvTable table = common::ReadCsv(path);
+  Trace trace;
+  const int f = sim::HostMetricsRow::kFeatureCount;
+  for (const auto& row : table.rows) {
+    if (row.size() != 6 + static_cast<std::size_t>(f)) {
+      throw std::runtime_error("LoadTrace: bad row width");
+    }
+    const int interval = static_cast<int>(row[0]);
+    if (trace.empty() || trace.back().interval != interval) {
+      TraceRecord rec;
+      rec.interval = interval;
+      rec.energy_kwh = row[3];
+      rec.slo_rate = row[4];
+      rec.avg_response_s = row[5];
+      trace.push_back(std::move(rec));
+    }
+    TraceRecord& rec = trace.back();
+    rec.assignment.push_back(static_cast<int>(row[2]));
+    rec.host_features.emplace_back(row.begin() + 6, row.end());
+  }
+  return trace;
+}
+
+}  // namespace carol::workload

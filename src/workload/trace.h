@@ -1,0 +1,41 @@
+// The execution trace Lambda = {M_t, S_t, G_t} used for offline GON
+// training (paper §IV-D) and the running dataset Gamma used for
+// confidence-triggered fine-tuning (Algorithm 2, line 10).
+#ifndef CAROL_WORKLOAD_TRACE_H_
+#define CAROL_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/federation.h"
+
+namespace carol::workload {
+
+// One datapoint (M_t, S_t, G_t): per-host feature rows (containing both
+// the performance metrics M and the per-host scheduling-decision features
+// S), plus the topology assignment vector encoding G.
+struct TraceRecord {
+  int interval = 0;
+  // broker_of(i) per node; assignment[i] == i marks a broker.
+  std::vector<int> assignment;
+  // One row per host, HostMetricsRow::kFeatureCount wide.
+  std::vector<std::vector<double>> host_features;
+  // Aggregate QoS of the interval (targets for the traditional-surrogate
+  // ablation and sanity metrics for tests).
+  double energy_kwh = 0.0;
+  double slo_rate = 0.0;
+  double avg_response_s = 0.0;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+// Builds a record from an end-of-interval snapshot.
+TraceRecord MakeTraceRecord(const sim::SystemSnapshot& snapshot);
+
+// CSV persistence (one row per host per interval plus topology columns).
+void SaveTrace(const Trace& trace, const std::string& path);
+Trace LoadTrace(const std::string& path);
+
+}  // namespace carol::workload
+
+#endif  // CAROL_WORKLOAD_TRACE_H_

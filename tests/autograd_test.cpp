@@ -1,0 +1,301 @@
+// Unit tests for the autograd tape, including numerical gradient checks of
+// every op (the load-bearing correctness property for GON training and the
+// input-space generation step of Eq. (1)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+
+namespace carol::nn {
+namespace {
+
+// Builds `f` twice per perturbed element to compute a central-difference
+// numerical gradient with respect to a single leaf input, then compares it
+// to the autograd gradient.
+void CheckGradient(const Matrix& input,
+                   const std::function<Value(Tape&, Value)>& f,
+                   double tol = 1e-5) {
+  Tape tape;
+  Value x = tape.Leaf(input, /*requires_grad=*/true);
+  Value y = f(tape, x);
+  tape.Backward(y);
+  const Matrix analytic = x.grad();
+
+  const double eps = 1e-6;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      Matrix plus = input;
+      plus(r, c) += eps;
+      Matrix minus = input;
+      minus(r, c) -= eps;
+      Tape tp;
+      const double fp = f(tp, tp.Leaf(plus)).scalar();
+      Tape tm;
+      const double fm = f(tm, tm.Leaf(minus)).scalar();
+      const double numeric = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(analytic(r, c), numeric, tol)
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+Matrix TestInput(unsigned seed = 1, std::size_t rows = 3,
+                 std::size_t cols = 4) {
+  common::Rng rng(seed);
+  return Matrix::Randn(rows, cols, rng, 0.0, 0.7);
+}
+
+TEST(AutogradTest, GradSumAll) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) { return t.SumAll(x); });
+}
+
+TEST(AutogradTest, GradMeanAll) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) { return t.MeanAll(x); });
+}
+
+TEST(AutogradTest, GradAdd) {
+  const Matrix other = TestInput(9);
+  CheckGradient(TestInput(), [&other](Tape& t, Value x) {
+    return t.SumAll(t.Add(x, t.Leaf(other)));
+  });
+}
+
+TEST(AutogradTest, GradSub) {
+  const Matrix other = TestInput(9);
+  CheckGradient(TestInput(), [&other](Tape& t, Value x) {
+    return t.SumAll(t.Sub(t.Leaf(other), x));
+  });
+}
+
+TEST(AutogradTest, GradMulHadamard) {
+  const Matrix other = TestInput(5);
+  CheckGradient(TestInput(), [&other](Tape& t, Value x) {
+    return t.SumAll(t.Mul(x, t.Leaf(other)));
+  });
+}
+
+TEST(AutogradTest, GradMulSelf) {
+  // x appears twice in the graph: checks gradient accumulation.
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.Mul(x, x));
+  });
+}
+
+TEST(AutogradTest, GradMatMulLeft) {
+  common::Rng rng(2);
+  const Matrix w = Matrix::Randn(4, 2, rng);
+  CheckGradient(TestInput(), [&w](Tape& t, Value x) {
+    return t.SumAll(t.MatMul(x, t.Leaf(w)));
+  });
+}
+
+TEST(AutogradTest, GradMatMulRight) {
+  common::Rng rng(2);
+  const Matrix a = Matrix::Randn(2, 3, rng);
+  CheckGradient(TestInput(), [&a](Tape& t, Value x) {
+    return t.SumAll(t.MatMul(t.Leaf(a), x));
+  });
+}
+
+TEST(AutogradTest, GradTranspose) {
+  common::Rng rng(3);
+  const Matrix w = Matrix::Randn(3, 2, rng);
+  CheckGradient(TestInput(), [&w](Tape& t, Value x) {
+    return t.SumAll(t.MatMul(t.Transpose(x), t.Leaf(w)));
+  });
+}
+
+TEST(AutogradTest, GradAddRowBroadcast) {
+  common::Rng rng(4);
+  const Matrix row = Matrix::Randn(1, 4, rng);
+  // Gradient wrt the broadcast matrix.
+  CheckGradient(TestInput(), [&row](Tape& t, Value x) {
+    return t.SumAll(t.AddRowBroadcast(x, t.Leaf(row)));
+  });
+  // Gradient wrt the broadcast row itself.
+  const Matrix big = TestInput(6);
+  CheckGradient(Matrix::Randn(1, 4, rng), [&big](Tape& t, Value r) {
+    return t.SumAll(t.AddRowBroadcast(t.Leaf(big), r));
+  });
+}
+
+TEST(AutogradTest, GradScaleNegAddScalar) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.AddScalar(t.Neg(t.Scale(x, 2.5)), 1.0));
+  });
+}
+
+TEST(AutogradTest, GradRelu) {
+  // Shift away from 0 to avoid the kink in the numerical check.
+  Matrix in = TestInput();
+  in = in.Map([](double v) { return std::abs(v) < 0.05 ? v + 0.2 : v; });
+  CheckGradient(in, [](Tape& t, Value x) { return t.SumAll(t.Relu(x)); });
+}
+
+TEST(AutogradTest, GradTanh) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.Tanh(x));
+  });
+}
+
+TEST(AutogradTest, GradSigmoid) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.Sigmoid(x));
+  });
+}
+
+TEST(AutogradTest, GradExp) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.Exp(x));
+  });
+}
+
+TEST(AutogradTest, GradLogOfSigmoid) {
+  // log of a (0,1) quantity: the composition used by the GON loss.
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    return t.SumAll(t.Log(t.Sigmoid(x)));
+  });
+}
+
+TEST(AutogradTest, GradConcatColsBothSides) {
+  const Matrix other = TestInput(8, 3, 2);
+  CheckGradient(TestInput(), [&other](Tape& t, Value x) {
+    return t.SumAll(t.Mul(t.ConcatCols(x, t.Leaf(other)),
+                          t.ConcatCols(x, t.Leaf(other))));
+  });
+}
+
+TEST(AutogradTest, GradConcatRows) {
+  const Matrix other = TestInput(8, 2, 4);
+  CheckGradient(TestInput(), [&other](Tape& t, Value x) {
+    Value cat = t.ConcatRows(x, t.Leaf(other));
+    return t.SumAll(t.Mul(cat, cat));
+  });
+}
+
+TEST(AutogradTest, GradSliceCols) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    Value s = t.SliceCols(x, 1, 3);
+    return t.SumAll(t.Mul(s, s));
+  });
+}
+
+TEST(AutogradTest, GradRowMean) {
+  CheckGradient(TestInput(), [](Tape& t, Value x) {
+    Value m = t.RowMean(x);
+    return t.SumAll(t.Mul(m, m));
+  });
+}
+
+TEST(AutogradTest, GradMaskedRowSoftmax) {
+  Matrix mask(3, 4, 0.0);
+  mask(0, 0) = mask(0, 1) = 1.0;
+  mask(1, 1) = mask(1, 2) = mask(1, 3) = 1.0;
+  mask(2, 0) = 1.0;
+  common::Rng rng(12);
+  const Matrix weights = Matrix::Randn(3, 4, rng);
+  CheckGradient(TestInput(), [&](Tape& t, Value x) {
+    Value sm = t.MaskedRowSoftmax(x, mask);
+    return t.SumAll(t.Mul(sm, t.Leaf(weights)));
+  });
+}
+
+TEST(AutogradTest, MaskedRowSoftmaxRowsSumToOne) {
+  Tape t;
+  Matrix mask(2, 3, 1.0);
+  mask(1, 2) = 0.0;
+  Value x = t.Leaf(TestInput(3, 2, 3));
+  Value sm = t.MaskedRowSoftmax(x, mask);
+  const Matrix& y = sm.val();
+  EXPECT_NEAR(y(0, 0) + y(0, 1) + y(0, 2), 1.0, 1e-12);
+  EXPECT_NEAR(y(1, 0) + y(1, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(y(1, 2), 0.0);
+}
+
+TEST(AutogradTest, MaskedRowSoftmaxEmptyRowIsZero) {
+  Tape t;
+  Matrix mask(2, 2, 0.0);
+  mask(0, 0) = 1.0;
+  Value sm = t.MaskedRowSoftmax(t.Leaf(TestInput(4, 2, 2)), mask);
+  EXPECT_DOUBLE_EQ(sm.val()(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sm.val()(1, 1), 0.0);
+}
+
+TEST(AutogradTest, BackwardRequiresScalarOutput) {
+  Tape t;
+  Value x = t.Leaf(TestInput(), true);
+  Value y = t.Relu(x);
+  EXPECT_THROW(t.Backward(y), std::invalid_argument);
+}
+
+TEST(AutogradTest, NoGradWithoutRequiresGrad) {
+  Tape t;
+  Value x = t.Leaf(TestInput(), /*requires_grad=*/false);
+  Value y = t.SumAll(t.Mul(x, x));
+  t.Backward(y);
+  EXPECT_DOUBLE_EQ(x.grad().Norm(), 0.0);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossTwoPaths) {
+  Tape t;
+  Matrix in(1, 1, 3.0);
+  Value x = t.Leaf(in, true);
+  // y = x*x + 2x -> dy/dx = 2x + 2 = 8.
+  Value y = t.Add(t.SumAll(t.Mul(x, x)), t.SumAll(t.Scale(x, 2.0)));
+  t.Backward(y);
+  EXPECT_NEAR(x.grad()(0, 0), 8.0, 1e-12);
+}
+
+TEST(AutogradTest, ClearInvalidatesAndResets) {
+  Tape t;
+  t.Leaf(Matrix(1, 1, 1.0));
+  EXPECT_EQ(t.size(), 1u);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(AutogradTest, LogClampsNearZero) {
+  Tape t;
+  Value x = t.Leaf(Matrix(1, 1, 0.0), true);
+  Value y = t.SumAll(t.Log(x));
+  EXPECT_TRUE(std::isfinite(y.scalar()));
+  t.Backward(y);
+  EXPECT_TRUE(std::isfinite(x.grad()(0, 0)));
+}
+
+TEST(AutogradTest, ScalarThrowsOnNonScalar) {
+  Tape t;
+  Value x = t.Leaf(Matrix(2, 2));
+  EXPECT_THROW(x.scalar(), std::logic_error);
+}
+
+// Property-style sweep: random compositions of ops must match numerical
+// gradients for multiple shapes and seeds.
+class AutogradPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AutogradPropertyTest, CompositeExpressionGradient) {
+  const auto [seed, rows, cols] = GetParam();
+  common::Rng rng(static_cast<unsigned>(seed));
+  const Matrix in = Matrix::Randn(rows, cols, rng, 0.0, 0.5);
+  const Matrix w = Matrix::Randn(cols, 3, rng, 0.0, 0.5);
+  const Matrix b = Matrix::Randn(1, 3, rng, 0.0, 0.2);
+  CheckGradient(in, [&](Tape& t, Value x) {
+    Value h = t.Tanh(t.AddRowBroadcast(t.MatMul(x, t.Leaf(w)), t.Leaf(b)));
+    Value s = t.Sigmoid(h);
+    return t.MeanAll(t.Log(s));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AutogradPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 2), std::make_tuple(2, 2, 5),
+                      std::make_tuple(3, 4, 3), std::make_tuple(4, 6, 2),
+                      std::make_tuple(5, 1, 7), std::make_tuple(6, 5, 5)));
+
+}  // namespace
+}  // namespace carol::nn

@@ -1,0 +1,360 @@
+// Tests for the seven baselines and the ablation variants: every model
+// must produce valid repairs, sensible scores and monotone bookkeeping.
+#include <gtest/gtest.h>
+
+#include "baselines/ablations.h"
+#include "baselines/dyverse.h"
+#include "baselines/eclb.h"
+#include "baselines/elbs.h"
+#include "baselines/fras.h"
+#include "baselines/lbos.h"
+#include "baselines/stepgan.h"
+#include "baselines/topomad.h"
+
+namespace carol::baselines {
+namespace {
+
+sim::SystemSnapshot MakeSnapshot(double util, int brokers = 4,
+                                 int hosts = 16) {
+  sim::SystemSnapshot snap;
+  snap.topology = sim::Topology::Initial(hosts, brokers);
+  snap.hosts.resize(static_cast<std::size_t>(hosts));
+  snap.alive.assign(static_cast<std::size_t>(hosts), true);
+  for (int i = 0; i < hosts; ++i) {
+    auto& m = snap.hosts[static_cast<std::size_t>(i)];
+    m.cpu_util = util * (1.0 + 0.05 * i);
+    m.ram_util = util;
+    m.energy_kwh = util * 4e-4;
+    m.slo_violation_rate = util > 0.9 ? 0.3 : 0.0;
+    m.avg_deadline_s = 300.0;
+    m.task_cpu_demand_mips = util * 2000.0;
+    m.is_broker = snap.topology.is_broker(i);
+  }
+  snap.interval_energy_kwh = util * 0.005;
+  snap.slo_rate = util > 0.9 ? 0.2 : 0.02;
+  snap.avg_response_s = 60.0 + 100.0 * util;
+  snap.active_tasks = static_cast<int>(util * 20);
+  return snap;
+}
+
+TEST(DyverseTest, PromotesLeastUtilizedOrphan) {
+  Dyverse model;
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[0] = false;
+  // Make worker 2 clearly the least utilized in LEI 0 (workers 1,2,3).
+  snap.hosts[2].cpu_util = 0.01;
+  const sim::Topology repaired = model.Repair(snap.topology, {0}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_TRUE(repaired.is_broker(2));
+  EXPECT_FALSE(repaired.is_broker(0));
+}
+
+TEST(DyverseTest, ObserveBuildsPriorities) {
+  Dyverse model;
+  model.Observe(MakeSnapshot(0.5));
+  ASSERT_EQ(model.priorities().size(), 16u);
+  for (double p : model.priorities()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(EclbTest, PosteriorSumsToOne) {
+  Eclb model;
+  const auto post = model.Posterior(0.5, 0.5);
+  EXPECT_NEAR(post[0] + post[1] + post[2], 1.0, 1e-9);
+}
+
+TEST(EclbTest, ClassifiesRegimes) {
+  Eclb model;
+  EXPECT_EQ(model.Classify(0.1, 0.1), Eclb::HostClass::kUnderloaded);
+  EXPECT_EQ(model.Classify(0.55, 0.5), Eclb::HostClass::kNormal);
+  EXPECT_EQ(model.Classify(1.3, 1.1), Eclb::HostClass::kOverloaded);
+}
+
+TEST(EclbTest, RepairPrefersUnderloadedOrphan) {
+  Eclb model;
+  auto snap = MakeSnapshot(0.6);
+  snap.alive[0] = false;
+  snap.hosts[3].cpu_util = 0.05;
+  snap.hosts[3].ram_util = 0.05;
+  const sim::Topology repaired = model.Repair(snap.topology, {0}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(0));
+  EXPECT_TRUE(repaired.is_broker(3));
+}
+
+TEST(EclbTest, ObserveUpdatesStatistics) {
+  Eclb model;
+  // Feeding consistent observations must keep the class ordering sane:
+  // extremes still classify to the extreme regimes even after the class
+  // statistics adapt toward the observed mid-range load.
+  for (int i = 0; i < 20; ++i) model.Observe(MakeSnapshot(0.3));
+  EXPECT_NE(model.Classify(0.05, 0.05), Eclb::HostClass::kOverloaded);
+  EXPECT_EQ(model.Classify(1.6, 1.3), Eclb::HostClass::kOverloaded);
+}
+
+TEST(LbosTest, StateDiscretizationInRange) {
+  Lbos model;
+  for (double util : {0.1, 0.5, 1.2}) {
+    const int state = model.StateOf(MakeSnapshot(util));
+    EXPECT_GE(state, 0);
+    EXPECT_LT(state, Lbos::kStates);
+  }
+}
+
+TEST(LbosTest, RepairProducesValidTopology) {
+  Lbos model;
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[4] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {4}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(4));
+}
+
+TEST(LbosTest, RewardWeightsStayNormalized) {
+  Lbos model;
+  auto snap = MakeSnapshot(0.7);
+  model.Repair(snap.topology, {}, snap);  // triggers GA evolution
+  const auto& w = model.reward_weights();
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-6);
+  for (double v : w) EXPECT_GT(v, 0.0);
+}
+
+TEST(LbosTest, QLearningUpdatesAfterObserve) {
+  Lbos model;
+  auto snap = MakeSnapshot(0.5);
+  model.Repair(snap.topology, {}, snap);
+  model.Observe(snap);  // must not crash; Q-value updated internally
+  SUCCEED();
+}
+
+TEST(ElbsTest, FuzzyPriorityOrdering) {
+  // Tight deadline + long processing outranks loose deadline + short.
+  const double urgent = Elbs::FuzzyPriority(0.05, 0.8, 0.9);
+  const double relaxed = Elbs::FuzzyPriority(0.95, 0.2, 0.1);
+  EXPECT_GT(urgent, relaxed);
+  EXPECT_GE(urgent, 0.0);
+  EXPECT_LE(urgent, 1.0);
+}
+
+TEST(ElbsTest, PnnScoreDefaultsWithoutExemplars) {
+  ElbsConfig cfg;
+  cfg.max_exemplars = 0;  // disable the seeded pattern layer
+  Elbs model(cfg);
+  EXPECT_DOUBLE_EQ(model.PnnScore({0.5, 0.5, 0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(ElbsTest, PatternLayerSeededUpFront) {
+  Elbs model;
+  EXPECT_GT(model.exemplar_count(), 1000u);
+  // Seeded prior: high load scores worse than low load.
+  const double light = model.PnnScore({0.25, 0.1, 0.05, 0.1, 0.1, 0.5});
+  const double heavy = model.PnnScore({0.25, 1.0, 0.7, 0.9, 0.1, 0.5});
+  EXPECT_LT(light, heavy);
+}
+
+TEST(ElbsTest, ExemplarStoreGrowsAndCaps) {
+  ElbsConfig cfg;
+  cfg.max_exemplars = 10;
+  Elbs model(cfg);
+  for (int i = 0; i < 25; ++i) model.Observe(MakeSnapshot(0.4));
+  EXPECT_EQ(model.exemplar_count(), 10u);
+}
+
+TEST(ElbsTest, RepairUsesStoredExperience) {
+  Elbs model;
+  for (int i = 0; i < 10; ++i) model.Observe(MakeSnapshot(0.4));
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[0] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {0}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(0));
+}
+
+TEST(ElbsTest, HighestMemoryAmongModels) {
+  Elbs elbs;
+  Dyverse dyverse;
+  Lbos lbos;
+  EXPECT_GT(elbs.MemoryFootprintMb(), dyverse.MemoryFootprintMb());
+  EXPECT_GT(elbs.MemoryFootprintMb(), lbos.MemoryFootprintMb());
+}
+
+TEST(FrasTest, PredictQosInUnitInterval) {
+  Fras model;
+  const auto snap = MakeSnapshot(0.5);
+  const double q = model.PredictQos(snap.topology, snap);
+  EXPECT_GT(q, 0.0);
+  EXPECT_LT(q, 1.0);
+}
+
+TEST(FrasTest, FineTunesEveryInterval) {
+  Fras model;
+  for (int i = 0; i < 7; ++i) model.Observe(MakeSnapshot(0.4));
+  EXPECT_EQ(model.finetune_invocations(), 7);
+}
+
+TEST(FrasTest, RepairProducesValidTopology) {
+  Fras model;
+  model.Observe(MakeSnapshot(0.4));
+  auto snap = MakeSnapshot(0.6);
+  snap.alive[8] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {8}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(8));
+}
+
+TEST(TopomadTest, AnomalyScoreRisesOnRegimeShift) {
+  Topomad model;
+  for (int i = 0; i < 30; ++i) model.Observe(MakeSnapshot(0.3));
+  const double baseline = model.AnomalyScore();
+  // Sudden saturation regime: reconstruction should degrade.
+  for (int i = 0; i < 2; ++i) model.Observe(MakeSnapshot(1.4));
+  const double anomalous = model.AnomalyScore();
+  EXPECT_GT(anomalous, baseline * 0.5);  // not smaller by an order
+  EXPECT_TRUE(std::isfinite(anomalous));
+}
+
+TEST(TopomadTest, WindowBounded) {
+  TopomadConfig cfg;
+  cfg.window = 4;
+  Topomad model(cfg);
+  for (int i = 0; i < 10; ++i) model.Observe(MakeSnapshot(0.4));
+  EXPECT_EQ(model.window().size(), 4u);
+}
+
+TEST(TopomadTest, RepairDelegatesToPolicy) {
+  Topomad model;
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[12] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {12}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(12));
+}
+
+TEST(StepGanTest, WindowScoreInUnitInterval) {
+  StepGan model;
+  model.Observe(MakeSnapshot(0.4));
+  const double score = model.WindowScore();
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(StepGanTest, TrainingRunsWithoutDivergence) {
+  StepGan model;
+  for (int i = 0; i < 12; ++i) model.Observe(MakeSnapshot(0.4));
+  EXPECT_TRUE(std::isfinite(model.WindowScore()));
+}
+
+TEST(StepGanTest, RepairProducesValidTopology) {
+  StepGan model;
+  model.Observe(MakeSnapshot(0.4));
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[0] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {0}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(0));
+}
+
+TEST(AblationTest, FactoryNamesAndPolicies) {
+  auto always = MakeAlwaysFineTune();
+  auto never = MakeNeverFineTune();
+  EXPECT_EQ(always->name(), "Always-Fine-Tune");
+  EXPECT_EQ(never->name(), "Never-Fine-Tune");
+  EXPECT_EQ(always->config().policy, core::FineTunePolicy::kAlways);
+  EXPECT_EQ(never->config().policy, core::FineTunePolicy::kNever);
+}
+
+TEST(AblationTest, WithGanPredictsAndRepairs) {
+  WithGanConfig cfg;
+  cfg.discriminator.hidden_width = 16;
+  cfg.discriminator.num_layers = 2;
+  cfg.discriminator.gat_width = 8;
+  cfg.tabu.max_evaluations = 20;
+  WithGanSurrogate model(cfg);
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[0] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {0}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(0));
+  const double score = model.ScoreTopology(repaired, snap);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(AblationTest, WithGanMemoryExceedsPlainCarolGon) {
+  WithGanConfig gan_cfg;
+  gan_cfg.discriminator.hidden_width = 16;
+  gan_cfg.discriminator.num_layers = 2;
+  WithGanSurrogate gan(gan_cfg);
+  core::GonConfig gon_cfg;
+  gon_cfg.hidden_width = 16;
+  gon_cfg.num_layers = 2;
+  core::GonModel gon(gon_cfg);
+  EXPECT_GT(gan.MemoryFootprintMb(), gon.MemoryFootprintMb());
+}
+
+TEST(AblationTest, TraditionalSurrogateLearnsFromTrace) {
+  TraditionalSurrogateConfig cfg;
+  cfg.hidden = 16;
+  cfg.tabu.max_evaluations = 20;
+  TraditionalSurrogate model(cfg);
+  workload::Trace trace;
+  for (int i = 0; i < 30; ++i) {
+    trace.push_back(
+        workload::MakeTraceRecord(MakeSnapshot(0.2 + 0.02 * i)));
+  }
+  model.TrainOffline(trace, 5);
+  const auto snap = MakeSnapshot(0.5);
+  const auto [energy, slo] = model.PredictQos(snap.topology, snap);
+  EXPECT_GE(energy, 0.0);
+  EXPECT_LE(energy, 1.0);
+  EXPECT_GE(slo, 0.0);
+  EXPECT_LE(slo, 1.0);
+}
+
+TEST(AblationTest, TraditionalSurrogateRepairs) {
+  TraditionalSurrogateConfig cfg;
+  cfg.hidden = 16;
+  cfg.tabu.max_evaluations = 20;
+  TraditionalSurrogate model(cfg);
+  auto snap = MakeSnapshot(0.5);
+  snap.alive[4] = false;
+  const sim::Topology repaired = model.Repair(snap.topology, {4}, snap);
+  EXPECT_TRUE(repaired.IsValid());
+  EXPECT_FALSE(repaired.is_broker(4));
+}
+
+// Every model must keep topologies valid across a parameterized failure
+// sweep — the cross-cutting safety property of the whole model zoo.
+class AllModelsRepairTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllModelsRepairTest, AllModelsProduceValidRepairs) {
+  const int failed_broker = GetParam();
+  auto snap = MakeSnapshot(0.6);
+  snap.alive[static_cast<std::size_t>(failed_broker)] = false;
+  snap.hosts[static_cast<std::size_t>(failed_broker)].failed = true;
+
+  Dyverse dyverse;
+  Eclb eclb;
+  Lbos lbos;
+  Elbs elbs;
+  Fras fras;
+  Topomad topomad;
+  StepGan stepgan;
+  std::vector<core::ResilienceModel*> models = {
+      &dyverse, &eclb, &lbos, &elbs, &fras, &topomad, &stepgan};
+  for (auto* model : models) {
+    const sim::Topology repaired =
+        model->Repair(snap.topology, {failed_broker}, snap);
+    EXPECT_TRUE(repaired.IsValid()) << model->name();
+    EXPECT_FALSE(repaired.is_broker(failed_broker)) << model->name();
+    EXPECT_GT(model->MemoryFootprintMb(), 0.0) << model->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FailedBrokers, AllModelsRepairTest,
+                         ::testing::Values(0, 4, 8, 12));
+
+}  // namespace
+}  // namespace carol::baselines

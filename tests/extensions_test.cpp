@@ -1,0 +1,214 @@
+// Tests for the extension components: gateway mobility (§IV-C), the
+// audit chain (§IV-G), proactive CAROL (§VI future work) and the
+// multi-seed experiment helper.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/carol.h"
+#include "faults/audit.h"
+#include "harness/experiment.h"
+#include "workload/gateway.h"
+
+namespace carol {
+namespace {
+
+// ----------------------------------------------------------- gateway
+
+TEST(GatewayMobilityTest, StartsUniform) {
+  workload::GatewayMobility mobility({}, common::Rng(1));
+  const auto dist = mobility.Distribution();
+  ASSERT_EQ(dist.size(), 4u);
+  for (double p : dist) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(GatewayMobilityTest, DistributionStaysNormalized) {
+  workload::GatewayMobility mobility({}, common::Rng(2));
+  for (int t = 0; t < 200; ++t) {
+    mobility.Step();
+    const auto dist = mobility.Distribution();
+    const double total =
+        std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double p : dist) EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(GatewayMobilityTest, DriftCreatesSkew) {
+  workload::GatewayMobilityConfig cfg;
+  cfg.drift = 0.4;
+  cfg.wave_prob = 0.0;
+  workload::GatewayMobility mobility(cfg, common::Rng(3));
+  for (int t = 0; t < 100; ++t) mobility.Step();
+  const auto dist = mobility.Distribution();
+  const auto [mn, mx] = std::minmax_element(dist.begin(), dist.end());
+  EXPECT_GT(*mx / *mn, 1.5);  // no longer uniform
+}
+
+TEST(GatewayMobilityTest, WaveConcentratesMass) {
+  workload::GatewayMobilityConfig cfg;
+  cfg.drift = 0.0;
+  cfg.wave_prob = 1.0;  // force a wave every step
+  cfg.wave_mass = 0.6;
+  workload::GatewayMobility mobility(cfg, common::Rng(4));
+  mobility.Step();
+  EXPECT_EQ(mobility.waves(), 1);
+  const auto dist = mobility.Distribution();
+  EXPECT_GT(*std::max_element(dist.begin(), dist.end()), 0.5);
+}
+
+TEST(GatewayMobilityTest, SampleFollowsDistribution) {
+  workload::GatewayMobilityConfig cfg;
+  cfg.drift = 0.0;
+  cfg.wave_prob = 1.0;
+  cfg.wave_mass = 0.7;
+  workload::GatewayMobility mobility(cfg, common::Rng(5));
+  mobility.Step();
+  const auto dist = mobility.Distribution();
+  const auto hot = static_cast<int>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+  common::Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (mobility.SampleSite(rng) == hot) ++hits;
+  }
+  EXPECT_GT(hits, 1000);  // the hot site dominates
+}
+
+TEST(GatewayMobilityTest, RejectsZeroSites) {
+  workload::GatewayMobilityConfig cfg;
+  cfg.num_sites = 0;
+  EXPECT_THROW(workload::GatewayMobility(cfg, common::Rng(1)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- audit
+
+TEST(AuditLogTest, AppendAndVerify) {
+  faults::AuditLog log(0xabcd);
+  log.Append(1.0, "schedule task 1 -> node 3");
+  log.Append(2.0, "node-shift: promote 5");
+  log.Append(3.0, "reboot node 0");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log.Verify(0xabcd));
+}
+
+TEST(AuditLogTest, WrongKeyFailsVerification) {
+  faults::AuditLog log(0xabcd);
+  log.Append(1.0, "action");
+  EXPECT_FALSE(log.Verify(0xdead));
+}
+
+TEST(AuditLogTest, TamperedEntryDetected) {
+  faults::AuditLog log(7);
+  log.Append(1.0, "honest action");
+  log.Append(2.0, "another honest action");
+  ASSERT_TRUE(log.Verify(7));
+  log.TamperAction(0, "byzantine rewrite");
+  EXPECT_FALSE(log.Verify(7));
+}
+
+TEST(AuditLogTest, DroppedEntryDetected) {
+  faults::AuditLog log(7);
+  for (int i = 0; i < 5; ++i) log.Append(i, "entry");
+  log.DropEntry(2);
+  EXPECT_FALSE(log.Verify(7));
+}
+
+TEST(AuditLogTest, PartialAuditStillChecksChain) {
+  faults::AuditLog log(9);
+  for (int i = 0; i < 10; ++i) log.Append(i, "entry " + std::to_string(i));
+  // Audit from sequence 5: still valid.
+  EXPECT_TRUE(log.Verify(9, 5));
+  log.TamperAction(2, "old tamper");
+  // Tampering BEFORE the audit window still breaks the chain links.
+  EXPECT_FALSE(log.Verify(9, 5));
+}
+
+TEST(AuditLogTest, HeadHashChangesPerEntry) {
+  faults::AuditLog log(11);
+  const auto h0 = log.head_hash();
+  log.Append(1.0, "x");
+  const auto h1 = log.head_hash();
+  log.Append(2.0, "y");
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, log.head_hash());
+}
+
+// ---------------------------------------------------- proactive CAROL
+
+core::CarolConfig TinyProactiveConfig() {
+  core::CarolConfig cfg;
+  cfg.gon.hidden_width = 12;
+  cfg.gon.num_layers = 1;
+  cfg.gon.gat_width = 6;
+  cfg.gon.generation_steps = 3;
+  cfg.tabu.max_evaluations = 15;
+  cfg.proactive = true;
+  cfg.proactive_util_threshold = 1.0;
+  return cfg;
+}
+
+sim::SystemSnapshot UtilSnapshot(double util) {
+  sim::SystemSnapshot snap;
+  snap.topology = sim::Topology::Initial(16, 4);
+  snap.hosts.resize(16);
+  snap.alive.assign(16, true);
+  for (int i = 0; i < 16; ++i) {
+    snap.hosts[static_cast<std::size_t>(i)].cpu_util = util;
+    snap.hosts[static_cast<std::size_t>(i)].is_broker =
+        snap.topology.is_broker(i);
+  }
+  return snap;
+}
+
+TEST(ProactiveCarolTest, IdleSystemLeftAlone) {
+  core::CarolModel model(TinyProactiveConfig());
+  const auto snap = UtilSnapshot(0.3);
+  EXPECT_TRUE(model.Repair(snap.topology, {}, snap) == snap.topology);
+  EXPECT_EQ(model.proactive_optimizations(), 0);
+}
+
+TEST(ProactiveCarolTest, OverloadTriggersOptimization) {
+  core::CarolModel model(TinyProactiveConfig());
+  const auto snap = UtilSnapshot(1.4);
+  const sim::Topology result = model.Repair(snap.topology, {}, snap);
+  EXPECT_TRUE(result.IsValid());
+  EXPECT_EQ(model.proactive_optimizations(), 1);
+}
+
+TEST(ProactiveCarolTest, ReactiveConfigNeverProactive) {
+  auto cfg = TinyProactiveConfig();
+  cfg.proactive = false;
+  core::CarolModel model(cfg);
+  const auto snap = UtilSnapshot(1.4);
+  EXPECT_TRUE(model.Repair(snap.topology, {}, snap) == snap.topology);
+  EXPECT_EQ(model.proactive_optimizations(), 0);
+}
+
+// ------------------------------------------------------- experiment
+
+TEST(ExperimentTest, AggregatesAcrossSeeds) {
+  harness::RunConfig cfg;
+  cfg.intervals = 5;
+  auto make = []() {
+    core::CarolConfig c;
+    c.gon.hidden_width = 8;
+    c.gon.num_layers = 1;
+    c.gon.gat_width = 4;
+    c.gon.generation_steps = 2;
+    c.tabu.max_evaluations = 8;
+    return std::make_unique<core::CarolModel>(c);
+  };
+  const auto result = harness::RunExperiment(make, cfg, 3);
+  EXPECT_EQ(result.seeds, 3);
+  EXPECT_EQ(result.runs.size(), 3u);
+  EXPECT_GT(result.energy_kwh.mean, 0.0);
+  // Different seeds give different energies -> nonzero spread.
+  EXPECT_GT(result.energy_kwh.stddev, 0.0);
+  EXPECT_FALSE(harness::FormatExperimentRow(result).empty());
+}
+
+}  // namespace
+}  // namespace carol

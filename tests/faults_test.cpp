@@ -1,0 +1,200 @@
+// Unit tests for fault injection, failure detection and recovery.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "faults/detector.h"
+#include "faults/injector.h"
+#include "faults/recovery.h"
+#include "sim/federation.h"
+
+namespace carol::faults {
+namespace {
+
+sim::Federation MakeFederation(unsigned seed = 1) {
+  auto specs = sim::DefaultTestbedSpecs();
+  return sim::Federation(specs, sim::Topology::Initial(16, 4),
+                         sim::SimConfig{}, common::Rng(seed));
+}
+
+TEST(InjectorTest, PoissonAttackRate) {
+  sim::Federation fed = MakeFederation();
+  FaultInjectorConfig cfg;
+  cfg.lambda_per_interval = 0.5;
+  FaultInjector injector(cfg, common::Rng(7));
+  int events = 0;
+  for (int i = 0; i < 400; ++i) {
+    events += static_cast<int>(injector.Step(fed).size());
+    fed.BeginInterval();
+    fed.RouteQueuedTasks();
+    fed.RunInterval(sim::SchedulingDecision{});
+  }
+  // Injected attacks average lambda per interval (organic failures add a
+  // few more; the bound stays loose).
+  EXPECT_GT(events, 120);
+  EXPECT_LT(events, 320);
+}
+
+TEST(InjectorTest, AttacksTargetMostlyBrokers) {
+  sim::Federation fed = MakeFederation();
+  FaultInjectorConfig cfg;
+  cfg.lambda_per_interval = 3.0;
+  cfg.broker_target_prob = 0.8;
+  FaultInjector injector(cfg, common::Rng(8));
+  int broker_hits = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& e : injector.Step(fed)) {
+      ++total;
+      if (fed.topology().is_broker(e.target)) ++broker_hits;
+    }
+    fed.BeginInterval();
+    fed.RouteQueuedTasks();
+    fed.RunInterval(sim::SchedulingDecision{});
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(broker_hits) / total, 0.55);
+}
+
+TEST(InjectorTest, EscalatedAttackSetsFailureWindow) {
+  sim::Federation fed = MakeFederation();
+  FaultInjectorConfig cfg;
+  cfg.lambda_per_interval = 5.0;
+  cfg.escalation_prob = 1.0;
+  FaultInjector injector(cfg, common::Rng(9));
+  const auto events = injector.Step(fed);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.escalates);
+    EXPECT_GE(e.hang_at_s, e.onset_s);
+    EXPECT_GT(e.recover_at_s, e.hang_at_s);
+    // Reboot duration is 1-5 minutes.
+    EXPECT_GE(e.recover_at_s - e.hang_at_s, cfg.reboot_min_s);
+    EXPECT_LE(e.recover_at_s - e.hang_at_s, cfg.reboot_max_s);
+    EXPECT_TRUE(fed.host(e.target).FailedAt(e.hang_at_s + 1.0));
+  }
+  EXPECT_EQ(injector.total_failures_caused(),
+            static_cast<int>(events.size()));
+}
+
+TEST(InjectorTest, ContentionRaisesMeasuredUtilization) {
+  sim::Federation fed = MakeFederation();
+  FaultInjectorConfig cfg;
+  cfg.lambda_per_interval = 4.0;
+  cfg.escalation_prob = 0.0;  // contention only
+  FaultInjector injector(cfg, common::Rng(10));
+  const auto events = injector.Step(fed);
+  ASSERT_FALSE(events.empty());
+  fed.BeginInterval();
+  fed.RouteQueuedTasks();
+  const auto result = fed.RunInterval(sim::SchedulingDecision{});
+  double total_util = 0.0;
+  for (const auto& e : events) {
+    const auto& row =
+        result.snapshot.hosts[static_cast<std::size_t>(e.target)];
+    total_util += row.cpu_util + row.ram_util + row.disk_util + row.net_util;
+  }
+  EXPECT_GT(total_util, 0.3);
+}
+
+TEST(InjectorTest, OrganicOverloadFailuresTrigger) {
+  sim::Federation fed = MakeFederation();
+  FaultInjectorConfig cfg;
+  cfg.lambda_per_interval = 0.0;  // attacks off
+  cfg.overload_fail_threshold = 0.5;
+  cfg.overload_fail_prob = 1.0;
+  FaultInjector injector(cfg, common::Rng(11));
+  // Overload worker 1 organically.
+  fed.SetFaultLoad(1, fed.host(1).spec.cpu_capacity_mips * 2.0, 0, 0, 0);
+  fed.BeginInterval();
+  fed.RouteQueuedTasks();
+  fed.RunInterval(sim::SchedulingDecision{});
+  const auto events = injector.Step(fed);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].target, 1);
+  EXPECT_TRUE(events[0].escalates);
+}
+
+TEST(InjectorTest, FaultTypeNames) {
+  EXPECT_EQ(ToString(FaultType::kCpuOverload), "cpu-overload");
+  EXPECT_EQ(ToString(FaultType::kRamContention), "ram-contention");
+  EXPECT_EQ(ToString(FaultType::kDiskAttack), "disk-attack");
+  EXPECT_EQ(ToString(FaultType::kDdos), "ddos");
+}
+
+TEST(DetectorTest, DetectsEstablishedFailures) {
+  sim::Federation fed = MakeFederation();
+  fed.SetFailed(0, 0.0, 10'000.0);   // broker, long-established by t=300
+  fed.SetFailed(1, 0.0, 10'000.0);   // worker
+  fed.BeginInterval();
+  fed.RouteQueuedTasks();
+  fed.RunInterval(sim::SchedulingDecision{});
+  FailureDetector detector;
+  const DetectionReport report = detector.Detect(fed);
+  EXPECT_EQ(report.failed_brokers, (std::vector<sim::NodeId>{0}));
+  EXPECT_EQ(report.failed_workers, (std::vector<sim::NodeId>{1}));
+  EXPECT_TRUE(report.undetected.empty());
+}
+
+TEST(DetectorTest, RecentFailureUndetected) {
+  sim::Federation fed = MakeFederation();
+  fed.BeginInterval();
+  fed.RouteQueuedTasks();
+  fed.RunInterval(sim::SchedulingDecision{});
+  // Fails 10 s before the interval boundary: inside the ping blind spot.
+  fed.SetFailed(0, fed.now_s() - 10.0, fed.now_s() + 500.0);
+  FailureDetector detector;
+  const DetectionReport report = detector.Detect(fed);
+  EXPECT_TRUE(report.failed_brokers.empty());
+  EXPECT_EQ(report.undetected, (std::vector<sim::NodeId>{0}));
+}
+
+TEST(DetectorTest, DetectionLatencyConfigurable) {
+  DetectorConfig cfg;
+  cfg.ping_period_s = 30.0;
+  cfg.ping_timeout_s = 10.0;
+  EXPECT_DOUBLE_EQ(cfg.detection_latency_s(), 40.0);
+}
+
+TEST(RecoveryTest, RecoveredBrokerRejoinsAsWorker) {
+  sim::Federation fed = MakeFederation();
+  sim::Topology topo = fed.topology();  // brokers 0,4,8,12
+  RecoveryManager recovery;
+  const sim::Topology result = recovery.ApplyRecoveries(topo, {4}, fed);
+  EXPECT_FALSE(result.is_broker(4));
+  EXPECT_TRUE(result.IsValid());
+  // Joined the closest alive broker.
+  EXPECT_TRUE(result.is_broker(result.broker_of(4)));
+  EXPECT_EQ(recovery.total_rejoins(), 1);
+}
+
+TEST(RecoveryTest, WorkerWithDeadBrokerReassigned) {
+  sim::Federation fed = MakeFederation();
+  sim::Topology topo = fed.topology();
+  fed.SetFailed(0, 0.0, 10'000.0);  // broker 0 dead
+  RecoveryManager recovery;
+  // Node 1 (worker of 0) recovered; must be moved to an alive broker.
+  const sim::Topology result = recovery.ApplyRecoveries(topo, {1}, fed);
+  EXPECT_NE(result.broker_of(1), 0);
+  EXPECT_TRUE(result.IsValid());
+}
+
+TEST(RecoveryTest, SoleBrokerKeepsRole) {
+  sim::Federation fed(sim::DefaultTestbedSpecs(),
+                      sim::Topology(16),  // single broker: node 0
+                      sim::SimConfig{}, common::Rng(1));
+  RecoveryManager recovery;
+  const sim::Topology result =
+      recovery.ApplyRecoveries(fed.topology(), {0}, fed);
+  EXPECT_TRUE(result.is_broker(0));
+  EXPECT_TRUE(result.IsValid());
+}
+
+TEST(RecoveryTest, ConsistentWorkerUntouched) {
+  sim::Federation fed = MakeFederation();
+  RecoveryManager recovery;
+  const sim::Topology before = fed.topology();
+  const sim::Topology result = recovery.ApplyRecoveries(before, {1}, fed);
+  EXPECT_EQ(result.broker_of(1), before.broker_of(1));
+}
+
+}  // namespace
+}  // namespace carol::faults

@@ -1,0 +1,139 @@
+// Integration tests of the full harness: trace collection, SLO
+// calibration and end-to-end runs of CAROL and baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/dyverse.h"
+#include "core/carol.h"
+#include "harness/runtime.h"
+
+namespace carol::harness {
+namespace {
+
+RunConfig SmallConfig() {
+  RunConfig cfg;
+  cfg.intervals = 10;
+  cfg.seed = 42;
+  cfg.faults.lambda_per_interval = 0.8;  // denser faults for short runs
+  return cfg;
+}
+
+core::CarolConfig TinyCarolConfig() {
+  core::CarolConfig cfg;
+  cfg.gon.hidden_width = 16;
+  cfg.gon.num_layers = 2;
+  cfg.gon.gat_width = 8;
+  cfg.gon.generation_steps = 4;
+  cfg.gon.batch_size = 8;
+  cfg.tabu.max_iterations = 2;
+  cfg.tabu.max_evaluations = 20;
+  cfg.pot.min_calibration = 8;
+  return cfg;
+}
+
+TEST(HarnessTest, DyverseEndToEnd) {
+  baselines::Dyverse model;
+  FederationRuntime runtime(SmallConfig());
+  const RunResult result = runtime.Run(model);
+  EXPECT_EQ(result.model_name, "DYVERSE");
+  EXPECT_GT(result.total_energy_kwh, 0.0);
+  EXPECT_GT(result.total_tasks, 0);
+  EXPECT_GE(result.completed, 0);
+  EXPECT_GE(result.slo_violation_rate, 0.0);
+  EXPECT_LE(result.slo_violation_rate, 1.0);
+  EXPECT_EQ(result.interval_energy_kwh.size(), 10u);
+  EXPECT_GE(result.avg_decision_time_s, 0.0);
+  EXPECT_GT(result.memory_percent, 0.0);
+}
+
+TEST(HarnessTest, CarolEndToEnd) {
+  core::CarolModel model(TinyCarolConfig());
+  FederationRuntime runtime(SmallConfig());
+  const RunResult result = runtime.Run(model);
+  EXPECT_EQ(result.model_name, "CAROL");
+  EXPECT_GT(result.total_energy_kwh, 0.0);
+  // Observe ran every interval.
+  EXPECT_EQ(model.confidence_history().size(), 10u);
+}
+
+TEST(HarnessTest, DeterministicForSameSeed) {
+  RunConfig cfg = SmallConfig();
+  baselines::Dyverse a, b;
+  const RunResult ra = FederationRuntime(cfg).Run(a);
+  const RunResult rb = FederationRuntime(cfg).Run(b);
+  EXPECT_DOUBLE_EQ(ra.total_energy_kwh, rb.total_energy_kwh);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.violated, rb.violated);
+}
+
+TEST(HarnessTest, DifferentSeedsDiffer) {
+  RunConfig cfg = SmallConfig();
+  baselines::Dyverse a, b;
+  const RunResult ra = FederationRuntime(cfg).Run(a);
+  cfg.seed = 123;
+  const RunResult rb = FederationRuntime(cfg).Run(b);
+  EXPECT_NE(ra.total_energy_kwh, rb.total_energy_kwh);
+}
+
+TEST(HarnessTest, FaultsActuallyHappen) {
+  RunConfig cfg = SmallConfig();
+  cfg.intervals = 30;
+  cfg.faults.lambda_per_interval = 1.5;
+  baselines::Dyverse model;
+  const RunResult result = FederationRuntime(cfg).Run(model);
+  EXPECT_GT(result.failures_injected, 0);
+  EXPECT_GT(result.broker_failures_detected, 0);
+}
+
+TEST(HarnessTest, CollectTrainingTraceShape) {
+  RunConfig cfg = SmallConfig();
+  cfg.intervals = 25;
+  cfg.workload.non_stationary = false;
+  const workload::Trace trace = CollectTrainingTrace(cfg, 5);
+  ASSERT_EQ(trace.size(), 25u);
+  for (const auto& rec : trace) {
+    EXPECT_EQ(rec.assignment.size(), 16u);
+    EXPECT_EQ(rec.host_features.size(), 16u);
+  }
+  // Topology shuffling produced more than one distinct topology.
+  std::set<std::vector<int>> distinct;
+  for (const auto& rec : trace) distinct.insert(rec.assignment);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(HarnessTest, PerAppP90FromResponses) {
+  RunResult result;
+  result.all_responses = {10, 20, 30, 40, 50, 100};
+  result.all_response_apps = {0, 0, 0, 0, 0, 1};
+  const auto p90 = result.PerAppP90(2);
+  ASSERT_EQ(p90.size(), 2u);
+  EXPECT_GT(p90[0], 40.0);
+  EXPECT_DOUBLE_EQ(p90[1], 100.0);
+}
+
+TEST(HarnessTest, CalibrateRelativeSloProducesDeadlines) {
+  RunConfig cfg = SmallConfig();
+  cfg.intervals = 8;
+  baselines::Dyverse reference;
+  const auto deadlines = CalibrateRelativeSlo(reference, cfg);
+  ASSERT_EQ(deadlines.size(), 7u);  // AIoTBench apps
+  for (double d : deadlines) EXPECT_GT(d, 0.0);
+}
+
+TEST(HarnessTest, DeadlineOverridesChangeViolations) {
+  RunConfig cfg = SmallConfig();
+  cfg.intervals = 12;
+  baselines::Dyverse strict_model, loose_model;
+  RunConfig strict = cfg;
+  strict.deadline_overrides.assign(7, 1.0);  // 1-second deadlines
+  RunConfig loose = cfg;
+  loose.deadline_overrides.assign(7, 100000.0);
+  const RunResult rs = FederationRuntime(strict).Run(strict_model);
+  const RunResult rl = FederationRuntime(loose).Run(loose_model);
+  if (rs.completed > 0) {
+    EXPECT_DOUBLE_EQ(rs.slo_violation_rate, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(rl.slo_violation_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace carol::harness

@@ -1,0 +1,154 @@
+// Unit tests for the POT (peaks-over-threshold) thresholder and GPD fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/pot.h"
+
+namespace carol::core {
+namespace {
+
+TEST(GpdFitTest, MomentsOnExponentialData) {
+  // Exponential(1) is GPD with gamma=0, sigma=1.
+  common::Rng rng(1);
+  std::vector<double> excesses;
+  for (int i = 0; i < 5000; ++i) excesses.push_back(rng.Exponential(1.0));
+  const GpdFit fit = FitGpdMoments(excesses);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.gamma, 0.0, 0.1);
+  EXPECT_NEAR(fit.sigma, 1.0, 0.15);
+}
+
+TEST(GpdFitTest, GrimshawOnExponentialData) {
+  common::Rng rng(2);
+  std::vector<double> excesses;
+  for (int i = 0; i < 5000; ++i) excesses.push_back(rng.Exponential(2.0));
+  const GpdFit fit = FitGpdGrimshaw(excesses);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.gamma, 0.0, 0.1);
+  EXPECT_NEAR(fit.sigma, 0.5, 0.1);
+}
+
+TEST(GpdFitTest, GrimshawOnUniformData) {
+  // Uniform(0, b) is GPD with gamma = -1 (finite upper endpoint); the fit
+  // must at least produce a negative shape.
+  common::Rng rng(3);
+  std::vector<double> excesses;
+  for (int i = 0; i < 3000; ++i) excesses.push_back(rng.Uniform(0.0, 0.5));
+  const GpdFit fit = FitGpdGrimshaw(excesses);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_LT(fit.gamma, 0.0);
+}
+
+TEST(GpdFitTest, DegenerateInputsHandled) {
+  EXPECT_FALSE(FitGpdMoments({}).valid);
+  EXPECT_FALSE(FitGpdMoments({1.0}).valid);
+  // Constant excesses: zero variance.
+  EXPECT_FALSE(FitGpdMoments({0.5, 0.5, 0.5}).valid);
+}
+
+TEST(PotTest, NotCalibratedBeforeMinSamples) {
+  PotConfig cfg;
+  cfg.min_calibration = 50;
+  PotThreshold pot(cfg);
+  common::Rng rng(4);
+  for (int i = 0; i < 49; ++i) {
+    pot.Update(rng.Uniform(0.5, 1.0));
+    EXPECT_FALSE(pot.calibrated());
+    EXPECT_FALSE(pot.Breach(0.0));
+  }
+  pot.Update(0.8);
+  EXPECT_TRUE(pot.calibrated());
+}
+
+TEST(PotTest, ThresholdSitsBelowTypicalScores) {
+  PotConfig cfg;
+  cfg.min_calibration = 64;
+  PotThreshold pot(cfg);
+  common::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    pot.Update(0.75 + 0.08 * rng.Normal());
+  }
+  ASSERT_TRUE(pot.calibrated());
+  // Threshold below the mean but not absurdly low.
+  EXPECT_LT(pot.threshold(), 0.7);
+  EXPECT_GT(pot.threshold(), 0.2);
+}
+
+TEST(PotTest, DeepDipBreaches) {
+  PotConfig cfg;
+  cfg.min_calibration = 64;
+  PotThreshold pot(cfg);
+  common::Rng rng(6);
+  for (int i = 0; i < 200; ++i) pot.Update(0.8 + 0.05 * rng.Normal());
+  ASSERT_TRUE(pot.calibrated());
+  EXPECT_FALSE(pot.Breach(0.78));
+  EXPECT_TRUE(pot.Breach(0.05));
+}
+
+TEST(PotTest, RareBreachRateNearRisk) {
+  // On stationary data the breach rate should be within an order of the
+  // configured risk (POT is conservative by construction).
+  PotConfig cfg;
+  cfg.risk = 0.02;
+  cfg.min_calibration = 100;
+  PotThreshold pot(cfg);
+  common::Rng rng(7);
+  int breaches = 0, checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const double score = 0.7 + 0.1 * rng.Normal();
+    if (pot.calibrated()) {
+      ++checked;
+      if (pot.Breach(score)) ++breaches;
+    }
+    pot.Update(score);
+  }
+  ASSERT_GT(checked, 1000);
+  const double rate = static_cast<double>(breaches) / checked;
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST(PotTest, AdaptsToRegimeShift) {
+  // After the confidence level drops permanently, the sliding window must
+  // pull the threshold down so the new normal stops breaching.
+  PotConfig cfg;
+  cfg.min_calibration = 64;
+  cfg.window = 128;
+  PotThreshold pot(cfg);
+  common::Rng rng(8);
+  for (int i = 0; i < 200; ++i) pot.Update(0.85 + 0.04 * rng.Normal());
+  const double high_threshold = pot.threshold();
+  for (int i = 0; i < 400; ++i) pot.Update(0.45 + 0.04 * rng.Normal());
+  EXPECT_LT(pot.threshold(), high_threshold);
+  EXPECT_FALSE(pot.Breach(0.45));
+}
+
+TEST(PotTest, ObservationsCounted) {
+  PotThreshold pot;
+  pot.Update(0.5);
+  pot.Update(0.6);
+  EXPECT_EQ(pot.observations(), 2u);
+}
+
+// Parameterized sweep over risk levels: the threshold must be monotone in
+// the risk (larger risk -> higher, more eager threshold).
+class PotRiskTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PotRiskTest, ThresholdActiveAndOrdered) {
+  PotConfig cfg;
+  cfg.risk = GetParam();
+  cfg.min_calibration = 64;
+  PotThreshold pot(cfg);
+  common::Rng rng(9);
+  for (int i = 0; i < 500; ++i) pot.Update(0.7 + 0.1 * rng.Normal());
+  ASSERT_TRUE(pot.calibrated());
+  EXPECT_TRUE(std::isfinite(pot.threshold()));
+  EXPECT_LT(pot.threshold(), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Risks, PotRiskTest,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.05, 0.1));
+
+}  // namespace
+}  // namespace carol::core

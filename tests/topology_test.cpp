@@ -1,0 +1,164 @@
+// Unit tests for the broker-worker topology graph.
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace carol::sim {
+namespace {
+
+TEST(TopologyTest, SingleBrokerDefault) {
+  Topology t(4);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_EQ(t.broker_count(), 1);
+  EXPECT_TRUE(t.is_broker(0));
+  EXPECT_EQ(t.broker_of(3), 0);
+  EXPECT_TRUE(t.IsValid());
+}
+
+TEST(TopologyTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(Topology(0), std::invalid_argument);
+  EXPECT_THROW(Topology(-3), std::invalid_argument);
+}
+
+TEST(TopologyTest, InitialSymmetricLayout) {
+  Topology t = Topology::Initial(16, 4);
+  EXPECT_EQ(t.broker_count(), 4);
+  const auto brokers = t.brokers();
+  EXPECT_EQ(brokers, (std::vector<NodeId>{0, 4, 8, 12}));
+  // Symmetric distribution: each broker manages 3 workers.
+  for (NodeId b : brokers) {
+    EXPECT_EQ(t.workers_of(b).size(), 3u);
+  }
+  // Site-local assignment: node 5 belongs to broker 4.
+  EXPECT_EQ(t.broker_of(5), 4);
+  EXPECT_TRUE(t.IsValid());
+}
+
+TEST(TopologyTest, InitialRejectsBadBrokerCount) {
+  EXPECT_THROW(Topology::Initial(4, 0), std::invalid_argument);
+  EXPECT_THROW(Topology::Initial(4, 5), std::invalid_argument);
+}
+
+TEST(TopologyTest, PromoteCreatesBroker) {
+  Topology t = Topology::Initial(8, 2);
+  const int before = t.broker_count();
+  t.Promote(1);
+  EXPECT_EQ(t.broker_count(), before + 1);
+  EXPECT_TRUE(t.is_broker(1));
+  EXPECT_TRUE(t.IsValid());
+}
+
+TEST(TopologyTest, DemoteMovesWorkers) {
+  Topology t = Topology::Initial(8, 2);  // brokers 0 and 4
+  t.Demote(0, 4);
+  EXPECT_EQ(t.broker_count(), 1);
+  EXPECT_FALSE(t.is_broker(0));
+  EXPECT_EQ(t.broker_of(0), 4);
+  // All of 0's old workers now report to 4.
+  for (NodeId w : {1, 2, 3}) EXPECT_EQ(t.broker_of(w), 4);
+  EXPECT_TRUE(t.IsValid());
+}
+
+TEST(TopologyTest, DemoteGuards) {
+  Topology t = Topology::Initial(8, 2);
+  EXPECT_THROW(t.Demote(1, 0), std::invalid_argument);  // 1 not a broker
+  EXPECT_THROW(t.Demote(0, 1), std::invalid_argument);  // 1 not a broker
+  EXPECT_THROW(t.Demote(0, 0), std::invalid_argument);
+  Topology single(4);
+  // Cannot demote the only broker (no other broker to point at).
+  EXPECT_THROW(single.Demote(0, 0), std::invalid_argument);
+}
+
+TEST(TopologyTest, AssignReassignsWorker) {
+  Topology t = Topology::Initial(8, 2);
+  t.Assign(1, 4);
+  EXPECT_EQ(t.broker_of(1), 4);
+  EXPECT_EQ(t.workers_of(4).size(), 4u);
+  EXPECT_EQ(t.workers_of(0).size(), 2u);
+  EXPECT_THROW(t.Assign(1, 2), std::invalid_argument);  // 2 not broker
+  EXPECT_THROW(t.Assign(0, 4), std::invalid_argument);  // 0 is broker
+}
+
+TEST(TopologyTest, LeiOfFollowsBrokerOrder) {
+  Topology t = Topology::Initial(8, 2);  // brokers 0, 4
+  EXPECT_EQ(t.lei_of(0), 0);
+  EXPECT_EQ(t.lei_of(2), 0);
+  EXPECT_EQ(t.lei_of(4), 1);
+  EXPECT_EQ(t.lei_of(6), 1);
+}
+
+TEST(TopologyTest, AdjacencySymmetricBrokerClique) {
+  Topology t = Topology::Initial(8, 2);
+  const auto adj = t.AdjacencyFlat();
+  const auto at = [&](NodeId a, NodeId b) {
+    return adj[static_cast<std::size_t>(a) * 8 + static_cast<std::size_t>(b)];
+  };
+  // Broker-broker edge.
+  EXPECT_DOUBLE_EQ(at(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(at(4, 0), 1.0);
+  // Worker-broker edge.
+  EXPECT_DOUBLE_EQ(at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(at(0, 1), 1.0);
+  // No worker-worker edges.
+  EXPECT_DOUBLE_EQ(at(1, 2), 0.0);
+  // No cross-LEI worker-broker edges.
+  EXPECT_DOUBLE_EQ(at(1, 4), 0.0);
+  // No self loops.
+  for (NodeId i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(at(i, i), 0.0);
+}
+
+TEST(TopologyTest, HashAndEqualityTrackMutations) {
+  Topology a = Topology::Initial(8, 2);
+  Topology b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Assign(1, 4);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(TopologyTest, OutOfRangeChecks) {
+  Topology t(4);
+  EXPECT_THROW(t.is_broker(4), std::out_of_range);
+  EXPECT_THROW(t.broker_of(-1), std::out_of_range);
+  EXPECT_THROW(t.Promote(9), std::out_of_range);
+}
+
+TEST(TopologyTest, ToStringListsLeis) {
+  Topology t = Topology::Initial(4, 2);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("{0:"), std::string::npos);
+  EXPECT_NE(s.find("{2:"), std::string::npos);
+}
+
+// Property sweep: mutations preserve validity for a range of sizes.
+class TopologyPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TopologyPropertyTest, MutationsPreserveValidity) {
+  const auto [nodes, brokers] = GetParam();
+  Topology t = Topology::Initial(nodes, brokers);
+  EXPECT_TRUE(t.IsValid());
+  EXPECT_EQ(t.broker_count(), brokers);
+  EXPECT_EQ(t.worker_count(), nodes - brokers);
+  // Promote every worker then demote back down to one broker.
+  for (NodeId w : t.workers()) {
+    t.Promote(w);
+    EXPECT_TRUE(t.IsValid());
+  }
+  EXPECT_EQ(t.broker_count(), nodes);
+  for (NodeId b = 1; b < nodes; ++b) {
+    t.Demote(b, 0);
+    EXPECT_TRUE(t.IsValid());
+  }
+  EXPECT_EQ(t.broker_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyPropertyTest,
+    ::testing::Values(std::make_pair(2, 1), std::make_pair(4, 2),
+                      std::make_pair(8, 2), std::make_pair(16, 4),
+                      std::make_pair(20, 5), std::make_pair(32, 4)));
+
+}  // namespace
+}  // namespace carol::sim

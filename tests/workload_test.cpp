@@ -1,0 +1,205 @@
+// Unit tests for workload profiles, the non-stationary generator and
+// trace persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/rng.h"
+#include "sim/federation.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+#include "workload/trace.h"
+
+namespace carol::workload {
+namespace {
+
+TEST(ProfilesTest, DeFogHasThreeApps) {
+  const auto apps = DeFogProfiles();
+  ASSERT_EQ(apps.size(), 3u);
+  EXPECT_EQ(apps[0].name, "yolo");
+  EXPECT_EQ(apps[1].name, "pocketsphinx");
+  EXPECT_EQ(apps[2].name, "aeneas");
+}
+
+TEST(ProfilesTest, AIoTBenchHasSevenApps) {
+  const auto apps = AIoTBenchProfiles();
+  ASSERT_EQ(apps.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& a : apps) names.insert(a.name);
+  EXPECT_TRUE(names.count("resnet18"));
+  EXPECT_TRUE(names.count("resnext32x4d"));
+  EXPECT_TRUE(names.count("mnasnet"));
+}
+
+TEST(ProfilesTest, ProfilesAreWellFormed) {
+  for (const auto& apps : {DeFogProfiles(), AIoTBenchProfiles()}) {
+    for (const auto& a : apps) {
+      EXPECT_GT(a.mi_min, 0.0) << a.name;
+      EXPECT_GE(a.mi_max, a.mi_min) << a.name;
+      EXPECT_GT(a.mips_demand, 0.0) << a.name;
+      EXPECT_GE(a.ram_max_mb, a.ram_min_mb) << a.name;
+      EXPECT_GT(a.deadline_s, 0.0) << a.name;
+    }
+  }
+}
+
+TEST(ProfilesTest, HeavyNetworksDemandMoreThanLight) {
+  const auto apps = AIoTBenchProfiles();
+  const auto find = [&](const std::string& n) {
+    for (const auto& a : apps) {
+      if (a.name == n) return a;
+    }
+    throw std::logic_error("missing app " + n);
+  };
+  EXPECT_GT(find("resnext32x4d").mi_min, find("squeezenet").mi_max);
+  EXPECT_GT(find("resnet34").ram_min_mb, find("mobilenetv2").ram_max_mb);
+}
+
+TEST(GeneratorTest, PoissonArrivalsMatchRate) {
+  WorkloadConfig cfg;
+  cfg.lambda_per_site = 1.2;
+  cfg.num_sites = 4;
+  cfg.non_stationary = false;
+  WorkloadGenerator gen(AIoTBenchProfiles(), cfg, common::Rng(1));
+  int total = 0;
+  const int intervals = 2000;
+  for (int i = 0; i < intervals; ++i) {
+    total += static_cast<int>(gen.Generate(i, i * 300.0).size());
+  }
+  // Expectation: 4 sites * 1.2 per interval.
+  EXPECT_NEAR(static_cast<double>(total) / intervals, 4.8, 0.25);
+  EXPECT_EQ(gen.total_generated(), total);
+}
+
+TEST(GeneratorTest, TasksHaveValidFields) {
+  WorkloadConfig cfg;
+  WorkloadGenerator gen(DeFogProfiles(), cfg, common::Rng(2));
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& t : gen.Generate(i, i * 300.0)) {
+      EXPECT_GT(t.id, 0);
+      EXPECT_GE(t.app_type, 0);
+      EXPECT_LT(t.app_type, 3);
+      EXPECT_GT(t.total_mi, 0.0);
+      EXPECT_GT(t.mips_demand, 0.0);
+      EXPECT_GT(t.ram_mb, 0.0);
+      EXPECT_GT(t.slo_deadline_s, 0.0);
+      EXPECT_GE(t.gateway_site, 0);
+      EXPECT_LT(t.gateway_site, cfg.num_sites);
+      EXPECT_DOUBLE_EQ(t.arrival_time_s, i * 300.0);
+      EXPECT_FALSE(t.placed());
+      EXPECT_FALSE(t.finished());
+    }
+  }
+}
+
+TEST(GeneratorTest, TaskIdsAreUnique) {
+  WorkloadGenerator gen(DeFogProfiles(), WorkloadConfig{}, common::Rng(3));
+  std::set<sim::TaskId> ids;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& t : gen.Generate(i, i * 300.0)) {
+      EXPECT_TRUE(ids.insert(t.id).second) << "duplicate id " << t.id;
+    }
+  }
+}
+
+TEST(GeneratorTest, NonStationaryModulatesRate) {
+  WorkloadConfig cfg;
+  cfg.non_stationary = true;
+  cfg.burst_amplitude = 0.9;
+  cfg.burst_period_intervals = 20.0;
+  cfg.regime_shift_prob = 0.0;  // isolate the sinusoid
+  WorkloadGenerator gen(AIoTBenchProfiles(), cfg, common::Rng(4));
+  // Average arrivals near the sinusoid peak vs trough must differ.
+  double peak = 0.0, trough = 0.0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    peak += static_cast<double>(gen.Generate(5, 0.0).size());    // sin>0
+    trough += static_cast<double>(gen.Generate(15, 0.0).size()); // sin<0
+  }
+  EXPECT_GT(peak / reps, trough / reps * 1.5);
+}
+
+TEST(GeneratorTest, RegimeShiftsHappen) {
+  WorkloadConfig cfg;
+  cfg.regime_shift_prob = 0.2;
+  WorkloadGenerator gen(AIoTBenchProfiles(), cfg, common::Rng(5));
+  for (int i = 0; i < 200; ++i) gen.Generate(i, 0.0);
+  EXPECT_GT(gen.regime_shifts(), 10);
+}
+
+TEST(GeneratorTest, OverrideDeadlinesApplies) {
+  WorkloadGenerator gen(DeFogProfiles(), WorkloadConfig{}, common::Rng(6));
+  gen.OverrideDeadlines({111.0, 222.0, 333.0});
+  bool saw_any = false;
+  for (int i = 0; i < 50 && !saw_any; ++i) {
+    for (const auto& t : gen.Generate(i, 0.0)) {
+      saw_any = true;
+      const double expected =
+          t.app_type == 0 ? 111.0 : (t.app_type == 1 ? 222.0 : 333.0);
+      EXPECT_DOUBLE_EQ(t.slo_deadline_s, expected);
+    }
+  }
+  EXPECT_TRUE(saw_any);
+  EXPECT_THROW(gen.OverrideDeadlines({1.0}), std::invalid_argument);
+}
+
+TEST(GeneratorTest, EmptyProfilesRejected) {
+  EXPECT_THROW(
+      WorkloadGenerator({}, WorkloadConfig{}, common::Rng(1)),
+      std::invalid_argument);
+}
+
+TEST(TraceTest, MakeRecordFromSnapshot) {
+  sim::SystemSnapshot snap;
+  snap.interval = 7;
+  snap.topology = sim::Topology::Initial(4, 2);
+  snap.hosts.resize(4);
+  snap.hosts[1].cpu_util = 0.5;
+  snap.interval_energy_kwh = 0.01;
+  snap.slo_rate = 0.25;
+  snap.avg_response_s = 42.0;
+  const TraceRecord rec = MakeTraceRecord(snap);
+  EXPECT_EQ(rec.interval, 7);
+  ASSERT_EQ(rec.assignment.size(), 4u);
+  EXPECT_EQ(rec.assignment[0], 0);
+  EXPECT_EQ(rec.assignment[1], 0);
+  EXPECT_EQ(rec.assignment[2], 2);
+  ASSERT_EQ(rec.host_features.size(), 4u);
+  EXPECT_EQ(rec.host_features[0].size(),
+            static_cast<std::size_t>(sim::HostMetricsRow::kFeatureCount));
+  EXPECT_DOUBLE_EQ(rec.host_features[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(rec.energy_kwh, 0.01);
+  EXPECT_DOUBLE_EQ(rec.slo_rate, 0.25);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "carol_trace_test.csv")
+          .string();
+  Trace trace;
+  for (int i = 0; i < 3; ++i) {
+    sim::SystemSnapshot snap;
+    snap.interval = i;
+    snap.topology = sim::Topology::Initial(4, 2);
+    snap.hosts.resize(4);
+    snap.hosts[0].cpu_util = 0.1 * i;
+    snap.interval_energy_kwh = 0.001 * i;
+    trace.push_back(MakeTraceRecord(snap));
+  }
+  SaveTrace(trace, path);
+  const Trace loaded = LoadTrace(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded[i].interval, i);
+    ASSERT_EQ(loaded[i].assignment.size(), 4u);
+    EXPECT_EQ(loaded[i].assignment, trace[i].assignment);
+    EXPECT_NEAR(loaded[i].host_features[0][0], 0.1 * i, 1e-9);
+    EXPECT_NEAR(loaded[i].energy_kwh, 0.001 * i, 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace carol::workload
