@@ -22,6 +22,21 @@ std::vector<EpochStats> CarolModel::TrainOffline(
   return gon_->Train(data, max_epochs);
 }
 
+namespace {
+
+// O(M*) of Eq. (7): convex energy/SLO combination over generated metrics.
+double QosObjective(const nn::Matrix& metrics, double alpha, double beta) {
+  double energy = 0.0, slo = 0.0;
+  for (std::size_t i = 0; i < metrics.rows(); ++i) {
+    energy += metrics(i, FeatureEncoder::kEnergyColumn);
+    slo += metrics(i, FeatureEncoder::kSloColumn);
+  }
+  const double h = static_cast<double>(metrics.rows());
+  return (alpha * energy + beta * slo) / std::max(1.0, h);
+}
+
+}  // namespace
+
 double CarolModel::ScoreTopology(const sim::Topology& candidate,
                                  const sim::SystemSnapshot& snapshot) {
   // Encode the observed metrics against the hypothetical topology, then
@@ -29,13 +44,33 @@ double CarolModel::ScoreTopology(const sim::Topology& candidate,
   // and read the QoS objective O(M*) off the generated metrics (Eq. 7).
   const EncodedState ctx = encoder_.EncodeForTopology(snapshot, candidate);
   const GenerationResult gen = gon_->Generate(ctx.m, ctx);
-  double energy = 0.0, slo = 0.0;
-  for (std::size_t i = 0; i < gen.metrics.rows(); ++i) {
-    energy += gen.metrics(i, FeatureEncoder::kEnergyColumn);
-    slo += gen.metrics(i, FeatureEncoder::kSloColumn);
+  return QosObjective(gen.metrics, config_.alpha, config_.beta);
+}
+
+std::vector<double> CarolModel::ScoreTopologies(
+    const std::vector<sim::Topology>& candidates,
+    const sim::SystemSnapshot& snapshot) {
+  std::vector<EncodedState> contexts;
+  contexts.reserve(candidates.size());
+  for (const sim::Topology& candidate : candidates) {
+    contexts.push_back(encoder_.EncodeForTopology(snapshot, candidate));
   }
-  const double h = static_cast<double>(gen.metrics.rows());
-  return (config_.alpha * energy + config_.beta * slo) / std::max(1.0, h);
+  std::vector<const nn::Matrix*> inits;
+  std::vector<const EncodedState*> ctx_ptrs;
+  inits.reserve(contexts.size());
+  ctx_ptrs.reserve(contexts.size());
+  for (const EncodedState& ctx : contexts) {
+    inits.push_back(&ctx.m);
+    ctx_ptrs.push_back(&ctx);
+  }
+  const std::vector<GenerationResult> gens =
+      gon_->GenerateBatch(inits, ctx_ptrs);
+  std::vector<double> scores;
+  scores.reserve(gens.size());
+  for (const GenerationResult& gen : gens) {
+    scores.push_back(QosObjective(gen.metrics, config_.alpha, config_.beta));
+  }
+  return scores;
 }
 
 sim::Topology CarolModel::Repair(
@@ -65,14 +100,16 @@ sim::Topology CarolModel::Repair(
     if (repairs.empty()) continue;  // nothing alive to take over
     // Algorithm 2 line 7: start from a random node-shift...
     const sim::Topology start = repairs[rng_.Choice(repairs.size())];
-    // ...line 8: tabu-search the neighborhood to optimize Omega.
+    // ...line 8: tabu-search the neighborhood to optimize Omega. The
+    // batch objective scores each frontier with one stacked GON pass.
     TabuSearch search(config_.tabu);
     auto neighbor_fn = [&](const sim::Topology& g) {
       return LocalNeighbors(g, alive, config_.node_shift);
     };
-    auto objective_fn = [&](const sim::Topology& g) {
-      return ScoreTopology(g, snapshot);
-    };
+    TabuSearch::BatchObjectiveFn objective_fn =
+        [&](const std::vector<sim::Topology>& frontier) {
+          return ScoreTopologies(frontier, snapshot);
+        };
     topo = search.Optimize(start, neighbor_fn, objective_fn);
   }
   return topo;
@@ -98,7 +135,10 @@ sim::Topology CarolModel::ProactiveOptimize(
       [&](const sim::Topology& g) {
         return LocalNeighbors(g, alive, config_.node_shift);
       },
-      [&](const sim::Topology& g) { return ScoreTopology(g, snapshot); });
+      TabuSearch::BatchObjectiveFn(
+          [&](const std::vector<sim::Topology>& frontier) {
+            return ScoreTopologies(frontier, snapshot);
+          }));
   // Only move when the surrogate sees a real improvement: node shifts
   // have reconfiguration costs the optimizer does not model.
   const double current_score = ScoreTopology(current, snapshot);

@@ -74,6 +74,12 @@ class CarolModel : public ResilienceModel {
   // against the given snapshot (exposed for tests and benches).
   double ScoreTopology(const sim::Topology& candidate,
                        const sim::SystemSnapshot& snapshot);
+  // Batched Omega: encodes all candidates and runs ONE stacked GON
+  // generation/scoring pass (the node-shift search hot path). Matches
+  // per-candidate ScoreTopology results.
+  std::vector<double> ScoreTopologies(
+      const std::vector<sim::Topology>& candidates,
+      const sim::SystemSnapshot& snapshot);
 
   // --- introspection (Figure 2 series, overhead accounting) ---
   const std::vector<double>& confidence_history() const {

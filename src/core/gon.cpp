@@ -1,7 +1,10 @@
 #include "core/gon.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "common/log.h"
 
@@ -26,7 +29,11 @@ struct GonModel::Network : nn::Module {
             "gon.gat"),
         head({static_cast<std::size_t>(cfg.hidden_width + cfg.gat_width),
               static_cast<std::size_t>(cfg.hidden_width), 1},
-             rng, "gon.head", nn::Activation::kSigmoid) {}
+             rng, "gon.head", nn::Activation::kSigmoid) {
+    ms_encoder.set_fused(cfg.use_fast_path);
+    gat.set_fused(cfg.use_fast_path);
+    head.set_fused(cfg.use_fast_path);
+  }
 
   static std::vector<std::size_t> MsDims(const GonConfig& cfg) {
     std::vector<std::size_t> dims = {kMsInputWidth};
@@ -49,6 +56,25 @@ struct GonModel::Network : nn::Module {
   }
 };
 
+// Recycled buffers for the tape-free scoring path and the stacked tape
+// builds; steady state is allocation-free.
+struct GonModel::InferenceWorkspace {
+  nn::Matrix ms_stack;     // [K*H x 11]
+  nn::Matrix u_stack;      // [K*H x 6]
+  nn::Matrix s_stack;      // [K*H x 2]  (tape builds)
+  nn::Matrix roles_stack;  // [K*H x 2]  (tape builds)
+  nn::Matrix m_stack;      // [K*H x 9]  (tape builds)
+  std::array<nn::Matrix, 2> mlp_scratch;
+  std::array<nn::Matrix, 2> head_scratch;
+  nn::GraphAttention::InferenceScratch gat;
+  nn::Matrix e_g;     // [K*H x gat_width]
+  nn::Matrix pooled;  // [K x hidden+gat]
+  nn::Matrix ones_stack;
+  std::vector<const nn::Matrix*> adj_ptrs;
+  std::vector<const nn::Matrix*> m_ptrs;
+  std::vector<double> scores;
+};
+
 GonModel::~GonModel() = default;
 
 GonModel::GonModel(const GonConfig& config)
@@ -58,13 +84,21 @@ GonModel::GonModel(const GonConfig& config)
   optimizer_ = std::make_unique<nn::Adam>(
       net_->Parameters(), config_.train_lr, 0.9, 0.999, 1e-8,
       config_.weight_decay);
+  inference_ = std::make_unique<InferenceWorkspace>();
+}
+
+bool GonModel::SameHostCount(std::span<const EncodedState* const> states) {
+  for (const EncodedState* s : states) {
+    if (s->m.rows() != states.front()->m.rows()) return false;
+  }
+  return true;
 }
 
 nn::Value GonModel::Forward(nn::Tape& tape, nn::Value m,
                             const EncodedState& ctx) {
   Network& net = *net_impl_;
-  nn::Value s = tape.Leaf(ctx.s);
-  nn::Value roles = tape.Leaf(ctx.roles);
+  nn::Value s = tape.LeafRef(ctx.s);
+  nn::Value roles = tape.LeafRef(ctx.roles);
   // E_{M,S} = ReLU(FeedForward([M, S])) per host, mean-pooled (Eq. 3).
   nn::Value ms = tape.ConcatCols(m, s);
   nn::Value e_ms = net.ms_encoder.Forward(tape, ms);
@@ -76,27 +110,176 @@ nn::Value GonModel::Forward(nn::Tape& tape, nn::Value m,
   return net.head.Forward(tape, pooled);
 }
 
+nn::Value GonModel::ForwardBatch(nn::Tape& tape, nn::Value m,
+                                 std::span<const EncodedState* const> ctxs) {
+  Network& net = *net_impl_;
+  InferenceWorkspace& ws = *inference_;
+  const std::size_t k = ctxs.size();
+  const std::size_t h = ctxs.front()->m.rows();
+
+  // Stacked S and role constants.
+  ws.s_stack.Resize(k * h, FeatureEncoder::kSchedFeatures);
+  ws.roles_stack.Resize(k * h, FeatureEncoder::kRoleFeatures);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::copy(ctxs[i]->s.flat().begin(), ctxs[i]->s.flat().end(),
+              ws.s_stack.flat().begin() +
+                  static_cast<std::ptrdiff_t>(i * h *
+                                              FeatureEncoder::kSchedFeatures));
+    std::copy(ctxs[i]->roles.flat().begin(), ctxs[i]->roles.flat().end(),
+              ws.roles_stack.flat().begin() +
+                  static_cast<std::ptrdiff_t>(i * h *
+                                              FeatureEncoder::kRoleFeatures));
+  }
+  nn::Value s = tape.LeafRef(ws.s_stack);
+  nn::Value roles = tape.LeafRef(ws.roles_stack);
+
+  // Rows are per-host, so the stacked encoder pass equals K separate
+  // passes row for row (Eq. 3 batched).
+  nn::Value ms = tape.ConcatCols(m, s);
+  nn::Value e_ms = net.ms_encoder.Forward(tape, ms);
+  // GAT branch: shared projections batched, attention per state (Eq. 4).
+  nn::Value u = tape.ConcatCols(tape.SliceCols(m, 0, 4), roles);
+  ws.adj_ptrs.clear();
+  for (const EncodedState* ctx : ctxs) ws.adj_ptrs.push_back(&ctx->adjacency);
+  nn::Value e_g = net.gat.ForwardBatch(tape, u, ws.adj_ptrs);
+  // Per-state mean-pools, stacked into the [K x hidden+gat] head input.
+  std::vector<nn::Value> pooled_rows;
+  pooled_rows.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    pooled_rows.push_back(tape.ConcatCols(
+        tape.RowMean(tape.SliceRows(e_ms, i * h, (i + 1) * h)),
+        tape.RowMean(tape.SliceRows(e_g, i * h, (i + 1) * h))));
+  }
+  nn::Value pooled =
+      k == 1 ? pooled_rows.front() : tape.StackRows(pooled_rows);
+  return net.head.Forward(tape, pooled);  // [K x 1] scores (Eq. 5)
+}
+
+void GonModel::ForwardInferenceBatch(
+    std::span<const nn::Matrix* const> ms,
+    std::span<const EncodedState* const> ctxs, std::vector<double>& out) {
+  Network& net = *net_impl_;
+  InferenceWorkspace& ws = *inference_;
+  const std::size_t k = ctxs.size();
+  const std::size_t h = ctxs.front()->m.rows();
+  const std::size_t mc = FeatureEncoder::kMetricFeatures;
+
+  // Stack [M_i, S_i] rows and the GAT inputs in one sweep.
+  ws.ms_stack.Resize(k * h, kMsInputWidth);
+  ws.u_stack.Resize(k * h, kGatInputWidth);
+  for (std::size_t i = 0; i < k; ++i) {
+    const nn::Matrix& m = *ms[i];
+    const EncodedState& ctx = *ctxs[i];
+    for (std::size_t r = 0; r < h; ++r) {
+      auto mrow = m.row(r);
+      auto srow = ctx.s.row(r);
+      auto rrow = ctx.roles.row(r);
+      auto ms_row = ws.ms_stack.row(i * h + r);
+      std::copy(mrow.begin(), mrow.end(), ms_row.begin());
+      std::copy(srow.begin(), srow.end(),
+                ms_row.begin() + static_cast<std::ptrdiff_t>(mc));
+      auto u_row = ws.u_stack.row(i * h + r);
+      std::copy(mrow.begin(), mrow.begin() + 4, u_row.begin());
+      std::copy(rrow.begin(), rrow.end(), u_row.begin() + 4);
+    }
+  }
+
+  const nn::Matrix& e_ms =
+      net.ms_encoder.ForwardInference(ws.ms_stack, ws.mlp_scratch);
+  ws.adj_ptrs.clear();
+  for (const EncodedState* ctx : ctxs) ws.adj_ptrs.push_back(&ctx->adjacency);
+  net.gat.ForwardInferenceBatch(ws.u_stack, ws.adj_ptrs, ws.gat, ws.e_g);
+
+  // Per-state mean-pool (same sum-then-scale order as the RowMean op).
+  const std::size_t hw = e_ms.cols();
+  const std::size_t gw = ws.e_g.cols();
+  const double inv = h == 0 ? 0.0 : 1.0 / static_cast<double>(h);
+  ws.pooled.Resize(k, hw + gw);
+  for (std::size_t i = 0; i < k; ++i) {
+    double* prow = ws.pooled.flat().data() + i * (hw + gw);
+    for (std::size_t c = 0; c < hw; ++c) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < h; ++r) acc += e_ms(i * h + r, c);
+      prow[c] = acc * inv;
+    }
+    for (std::size_t c = 0; c < gw; ++c) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < h; ++r) acc += ws.e_g(i * h + r, c);
+      prow[hw + c] = acc * inv;
+    }
+  }
+
+  const nn::Matrix& scores =
+      net.head.ForwardInference(ws.pooled, ws.head_scratch);
+  out.resize(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = scores(i, 0);
+}
+
 double GonModel::Discriminate(const EncodedState& state) {
+  if (config_.use_fast_path) {
+    const EncodedState* p = &state;
+    const nn::Matrix* m = &state.m;
+    std::vector<double> score;
+    ForwardInferenceBatch(std::span<const nn::Matrix* const>(&m, 1),
+                          std::span<const EncodedState* const>(&p, 1),
+                          score);
+    return score.front();
+  }
   nn::Tape tape;
+  tape.set_naive_kernels(true);  // seed-style reference execution
   net_->ClearBindings();
   nn::Value m = tape.Leaf(state.m);
   return Forward(tape, m, state).scalar();
 }
 
+std::vector<double> GonModel::DiscriminateBatch(
+    std::span<const EncodedState* const> states) {
+  std::vector<double> out;
+  if (states.empty()) return out;
+  if (!config_.use_fast_path || !SameHostCount(states)) {
+    out.reserve(states.size());
+    for (const EncodedState* s : states) out.push_back(Discriminate(*s));
+    return out;
+  }
+  InferenceWorkspace& ws = *inference_;
+  ws.m_ptrs.clear();
+  for (const EncodedState* s : states) ws.m_ptrs.push_back(&s->m);
+  ForwardInferenceBatch(ws.m_ptrs, states, out);
+  return out;
+}
+
+std::vector<double> GonModel::DiscriminateBatch(
+    std::span<const EncodedState> states) {
+  std::vector<const EncodedState*> ptrs;
+  ptrs.reserve(states.size());
+  for (const EncodedState& s : states) ptrs.push_back(&s);
+  return DiscriminateBatch(std::span<const EncodedState* const>(ptrs));
+}
+
 GenerationResult GonModel::Generate(const nn::Matrix& m_init,
                                     const EncodedState& context) {
+  if (!config_.use_fast_path) return GenerateSequential(m_init, context);
+  const nn::Matrix* init = &m_init;
+  const EncodedState* ctx = &context;
+  auto results =
+      GenerateBatch(std::span<const nn::Matrix* const>(&init, 1),
+                    std::span<const EncodedState* const>(&ctx, 1));
+  return std::move(results.front());
+}
+
+GenerationResult GonModel::GenerateSequential(const nn::Matrix& m_init,
+                                              const EncodedState& context) {
   GenerationResult result;
   nn::Matrix m_cur = m_init;
   const double lr = config_.generation_lr;
   double prev_objective = -std::numeric_limits<double>::infinity();
-  double last_score = 0.0;
   for (int step = 0; step < config_.generation_steps; ++step) {
     nn::Tape tape;
+    tape.set_naive_kernels(!config_.use_fast_path);
     net_->ClearBindings();
     nn::Value m = tape.Leaf(m_cur, /*requires_grad=*/true);
     nn::Value score = Forward(tape, m, context);
     nn::Value objective = tape.Log(score);
-    last_score = score.scalar();
     const double obj = objective.scalar();
     tape.Backward(objective);
     const nn::Matrix& grad = m.grad();
@@ -126,7 +309,6 @@ GenerationResult GonModel::Generate(const nn::Matrix& m_init,
     }
     prev_objective = obj;
   }
-  (void)last_score;
   result.metrics = std::move(m_cur);
   EncodedState scored = context;
   scored.m = result.metrics;
@@ -134,17 +316,144 @@ GenerationResult GonModel::Generate(const nn::Matrix& m_init,
   return result;
 }
 
-double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
-  // Phase 1 (Algorithm 1, line 4): generate fake samples Z* from noise by
-  // input-space ascent. Done before the training graph is built so the
-  // generation tapes don't interleave with training bindings.
-  std::vector<nn::Matrix> fakes;
-  fakes.reserve(batch.size());
-  for (const EncodedState* state : batch) {
-    nn::Matrix noise(state->m.rows(), state->m.cols());
-    for (double& v : noise.flat()) v = rng_.Uniform(0.0, 1.0);
-    fakes.push_back(Generate(noise, *state).metrics);
+std::vector<GenerationResult> GonModel::GenerateBatch(
+    std::span<const nn::Matrix* const> inits,
+    std::span<const EncodedState* const> contexts) {
+  if (inits.size() != contexts.size()) {
+    throw std::invalid_argument("GenerateBatch: inits/contexts mismatch");
   }
+  std::vector<GenerationResult> results(contexts.size());
+  if (contexts.empty()) return results;
+  if (!config_.use_fast_path || !SameHostCount(contexts)) {
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      results[i] = config_.use_fast_path
+                       ? Generate(*inits[i], *contexts[i])
+                       : GenerateSequential(*inits[i], *contexts[i]);
+    }
+    return results;
+  }
+
+  const std::size_t kTotal = contexts.size();
+  const std::size_t h = contexts.front()->m.rows();
+  const std::size_t c = contexts.front()->m.cols();
+  const std::size_t block = h * c;
+  const double lr = config_.generation_lr;
+
+  std::vector<nn::Matrix> m_cur(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    // A misshapen init would silently corrupt the stacked buffer; the
+    // sequential path throws for the same input, so match it.
+    if (inits[i]->rows() != h || inits[i]->cols() != c) {
+      throw std::invalid_argument(
+          "GenerateBatch: init shape does not match the context metrics");
+    }
+    m_cur[i].CopyFrom(*inits[i]);
+  }
+  std::vector<double> prev_obj(
+      kTotal, -std::numeric_limits<double>::infinity());
+  std::vector<char> active(kTotal, 1);
+  std::vector<std::size_t> act_idx;
+  std::vector<const EncodedState*> sub_ctx;
+  InferenceWorkspace& ws = *inference_;
+
+  // The ascent only reads grad_M; freezing the network skips every dW/db
+  // accumulation in the backward sweep (roughly a third of its flops).
+  // Scope guard: a throw mid-ascent must not leave the network frozen
+  // (frozen bindings would silently zero all training gradients).
+  struct FrozenGuard {
+    nn::Module* net;
+    explicit FrozenGuard(nn::Module* n) : net(n) { net->SetFrozen(true); }
+    ~FrozenGuard() { net->SetFrozen(false); }
+  } frozen_guard(net_);
+  // Each global step advances every still-active candidate by exactly the
+  // update sequential Generate would have applied at that step: the
+  // stacked forward/backward is row-block independent per candidate.
+  for (int step = 0; step < config_.generation_steps; ++step) {
+    act_idx.clear();
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      if (active[i]) act_idx.push_back(i);
+    }
+    if (act_idx.empty()) break;
+    const std::size_t a_count = act_idx.size();
+
+    ws.m_stack.Resize(a_count * h, c);
+    sub_ctx.clear();
+    for (std::size_t a = 0; a < a_count; ++a) {
+      const nn::Matrix& src = m_cur[act_idx[a]];
+      std::copy(src.flat().begin(), src.flat().end(),
+                ws.m_stack.flat().begin() +
+                    static_cast<std::ptrdiff_t>(a * block));
+      sub_ctx.push_back(contexts[act_idx[a]]);
+    }
+
+    tape_.Reset();
+    net_->ClearBindings();
+    nn::Value m = tape_.LeafRef(ws.m_stack, /*requires_grad=*/true);
+    nn::Value d = ForwardBatch(tape_, m, sub_ctx);
+    // Sum of per-candidate log-likelihoods: the per-candidate gradient
+    // blocks are exactly grad_M log D_i (the terms are independent).
+    nn::Value objective = tape_.SumAll(tape_.Log(d));
+    tape_.Backward(objective);
+    const nn::Matrix& grad = m.grad();
+    const nn::Matrix& scores = d.val();
+
+    for (std::size_t a = 0; a < a_count; ++a) {
+      const std::size_t i = act_idx[a];
+      const double obj =
+          std::log(std::max(scores(a, 0), nn::Tape::kLogEps));
+      const double* gp = grad.flat().data() + a * block;
+      double grad_scale = 0.0;
+      for (std::size_t j = 0; j < block; ++j) {
+        grad_scale = std::max(grad_scale, std::abs(gp[j]));
+      }
+      if (grad_scale < 1e-12) {
+        active[i] = 0;
+        continue;
+      }
+      bool moved = false;
+      double* mp = m_cur[i].flat().data();
+      for (std::size_t j = 0; j < block; ++j) {
+        const double delta = lr * gp[j] / grad_scale;
+        if (std::abs(delta) > 1e-9) moved = true;
+        mp[j] = std::clamp(mp[j] + delta, 0.0, 1.0);
+      }
+      ++results[i].steps;
+      if (!moved ||
+          std::abs(obj - prev_obj[i]) < config_.generation_tol) {
+        active[i] = 0;
+        continue;
+      }
+      prev_obj[i] = obj;
+    }
+  }
+
+  // Final confidences: one stacked inference pass over the converged M*.
+  ws.m_ptrs.clear();
+  for (std::size_t i = 0; i < kTotal; ++i) ws.m_ptrs.push_back(&m_cur[i]);
+  ForwardInferenceBatch(ws.m_ptrs, contexts, ws.scores);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    results[i].metrics = std::move(m_cur[i]);
+    results[i].confidence = ws.scores[i];
+  }
+  return results;
+}
+
+double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
+  if (!config_.use_fast_path || !SameHostCount(batch)) {
+    return TrainBatchSequential(batch);
+  }
+  // Phase 1 (Algorithm 1, line 4): generate fake samples Z* from noise by
+  // input-space ascent — one batched ascent for the whole minibatch.
+  const std::size_t b = batch.size();
+  std::vector<nn::Matrix> noise(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    noise[i].Resize(batch[i]->m.rows(), batch[i]->m.cols());
+    for (double& v : noise[i].flat()) v = rng_.Uniform(0.0, 1.0);
+  }
+  std::vector<const nn::Matrix*> noise_ptrs;
+  noise_ptrs.reserve(b);
+  for (const nn::Matrix& n : noise) noise_ptrs.push_back(&n);
+  std::vector<GenerationResult> gen = GenerateBatch(noise_ptrs, batch);
 
   // Phase 2 (line 5): ascend the discriminator objective
   //   mean_i [ log D(M_i,S_i,G_i) + log(1 - D(Z*_i,S_i,G_i)) ]
@@ -154,25 +463,100 @@ double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
   // generated by looking at M alone and learns to ignore the topology —
   // which would defeat the surrogate's purpose of ranking candidate
   // graphs (implementation note, EXPERIMENTS.md).
+  std::vector<const nn::Matrix*> real_ms, fake_ms, mm_ms;
+  std::vector<const EncodedState*> mm_ctx;
+  real_ms.reserve(b);
+  fake_ms.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    real_ms.push_back(&batch[i]->m);
+    fake_ms.push_back(&gen[i].metrics);
+    if (b > 1) {
+      // Mismatched-context negative: metrics from a different record
+      // presented under this record's (S, G). Same draw order as the
+      // per-sample path so fixed-seed runs line up.
+      std::size_t other = rng_.Choice(b);
+      if (other == i) other = (other + 1) % b;
+      if (batch[other]->m.rows() == batch[i]->m.rows()) {
+        mm_ms.push_back(&batch[other]->m);
+        mm_ctx.push_back(batch[i]);
+      }
+    }
+  }
+
+  tape_.Reset();
+  net_->ClearBindings();
+  const std::span<const EncodedState* const> ctx_span(batch);
+  InferenceWorkspace& ws = *inference_;
+  nn::Value d_real = ForwardBatch(tape_, StackLeaf(tape_, real_ms), ctx_span);
+  nn::Value d_fake = ForwardBatch(tape_, StackLeaf(tape_, fake_ms), ctx_span);
+  ws.ones_stack.Resize(b, 1);
+  ws.ones_stack.Fill(1.0);
+  nn::Value ones_b = tape_.LeafRef(ws.ones_stack);
+  // -[ sum log D(real) + sum log(1 - D(fake)) (+ sum log(1 - D(mm))) ] / B
+  nn::Value logsum =
+      tape_.Add(tape_.SumAll(tape_.Log(d_real)),
+                tape_.SumAll(tape_.Log(tape_.Sub(ones_b, d_fake))));
+  if (!mm_ms.empty()) {
+    nn::Value d_mm = ForwardBatch(
+        tape_, StackLeaf(tape_, mm_ms),
+        std::span<const EncodedState* const>(mm_ctx));
+    ws.ones_stack.Resize(mm_ms.size(), 1);
+    ws.ones_stack.Fill(1.0);
+    nn::Value ones_p = tape_.LeafRef(ws.ones_stack);
+    logsum = tape_.Add(
+        logsum, tape_.SumAll(tape_.Log(tape_.Sub(ones_p, d_mm))));
+  }
+  nn::Value loss =
+      tape_.Scale(tape_.Neg(logsum), 1.0 / static_cast<double>(b));
+  optimizer_->ZeroGrad();
+  tape_.Backward(loss);
+  net_->CollectGrads();
+  optimizer_->Step();
+  return loss.scalar();
+}
+
+nn::Value GonModel::StackLeaf(nn::Tape& tape,
+                              std::span<const nn::Matrix* const> ms) {
+  InferenceWorkspace& ws = *inference_;
+  const std::size_t h = ms.front()->rows();
+  const std::size_t c = ms.front()->cols();
+  ws.m_stack.Resize(ms.size() * h, c);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    std::copy(ms[i]->flat().begin(), ms[i]->flat().end(),
+              ws.m_stack.flat().begin() +
+                  static_cast<std::ptrdiff_t>(i * h * c));
+  }
+  return tape.LeafRef(ws.m_stack);
+}
+
+double GonModel::TrainBatchSequential(
+    const std::vector<const EncodedState*>& batch) {
+  // Seed-style per-sample training graphs (fallback / A-B reference).
+  std::vector<nn::Matrix> fakes;
+  fakes.reserve(batch.size());
+  for (const EncodedState* state : batch) {
+    nn::Matrix noise(state->m.rows(), state->m.cols());
+    for (double& v : noise.flat()) v = rng_.Uniform(0.0, 1.0);
+    fakes.push_back(Generate(noise, *state).metrics);
+  }
+
   nn::Tape tape;
+  tape.set_naive_kernels(!config_.use_fast_path);
   net_->ClearBindings();
   nn::Value total;
   nn::Value one = tape.Leaf(nn::Matrix::Ones(1, 1));
   int terms = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const EncodedState& state = *batch[i];
-    nn::Value d_real = Forward(tape, tape.Leaf(state.m), state);
-    nn::Value d_fake = Forward(tape, tape.Leaf(fakes[i]), state);
+    nn::Value d_real = Forward(tape, tape.LeafRef(state.m), state);
+    nn::Value d_fake = Forward(tape, tape.LeafRef(fakes[i]), state);
     nn::Value sample_loss = nn::GanDiscriminatorLoss(tape, d_real, d_fake);
     if (batch.size() > 1) {
-      // Mismatched-context negative: metrics from a different record
-      // presented under this record's (S, G).
       std::size_t other = rng_.Choice(batch.size());
       if (other == i) other = (other + 1) % batch.size();
-      // Only meaningful when host counts agree (they do within a run).
       if (batch[other]->m.rows() == state.m.rows()) {
         nn::Value d_mismatch =
-            Forward(tape, tape.Leaf(batch[other]->m), state);
+            Forward(tape, tape.LeafRef(batch[other]->m), state);
         sample_loss = tape.Add(
             sample_loss,
             tape.Neg(tape.Log(tape.Sub(one, d_mismatch))));
@@ -209,19 +593,32 @@ EpochStats GonModel::TrainEpoch(const std::vector<EncodedState>& data) {
 
   // Evaluation sweep: MSE of warm-started generation vs the recorded
   // metrics, and mean confidence on real tuples (Figure 4's series).
+  // Perturbed starts are drawn first (same rng order as the sequential
+  // sweep), then generation and scoring run as single batched passes.
   const std::size_t eval_n = std::min<std::size_t>(data.size(), 32);
-  double mse = 0.0, conf = 0.0;
+  std::vector<nn::Matrix> starts(eval_n);
+  std::vector<const nn::Matrix*> start_ptrs;
+  std::vector<const EncodedState*> eval_states;
+  start_ptrs.reserve(eval_n);
+  eval_states.reserve(eval_n);
   for (std::size_t i = 0; i < eval_n; ++i) {
     const EncodedState& state = data[order[i]];
-    nn::Matrix start_m = state.m;
-    for (double& v : start_m.flat()) {
+    starts[i].CopyFrom(state.m);
+    for (double& v : starts[i].flat()) {
       v = std::clamp(v + rng_.Normal(0.0, 0.1), 0.0, 1.0);
     }
-    const GenerationResult gen = Generate(start_m, state);
-    const nn::Matrix diff = gen.metrics - state.m;
-    mse += diff.Norm() * diff.Norm() /
-           static_cast<double>(diff.size());
-    conf += Discriminate(state);
+    start_ptrs.push_back(&starts[i]);
+    eval_states.push_back(&state);
+  }
+  const std::vector<GenerationResult> gens =
+      GenerateBatch(start_ptrs, eval_states);
+  const std::vector<double> confs = DiscriminateBatch(
+      std::span<const EncodedState* const>(eval_states));
+  double mse = 0.0, conf = 0.0;
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    const nn::Matrix diff = gens[i].metrics - eval_states[i]->m;
+    mse += diff.Norm() * diff.Norm() / static_cast<double>(diff.size());
+    conf += confs[i];
   }
   stats.mse = mse / static_cast<double>(eval_n);
   stats.confidence = conf / static_cast<double>(eval_n);

@@ -14,10 +14,20 @@
 // Training follows Algorithm 1: fake samples Z* are produced by the same
 // input-space ascent from noise, and theta ascends
 //   log D(M,S,G) + log(1 - D(Z*,S,G)).
+//
+// Latency design (the paper's headline metric is per-interval decision
+// time): scoring runs on a tape-free inference workspace with recycled
+// buffers; generation reuses ONE arena tape across ascent steps and
+// intervals; and the *Batch entry points stack K candidate states into a
+// single kernel pass, so scoring the node-shift neighborhood costs one
+// forward instead of K. Per-host encoder rows and per-state attention
+// blocks are independent, so batched results match the sequential ones
+// exactly. Not thread-safe: use one GonModel per thread.
 #ifndef CAROL_CORE_GON_H_
 #define CAROL_CORE_GON_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/encoder.h"
@@ -50,6 +60,11 @@ struct GonConfig {
   double weight_decay = 1e-5;
   int batch_size = 32;
   unsigned seed = 42;
+  // A/B safety valve for the latency work: when false, scoring and
+  // generation fall back to the seed-style path (fresh tape per call,
+  // unfused three-node dense layers, per-sample training graphs). The
+  // two paths compute the same values; benches measure the gap.
+  bool use_fast_path = true;
 };
 
 struct GenerationResult {
@@ -72,11 +87,28 @@ class GonModel {
   // Likelihood score D(M,S,G) in (0,1) for an encoded tuple.
   double Discriminate(const EncodedState& state);
 
+  // Batched scoring: one stacked kernel pass over K states that share a
+  // host count. Matches K sequential Discriminate calls (the per-host /
+  // per-state computations are independent; see header comment). States
+  // with differing host counts fall back to sequential scoring.
+  std::vector<double> DiscriminateBatch(
+      std::span<const EncodedState* const> states);
+  std::vector<double> DiscriminateBatch(std::span<const EncodedState> states);
+
   // Eq. (1): ascends log D over the metrics matrix starting from
   // `m_init` (normalized [H x 9]); S, roles and adjacency come from
   // `context`. Returns the converged metrics and their confidence.
   GenerationResult Generate(const nn::Matrix& m_init,
                             const EncodedState& context);
+
+  // Batched Eq. (1): runs the input-space ascent for K candidates in one
+  // tape per step (candidates converge and drop out individually). The
+  // per-candidate trajectories are identical to sequential Generate
+  // calls. `inits` and `contexts` must have equal length and share a
+  // host count (mixed host counts fall back to sequential generation).
+  std::vector<GenerationResult> GenerateBatch(
+      std::span<const nn::Matrix* const> inits,
+      std::span<const EncodedState* const> contexts);
 
   // One minibatch-SGD epoch of Algorithm 1 over the dataset.
   EpochStats TrainEpoch(const std::vector<EncodedState>& data);
@@ -101,16 +133,36 @@ class GonModel {
 
  private:
   struct Network;
-  // Builds the discriminator graph on `tape`; m may be a requires-grad
-  // leaf (generation) or constant (scoring).
+  struct InferenceWorkspace;
+
+  // Builds the discriminator graph on `tape` for one state; m may be a
+  // requires-grad leaf (generation) or constant (scoring).
   nn::Value Forward(nn::Tape& tape, nn::Value m, const EncodedState& ctx);
+  // Batched graph: `m` is the [K*H x 9] stacked metrics; returns the
+  // [K x 1] per-state scores.
+  nn::Value ForwardBatch(nn::Tape& tape, nn::Value m,
+                         std::span<const EncodedState* const> ctxs);
+  // Tape-free stacked forward used by DiscriminateBatch.
+  void ForwardInferenceBatch(std::span<const nn::Matrix* const> ms,
+                             std::span<const EncodedState* const> ctxs,
+                             std::vector<double>& out);
   double TrainBatch(const std::vector<const EncodedState*>& batch);
+  double TrainBatchSequential(const std::vector<const EncodedState*>& batch);
+  // Stacks the given metric matrices into one [sum(H) x 9] tape leaf.
+  nn::Value StackLeaf(nn::Tape& tape,
+                      std::span<const nn::Matrix* const> ms);
+  GenerationResult GenerateSequential(const nn::Matrix& m_init,
+                                      const EncodedState& context);
+  static bool SameHostCount(std::span<const EncodedState* const> states);
 
   GonConfig config_;
   common::Rng rng_;
   std::unique_ptr<Network> net_impl_;
   nn::Module* net_;  // facade over net_impl_
   std::unique_ptr<nn::Adam> optimizer_;
+  // Arena tape recycled across scoring/generation/training calls.
+  nn::Tape tape_;
+  std::unique_ptr<InferenceWorkspace> inference_;
 };
 
 }  // namespace carol::core

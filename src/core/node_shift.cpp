@@ -27,6 +27,11 @@ std::vector<sim::Topology> FailureNeighbors(
   for (sim::NodeId b : g.brokers()) {
     if (b != failed_broker && IsAlive(alive, b)) other_brokers.push_back(b);
   }
+  // The neighborhood size is known up front; one reservation keeps the
+  // repair path from reallocating topology vectors mid-enumeration.
+  neighbors.reserve(orphans.size() + other_brokers.size() +
+                    static_cast<std::size_t>(
+                        std::max(0, options.max_type1_pairs)));
 
   // Type 3 (same broker count): one orphan becomes the broker of its
   // siblings (and inherits the failed broker as a worker-to-be).
@@ -94,6 +99,9 @@ std::vector<sim::Topology> LocalNeighbors(const sim::Topology& g,
   for (sim::NodeId b : g.brokers()) {
     if (IsAlive(alive, b)) live_brokers.push_back(b);
   }
+  neighbors.reserve(
+      static_cast<std::size_t>(std::max(0, options.max_reassignments)) +
+      g.workers().size() + live_brokers.size() * live_brokers.size());
 
   // Worker reassignments across LEIs.
   int reassignments = 0;

@@ -95,8 +95,13 @@ bool PotThreshold::Breach(double score) const {
 }
 
 double PotThreshold::Update(double score) {
-  ++total_observations_;
-  history_.push_back(score);
+  return UpdateBatch(std::span<const double>(&score, 1));
+}
+
+double PotThreshold::UpdateBatch(std::span<const double> scores) {
+  if (scores.empty()) return threshold_;
+  total_observations_ += scores.size();
+  history_.insert(history_.end(), scores.begin(), scores.end());
   if (history_.size() > config_.window) {
     history_.erase(history_.begin(),
                    history_.begin() +

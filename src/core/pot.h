@@ -14,6 +14,7 @@
 #define CAROL_CORE_POT_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace carol::core {
@@ -50,6 +51,13 @@ class PotThreshold {
   // below which fine-tuning triggers). Before calibration completes the
   // threshold is -infinity (never triggers).
   double Update(double score);
+
+  // Feeds a whole batch of confidence scores (e.g. the per-candidate
+  // confidences of one DiscriminateBatch pass, or a replayed series) and
+  // refits the GPD tail ONCE at the end instead of once per score.
+  // Ends in the same window state as sequential Update calls; the
+  // intermediate per-score thresholds are simply not materialized.
+  double UpdateBatch(std::span<const double> scores);
 
   double threshold() const { return threshold_; }
   bool calibrated() const { return calibrated_; }

@@ -1,6 +1,7 @@
 #include "core/tabu.h"
 
 #include <limits>
+#include <stdexcept>
 
 namespace carol::core {
 
@@ -22,38 +23,65 @@ bool TabuSearch::IsTabu(std::size_t hash) const {
 sim::Topology TabuSearch::Optimize(const sim::Topology& start,
                                    const NeighborFn& neighbors,
                                    const ObjectiveFn& objective) {
+  // The sequential form is the batch form scoring one candidate at a
+  // time — the evaluation order and counts are identical.
+  return Optimize(start, neighbors,
+                  [&objective](const std::vector<sim::Topology>& frontier) {
+                    std::vector<double> scores;
+                    scores.reserve(frontier.size());
+                    for (const sim::Topology& g : frontier) {
+                      scores.push_back(objective(g));
+                    }
+                    return scores;
+                  });
+}
+
+sim::Topology TabuSearch::Optimize(const sim::Topology& start,
+                                   const NeighborFn& neighbors,
+                                   const BatchObjectiveFn& objective) {
   evaluations_ = 0;
   tabu_order_.clear();
   tabu_set_.clear();
 
   sim::Topology current = start;
-  double current_score = objective(current);
+  double current_score = objective({current}).front();
   ++evaluations_;
   sim::Topology best = current;
   best_score_ = current_score;
   PushTabu(current.Hash());
 
+  std::vector<sim::Topology> eligible;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     if (evaluations_ >= config_.max_evaluations) break;
-    const std::vector<sim::Topology> frontier = neighbors(current);
-    const sim::Topology* chosen = nullptr;
+    std::vector<sim::Topology> frontier = neighbors(current);
+    // Non-tabu candidates in frontier order, truncated to the remaining
+    // evaluation budget — exactly the set the sequential loop scores.
+    eligible.clear();
+    const std::size_t budget =
+        static_cast<std::size_t>(config_.max_evaluations - evaluations_);
+    for (sim::Topology& candidate : frontier) {
+      if (eligible.size() >= budget) break;
+      if (IsTabu(candidate.Hash())) continue;
+      eligible.push_back(std::move(candidate));
+    }
+    if (eligible.empty()) break;  // neighborhood exhausted or all tabu
+    const std::vector<double> scores = objective(eligible);
+    if (scores.size() != eligible.size()) {
+      throw std::logic_error(
+          "TabuSearch: batch objective returned wrong score count");
+    }
+    evaluations_ += static_cast<int>(eligible.size());
+    // Aspiration: among eligibles pick the best (ties keep the first for
+    // determinism).
+    std::size_t chosen = 0;
     double chosen_score = std::numeric_limits<double>::infinity();
-    for (const sim::Topology& candidate : frontier) {
-      if (evaluations_ >= config_.max_evaluations) break;
-      const std::size_t hash = candidate.Hash();
-      if (IsTabu(hash)) continue;
-      const double score = objective(candidate);
-      ++evaluations_;
-      // Aspiration: a tabu-free candidate improving on the incumbent is
-      // always eligible; among eligibles pick the best (ties keep the
-      // first for determinism).
-      if (score < chosen_score) {
-        chosen_score = score;
-        chosen = &candidate;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (scores[i] < chosen_score) {
+        chosen_score = scores[i];
+        chosen = i;
       }
     }
-    if (chosen == nullptr) break;  // neighborhood exhausted or all tabu
-    current = *chosen;
+    current = std::move(eligible[chosen]);
     current_score = chosen_score;
     PushTabu(current.Hash());
     if (current_score < best_score_) {

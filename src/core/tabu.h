@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_set>
+#include <vector>
 
 #include "sim/topology.h"
 
@@ -31,6 +32,11 @@ class TabuSearch {
   using NeighborFn =
       std::function<std::vector<sim::Topology>(const sim::Topology&)>;
   using ObjectiveFn = std::function<double(const sim::Topology&)>;
+  // Scores a whole frontier at once (one score per input topology, same
+  // order). Lets Omega evaluations hit the GON's batched inference: one
+  // stacked forward for K candidate neighbors instead of K.
+  using BatchObjectiveFn =
+      std::function<std::vector<double>(const std::vector<sim::Topology>&)>;
 
   // Starts from `start` (which is evaluated and becomes the incumbent)
   // and iteratively moves to the best non-tabu neighbor, keeping the best
@@ -38,6 +44,13 @@ class TabuSearch {
   sim::Topology Optimize(const sim::Topology& start,
                          const NeighborFn& neighbors,
                          const ObjectiveFn& objective);
+  // Batched variant: per iteration the non-tabu frontier (truncated to
+  // the remaining evaluation budget) is scored with ONE call. Evaluates
+  // exactly the candidates the sequential form would, in the same order,
+  // so the two variants pick identical topologies for equal scores.
+  sim::Topology Optimize(const sim::Topology& start,
+                         const NeighborFn& neighbors,
+                         const BatchObjectiveFn& objective);
 
   int evaluations() const { return evaluations_; }
   double best_score() const { return best_score_; }

@@ -10,21 +10,35 @@
 // then read gradients off any node handle. Nodes are appended in
 // topological order, so the backward pass is a reverse sweep over the
 // subgraph reachable from the seed.
+//
+// Hot-path design (see src/nn/README.md):
+//   * The tape is an arena: `Reset()` recycles node slots AND their matrix
+//     buffers, so a tape owned by a per-interval loop (GonModel keeps one)
+//     reaches a steady state with no heap traffic per forward/backward.
+//   * Gradients are materialized lazily at Backward time (and zeroed only
+//     for the reachable subgraph); a forward-only evaluation never touches
+//     gradient storage.
+//   * Fused `Linear*` ops emit one node per dense layer instead of three
+//     (MatMul + AddRowBroadcast + activation), sharing the forward kernel
+//     in nn/kernels.h with the tape-free inference path.
 #ifndef CAROL_NN_AUTOGRAD_H_
 #define CAROL_NN_AUTOGRAD_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 
 namespace carol::nn {
 
 class Tape;
 
-// Lightweight handle to a tape node. Valid only while its Tape is alive and
-// not cleared.
+// Lightweight handle to a tape node. Valid only while its Tape is alive
+// and neither Reset nor Clear has been called since the handle was made.
 class Value {
  public:
   Value() = default;
@@ -53,8 +67,12 @@ class Tape {
   Tape& operator=(const Tape&) = delete;
 
   // Registers an input. Leaves with requires_grad=true accumulate
-  // gradients during Backward.
+  // gradients during Backward. The matrix is moved into the node.
   Value Leaf(Matrix m, bool requires_grad = false);
+  // Like Leaf but copies `m` into the node's recycled buffer — the
+  // allocation-free form for arena reuse (Module::Bind and the GON
+  // per-interval loops use this).
+  Value LeafRef(const Matrix& m, bool requires_grad = false);
 
   // --- arithmetic ---
   Value Add(Value a, Value b);             // same shape
@@ -67,6 +85,18 @@ class Tape {
   Value AddScalar(Value a, double s);
   Value Neg(Value a);
 
+  // --- fused dense layer: act(a * w + b), one node instead of three ---
+  Value Linear(Value x, Value w, Value b, FusedAct act);
+  Value LinearRelu(Value x, Value w, Value b) {
+    return Linear(x, w, b, FusedAct::kRelu);
+  }
+  Value LinearSigmoid(Value x, Value w, Value b) {
+    return Linear(x, w, b, FusedAct::kSigmoid);
+  }
+  Value LinearTanh(Value x, Value w, Value b) {
+    return Linear(x, w, b, FusedAct::kTanh);
+  }
+
   // --- elementwise nonlinearities ---
   Value Relu(Value a);
   Value Tanh(Value a);
@@ -78,7 +108,11 @@ class Tape {
   // --- structural ---
   Value ConcatCols(Value a, Value b);
   Value ConcatRows(Value a, Value b);
+  // Stacks K parts vertically in one node (linear copy cost — use this
+  // instead of a ConcatRows chain, which is O(K^2)).
+  Value StackRows(std::span<const Value> parts);
   Value SliceCols(Value a, std::size_t c0, std::size_t c1);
+  Value SliceRows(Value a, std::size_t r0, std::size_t r1);
 
   // --- reductions ---
   Value SumAll(Value a);   // 1x1
@@ -94,22 +128,38 @@ class Tape {
   // `output` must be 1x1; throws std::invalid_argument otherwise.
   void Backward(Value output);
 
-  // Drops all nodes; outstanding Value handles become invalid.
+  // Recycles the tape: node count drops to zero but node slots and their
+  // matrix buffers are retained for the next build. Outstanding Value
+  // handles become invalid. This is the per-interval fast path.
+  void Reset() { live_ = 0; }
+  // Drops all nodes AND their storage; outstanding handles become invalid.
   void Clear();
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const { return live_; }
+  // Number of retained (live + recyclable) node slots.
+  std::size_t capacity() const { return nodes_.size(); }
 
   // Minimum value the Log op clamps its inputs to.
   static constexpr double kLogEps = 1e-12;
+
+  // Naive-kernel mode: ops run the reference implementations (textbook
+  // i-j-k MatMul, std::function-dispatched elementwise maps, eagerly
+  // zeroed per-node gradients, fresh allocations per op). Same values,
+  // seed-era cost — the measured baseline of bench/micro_latency and the
+  // execution strategy behind GonConfig::use_fast_path=false.
+  void set_naive_kernels(bool naive) { naive_ = naive; }
+  bool naive_kernels() const { return naive_; }
 
  private:
   friend class Value;
 
   struct Node {
     Matrix value;
-    Matrix grad;
+    Matrix grad;            // lazily shaped/zeroed (see grad_ready)
     bool requires_grad = false;
-    // Parent node indices (always < own index).
-    std::vector<std::size_t> parents;
+    bool grad_ready = false;
+    // Parent node indices (always < own index). The vector's capacity is
+    // recycled with the slot, so steady-state builds stay allocation-free.
+    std::vector<std::uint32_t> parents;
     // Propagates this node's grad into the parents' grads.
     std::function<void(Tape&, std::size_t)> backward;
   };
@@ -117,10 +167,35 @@ class Tape {
   Node& node(std::size_t idx) { return nodes_[idx]; }
   const Node& node(std::size_t idx) const { return nodes_[idx]; }
 
-  Value Emit(Matrix value, std::vector<std::size_t> parents,
-             std::function<void(Tape&, std::size_t)> backward);
+  // Takes a fresh or recycled node slot; returns its index. May grow
+  // nodes_, so do not hold Node references across a call.
+  std::size_t AcquireIndex();
+  // Stamps parents/backward/requires_grad on an acquired slot.
+  Value FinishNode(std::size_t self,
+                   std::span<const std::size_t> parents,
+                   std::function<void(Tape&, std::size_t)> backward);
+  // Initializer-list convenience for the fixed-arity ops.
+  Value FinishNodeIL(std::size_t self,
+                     std::initializer_list<std::size_t> parents,
+                     std::function<void(Tape&, std::size_t)> backward);
+  // Shapes and zeroes the node's gradient unless already done this build.
+  Matrix& GradRef(std::size_t idx);
+  // Scratch matrices for backward lambdas (one lambda at a time; a
+  // lambda may use both, e.g. fused Linear: dpre + W^T).
+  Matrix& Scratch() { return scratch_; }
+  Matrix& Scratch2() { return scratch2_; }
+
+  // Seed-style per-element dispatch through std::function (naive mode).
+  Matrix NaiveMap(std::size_t idx, const std::function<double(double)>& fn);
 
   std::vector<Node> nodes_;
+  std::size_t live_ = 0;
+  bool naive_ = false;
+  Matrix scratch_;
+  Matrix scratch2_;
+  // Reusable Backward scratch.
+  std::vector<char> reach_;
+  std::vector<std::size_t> stack_;
 };
 
 }  // namespace carol::nn

@@ -32,9 +32,15 @@ void Module::ClearBindings() {
   for (Module* child : Children()) child->ClearBindings();
 }
 
+void Module::SetFrozen(bool frozen) {
+  frozen_ = frozen;
+  for (Module* child : Children()) child->SetFrozen(frozen);
+}
+
 Value Module::Bind(Tape& tape, Parameter& param) {
-  Value leaf = tape.Leaf(param.value, /*requires_grad=*/true);
-  bindings_.emplace_back(&param, leaf);
+  // LeafRef copies into the tape's recycled buffer (arena fast path).
+  Value leaf = tape.LeafRef(param.value, /*requires_grad=*/!frozen_);
+  if (!frozen_) bindings_.emplace_back(&param, leaf);
   return leaf;
 }
 
@@ -50,6 +56,20 @@ Value Activate(Tape& tape, Value x, Activation act) {
       return tape.Sigmoid(x);
   }
   throw std::logic_error("Activate: unknown activation");
+}
+
+FusedAct ToFusedAct(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return FusedAct::kNone;
+    case Activation::kRelu:
+      return FusedAct::kRelu;
+    case Activation::kTanh:
+      return FusedAct::kTanh;
+    case Activation::kSigmoid:
+      return FusedAct::kSigmoid;
+  }
+  throw std::logic_error("ToFusedAct: unknown activation");
 }
 
 Dense::Dense(std::size_t in, std::size_t out, common::Rng& rng,
@@ -68,11 +88,18 @@ Value Dense::Forward(Tape& tape, Value x) {
   }
   Value w = Bind(tape, w_);
   Value b = Bind(tape, b_);
+  if (fused_) {
+    return tape.Linear(x, w, b, ToFusedAct(act_));
+  }
   Value y = tape.AddRowBroadcast(tape.MatMul(x, w), b);
   return Activate(tape, y, act_);
 }
 
 std::vector<Parameter*> Dense::Parameters() { return {&w_, &b_}; }
+
+void Dense::ForwardInference(const Matrix& x, Matrix& out) const {
+  LinearForward(x, w_.value, b_.value, ToFusedAct(act_), out);
+}
 
 Mlp::Mlp(const std::vector<std::size_t>& dims, common::Rng& rng,
          std::string name, Activation output_act, Activation hidden_act) {
@@ -108,6 +135,23 @@ std::vector<Module*> Mlp::Children() {
   return out;
 }
 
+void Mlp::set_fused(bool fused) {
+  for (auto& layer : layers_) layer.set_fused(fused);
+}
+
+const Matrix& Mlp::ForwardInference(const Matrix& x,
+                                    std::array<Matrix, 2>& scratch) const {
+  const Matrix* in = &x;
+  std::size_t which = 0;
+  for (const auto& layer : layers_) {
+    Matrix& out = scratch[which];
+    layer.ForwardInference(*in, out);
+    in = &out;
+    which ^= 1;
+  }
+  return *in;
+}
+
 GraphAttention::GraphAttention(std::size_t in, std::size_t out,
                                common::Rng& rng, std::string name)
     : in_(in),
@@ -131,11 +175,89 @@ Value GraphAttention::Forward(Tape& tape, Value u, const Matrix& adjacency) {
   Value b = Bind(tape, b_);
   Value wq = Bind(tape, wq_);
 
-  Value hidden = tape.Tanh(tape.AddRowBroadcast(tape.MatMul(u, w), b));
+  Value hidden = fused_
+                     ? tape.LinearTanh(u, w, b)
+                     : tape.Tanh(tape.AddRowBroadcast(tape.MatMul(u, w), b));
   Value query = tape.MatMul(hidden, wq);
   Value scores = tape.MatMul(query, tape.Transpose(hidden));
   Value attn = tape.MaskedRowSoftmax(scores, std::move(mask));
   return tape.Sigmoid(tape.MatMul(attn, hidden));
+}
+
+Value GraphAttention::ForwardBatch(
+    Tape& tape, Value u, std::span<const Matrix* const> adjacencies) {
+  if (adjacencies.empty()) {
+    throw std::invalid_argument("GraphAttention::ForwardBatch: empty batch");
+  }
+  const std::size_t h = adjacencies.front()->rows();
+  const std::size_t k = adjacencies.size();
+  for (const Matrix* adj : adjacencies) {
+    if (adj->rows() != h || adj->cols() != h) {
+      throw std::invalid_argument(
+          "GraphAttention::ForwardBatch: adjacencies must share H x H");
+    }
+  }
+  if (u.rows() != k * h || u.cols() != in_) {
+    throw std::invalid_argument(
+        "GraphAttention::ForwardBatch: u must be [K*H x in]");
+  }
+
+  Value w = Bind(tape, w_);
+  Value b = Bind(tape, b_);
+  Value wq = Bind(tape, wq_);
+
+  // Shared projections over the whole stack: one kernel for K states.
+  Value hidden = tape.LinearTanh(u, w, b);
+  Value query = tape.MatMul(hidden, wq);
+
+  // Attention is per-state over the row block [s*H, (s+1)*H); a state's
+  // rows never attend across the block boundary, so this matches K
+  // independent Forward calls exactly.
+  std::vector<Value> parts;
+  parts.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    Matrix mask = *adjacencies[s];
+    for (std::size_t i = 0; i < h; ++i) mask(i, i) = 1.0;  // self-loops
+    Value hid_s = tape.SliceRows(hidden, s * h, (s + 1) * h);
+    Value q_s = tape.SliceRows(query, s * h, (s + 1) * h);
+    Value scores = tape.MatMul(q_s, tape.Transpose(hid_s));
+    Value attn = tape.MaskedRowSoftmax(scores, std::move(mask));
+    parts.push_back(tape.Sigmoid(tape.MatMul(attn, hid_s)));
+  }
+  return k == 1 ? parts.front() : tape.StackRows(parts);
+}
+
+void GraphAttention::ForwardInferenceBatch(
+    const Matrix& u, std::span<const Matrix* const> adjacencies,
+    InferenceScratch& ws, Matrix& out) const {
+  if (adjacencies.empty()) {
+    throw std::invalid_argument(
+        "GraphAttention::ForwardInferenceBatch: empty batch");
+  }
+  const std::size_t h = adjacencies.front()->rows();
+  const std::size_t k = adjacencies.size();
+  if (u.rows() != k * h || u.cols() != in_) {
+    throw std::invalid_argument(
+        "GraphAttention::ForwardInferenceBatch: u must be [K*H x in]");
+  }
+  LinearForward(u, w_.value, b_.value, FusedAct::kTanh, ws.hidden);
+  Matrix::MatMulInto(ws.hidden, wq_.value, ws.query);
+  out.Resize(k * h, out_);
+  for (std::size_t s = 0; s < k; ++s) {
+    ws.mask.CopyFrom(*adjacencies[s]);
+    for (std::size_t i = 0; i < h; ++i) ws.mask(i, i) = 1.0;  // self-loops
+    ws.hid_s.CopyRowsFrom(ws.hidden, s * h, (s + 1) * h);
+    ws.q_s.CopyRowsFrom(ws.query, s * h, (s + 1) * h);
+    // Same transpose + blocked-product kernels as the tape path, so the
+    // scores match the tape ops bit for bit.
+    Matrix::TransposeInto(ws.hid_s, ws.ht_s);
+    Matrix::MatMulInto(ws.q_s, ws.ht_s, ws.scores);
+    MaskedRowSoftmaxForward(ws.scores, ws.mask, ws.attn);
+    Matrix::MatMulInto(ws.attn, ws.hid_s, ws.e_s);
+    ApplyActivationInPlace(ws.e_s, FusedAct::kSigmoid);
+    std::copy(ws.e_s.flat().begin(), ws.e_s.flat().end(),
+              out.flat().begin() + static_cast<std::ptrdiff_t>(s * h * out_));
+  }
 }
 
 std::vector<Parameter*> GraphAttention::Parameters() {

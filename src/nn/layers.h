@@ -5,12 +5,15 @@
 #ifndef CAROL_NN_LAYERS_H_
 #define CAROL_NN_LAYERS_H_
 
+#include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/autograd.h"
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 
 namespace carol::nn {
@@ -59,14 +62,21 @@ class Module {
   // Must be called whenever a new tape is started (bindings reference the
   // previous tape's nodes). Recursive.
   void ClearBindings();
+  // Frozen modules bind parameters as constants (no gradient, no
+  // binding record): forward passes whose backward only needs input
+  // gradients — the GON input-space ascent — skip every dW/db
+  // accumulation. Recursive over the module tree.
+  void SetFrozen(bool frozen);
+  bool frozen() const { return frozen_; }
 
  protected:
   // Binds `param` as a requires-grad leaf on `tape` and records the
-  // binding for CollectGrads.
+  // binding for CollectGrads (constant leaf, no record, when frozen).
   Value Bind(Tape& tape, Parameter& param);
 
  private:
   std::vector<std::pair<Parameter*, Value>> bindings_;
+  bool frozen_ = false;
 };
 
 enum class Activation { kNone, kRelu, kTanh, kSigmoid };
@@ -74,7 +84,13 @@ enum class Activation { kNone, kRelu, kTanh, kSigmoid };
 // Applies an activation as a tape op.
 Value Activate(Tape& tape, Value x, Activation act);
 
+// Maps a layer activation onto the fused tape-op activation kind.
+FusedAct ToFusedAct(Activation act);
+
 // Fully connected layer: y = act(x W + b), x is [N x in].
+// By default this emits ONE fused Linear tape node per forward; the
+// unfused three-node form (MatMul + AddRowBroadcast + activation) is kept
+// behind set_fused(false) as the A/B reference for benches.
 class Dense : public Module {
  public:
   Dense(std::size_t in, std::size_t out, common::Rng& rng,
@@ -87,11 +103,19 @@ class Dense : public Module {
   std::size_t out_features() const { return out_; }
   Parameter& weight() { return w_; }
   Parameter& bias() { return b_; }
+  Activation activation() const { return act_; }
+  void set_fused(bool fused) { fused_ = fused; }
+
+  // Tape-free forward into a caller-owned buffer (inference hot path);
+  // uses the same LinearForward kernel as the fused tape op, so the
+  // values are identical to Forward's.
+  void ForwardInference(const Matrix& x, Matrix& out) const;
 
  private:
   std::size_t in_;
   std::size_t out_;
   Activation act_;
+  bool fused_ = true;
   Parameter w_;
   Parameter b_;
 };
@@ -108,6 +132,14 @@ class Mlp : public Module {
   std::vector<Parameter*> Parameters() override;
   std::vector<Module*> Children() override;
   std::size_t depth() const { return layers_.size(); }
+  // Propagates to every layer (bench A/B knob; fused is the default).
+  void set_fused(bool fused);
+
+  // Tape-free forward for inference hot paths. `scratch` supplies two
+  // recycled ping-pong buffers (grown on demand); the returned reference
+  // points into `scratch` and stays valid until the next call.
+  const Matrix& ForwardInference(const Matrix& x,
+                                 std::array<Matrix, 2>& scratch) const;
 
  private:
   std::vector<Dense> layers_;
@@ -127,11 +159,32 @@ class GraphAttention : public Module {
                  std::string name = "gat");
 
   Value Forward(Tape& tape, Value u, const Matrix& adjacency);
+  // Batched forward over K stacked states: `u` is [K*H x in] (H = rows of
+  // each adjacency) and `adjacencies` has one H x H entry per state.
+  // The shared linear/query projections run as ONE kernel over all K*H
+  // rows; attention stays per-state (cross-state attention is impossible
+  // by construction, matching K independent Forward calls bit-for-bit).
+  // Returns the stacked embeddings [K*H x out].
+  Value ForwardBatch(Tape& tape, Value u,
+                     std::span<const Matrix* const> adjacencies);
   std::vector<Parameter*> Parameters() override;
+  void set_fused(bool fused) { fused_ = fused; }
+
+  // Recycled buffers for ForwardInferenceBatch.
+  struct InferenceScratch {
+    Matrix hidden, query, hid_s, ht_s, q_s, scores, mask, attn, e_s;
+  };
+  // Tape-free batched forward mirroring ForwardBatch; writes the stacked
+  // embeddings [K*H x out] into `out`. Kernel-for-kernel identical to the
+  // tape path.
+  void ForwardInferenceBatch(const Matrix& u,
+                             std::span<const Matrix* const> adjacencies,
+                             InferenceScratch& ws, Matrix& out) const;
 
  private:
   std::size_t in_;
   std::size_t out_;
+  bool fused_ = true;
   Parameter w_;
   Parameter b_;
   Parameter wq_;

@@ -9,6 +9,7 @@
 namespace carol::nn {
 
 namespace {
+
 void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     throw std::invalid_argument(std::string(op) + ": shape mismatch (" +
@@ -18,6 +19,38 @@ void CheckSameShape(const Matrix& a, const Matrix& b, const char* op) {
                                 std::to_string(b.cols()) + ")");
   }
 }
+
+// Blocked i-k-j product kernel: out += a * b over the flat row-major
+// buffers. k is consumed in index order within and across blocks, so the
+// per-element accumulation order — and therefore the floating-point
+// result — is identical to the unblocked i-k-j loop.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 256;
+
+void MatMulAccumImpl(const double* a, const double* b, double* out,
+                     std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+    const std::size_t kend = std::min(kb + kBlockK, k);
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jend = std::min(jb + kBlockJ, n);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = a + i * k;
+        double* orow = out + i * n;
+        for (std::size_t kk = kb; kk < kend; ++kk) {
+          const double aik = arow[kk];
+          // ReLU activations make `a` ~half exact zeros on the GON hot
+          // path; skipping preserves the result (modulo signed zeros).
+          if (aik == 0.0) continue;
+          const double* brow = b + kk * n;
+          for (std::size_t j = jb; j < jend; ++j) {
+            orow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -100,10 +133,88 @@ std::span<const double> Matrix::row(std::size_t r) const {
   return std::span<const double>(data_).subspan(r * cols_, cols_);
 }
 
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::AssignZeros(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::CopyFrom(const Matrix& src) {
+  rows_ = src.rows_;
+  cols_ = src.cols_;
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
+void Matrix::CopyRowsFrom(const Matrix& src, std::size_t r0,
+                          std::size_t r1) {
+  if (r0 > r1 || r1 > src.rows_) {
+    throw std::out_of_range("CopyRowsFrom: bad row range");
+  }
+  rows_ = r1 - r0;
+  cols_ = src.cols_;
+  data_.assign(src.data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
+               src.data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_));
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  CheckSameShape(*this, other, "AddInPlace");
+  const double* src = other.data_.data();
+  double* dst = data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+  return *this;
+}
+
+Matrix& Matrix::MulAddInPlace(const Matrix& other, double s) {
+  CheckSameShape(*this, other, "MulAddInPlace");
+  const double* src = other.data_.data();
+  double* dst = data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i] * s;
+  return *this;
+}
+
+Matrix& Matrix::HadamardInPlace(const Matrix& other) {
+  CheckSameShape(*this, other, "HadamardInPlace");
+  const double* src = other.data_.data();
+  double* dst = data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= src[i];
+  return *this;
+}
+
+Matrix& Matrix::HadamardAccum(const Matrix& a, const Matrix& b) {
+  CheckSameShape(*this, a, "HadamardAccum");
+  CheckSameShape(a, b, "HadamardAccum");
+  const double* pa = a.data_.data();
+  const double* pb = b.data_.data();
+  double* dst = data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += pa[i] * pb[i];
+  return *this;
+}
+
+Matrix& Matrix::AddColumnSums(const Matrix& src) {
+  if (rows_ != 1 || cols_ != src.cols_) {
+    throw std::invalid_argument("AddColumnSums: target must be 1 x cols");
+  }
+  double* dst = data_.data();
+  for (std::size_t r = 0; r < src.rows_; ++r) {
+    const double* srow = src.data_.data() + r * src.cols_;
+    for (std::size_t c = 0; c < src.cols_; ++c) dst[c] += srow[c];
+  }
+  return *this;
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   CheckSameShape(*this, other, "operator+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
-  return *this;
+  return AddInPlace(other);
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
@@ -138,49 +249,84 @@ Matrix Matrix::operator*(double scalar) const {
 Matrix Matrix::Hadamard(const Matrix& other) const {
   CheckSameShape(*this, other, "Hadamard");
   Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    out.data_[i] *= other.data_[i];
-  }
+  out.HadamardInPlace(other);
   return out;
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  if (cols_ != other.rows_) {
+  Matrix out;
+  MatMulInto(*this, other, out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols_ != b.rows_) {
     throw std::invalid_argument(
-        "MatMul: inner dimension mismatch (" + std::to_string(rows_) + "x" +
-        std::to_string(cols_) + " * " + std::to_string(other.rows_) + "x" +
-        std::to_string(other.cols_) + ")");
+        "MatMul: inner dimension mismatch (" + std::to_string(a.rows_) +
+        "x" + std::to_string(a.cols_) + " * " + std::to_string(b.rows_) +
+        "x" + std::to_string(b.cols_) + ")");
   }
-  Matrix out(rows_, other.cols_, 0.0);
-  // ikj loop order for cache-friendly access of the row-major operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = data_[i * cols_ + k];
-      if (aik == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        orow[j] += aik * brow[j];
-      }
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("MatMulInto: out aliases an operand");
+  }
+  out.AssignZeros(a.rows_, b.cols_);
+  MatMulAccumImpl(a.data_.data(), b.data_.data(), out.data_.data(),
+                  a.rows_, a.cols_, b.cols_);
+}
+
+void Matrix::MatMulAccum(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols_ != b.rows_ || out.rows_ != a.rows_ || out.cols_ != b.cols_) {
+    throw std::invalid_argument("MatMulAccum: shape mismatch");
+  }
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("MatMulAccum: out aliases an operand");
+  }
+  MatMulAccumImpl(a.data_.data(), b.data_.data(), out.data_.data(),
+                  a.rows_, a.cols_, b.cols_);
+}
+
+void Matrix::MatMulTransAAccum(const Matrix& a, const Matrix& b,
+                               Matrix& out) {
+  // out[t][j] += sum_i a[i][t] * b[i][j]; a [m x k], b [m x n].
+  if (a.rows_ != b.rows_ || out.rows_ != a.cols_ || out.cols_ != b.cols_) {
+    throw std::invalid_argument("MatMulTransAAccum: shape mismatch");
+  }
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("MatMulTransAAccum: out aliases an operand");
+  }
+  const std::size_t m = a.rows_, k = a.cols_, n = b.cols_;
+  const double* pa = a.data_.data();
+  const double* pb = b.data_.data();
+  double* po = out.data_.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = pa + i * k;
+    const double* brow = pb + i * n;
+    for (std::size_t t = 0; t < k; ++t) {
+      const double a_it = arow[t];
+      if (a_it == 0.0) continue;  // ReLU sparsity (see MatMulAccumImpl)
+      double* orow = po + t * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += a_it * brow[j];
     }
   }
-  return out;
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      out(c, r) = (*this)(r, c);
-    }
-  }
+  Matrix out;
+  TransposeInto(*this, out);
   return out;
 }
 
-Matrix Matrix::Map(const std::function<double(double)>& fn) const {
-  Matrix out = *this;
-  for (double& v : out.data_) v = fn(v);
-  return out;
+void Matrix::TransposeInto(const Matrix& src, Matrix& out) {
+  if (&out == &src) {
+    throw std::invalid_argument("TransposeInto: out aliases src");
+  }
+  out.Resize(src.cols_, src.rows_);
+  for (std::size_t r = 0; r < src.rows_; ++r) {
+    const double* srow = src.data_.data() + r * src.cols_;
+    for (std::size_t c = 0; c < src.cols_; ++c) {
+      out.data_[c * src.rows_ + r] = srow[c];
+    }
+  }
 }
 
 Matrix Matrix::ConcatCols(const Matrix& other) const {
@@ -221,13 +367,8 @@ Matrix Matrix::SliceCols(std::size_t c0, std::size_t c1) const {
 }
 
 Matrix Matrix::SliceRows(std::size_t r0, std::size_t r1) const {
-  if (r0 > r1 || r1 > rows_) {
-    throw std::out_of_range("SliceRows: bad row range");
-  }
-  Matrix out(r1 - r0, cols_);
-  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
-            data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_),
-            out.data_.begin());
+  Matrix out;
+  out.CopyRowsFrom(*this, r0, r1);
   return out;
 }
 
@@ -261,11 +402,7 @@ Matrix Matrix::RowMean() const {
 
 Matrix Matrix::RowSum() const {
   Matrix out(1, cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      out(0, c) += (*this)(r, c);
-    }
-  }
+  out.AddColumnSums(*this);
   return out;
 }
 

@@ -2,6 +2,17 @@
 // from-scratch deep-learning substrate; the networks in the paper (128-unit
 // feed-forward stacks, one graph-attention layer, small LSTMs) are small
 // enough that a straightforward dense CPU implementation is faithful.
+//
+// Hot-path design (see src/nn/README.md):
+//   * MatMul runs a cache-blocked i-k-j kernel over the flat row-major
+//     buffers; the blocked kernel accumulates over k in index order, so it
+//     is bitwise-identical to the textbook i-k-j loop.
+//   * The `*Into` / `*Accum` variants write into caller-owned destinations
+//     so per-interval code (the autograd tape, the GON inference
+//     workspace) can recycle buffers instead of allocating per op.
+//   * Elementwise transforms take the callable as a template parameter
+//     (`MapFn`, `MapInPlaceFn`) so it inlines; the old std::function
+//     `Map` survives only as a deprecated thin wrapper.
 #ifndef CAROL_NN_MATRIX_H_
 #define CAROL_NN_MATRIX_H_
 
@@ -9,6 +20,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,6 +61,16 @@ class Matrix {
   std::span<double> row(std::size_t r);
   std::span<const double> row(std::size_t r) const;
 
+  // --- buffer management (capacity is retained across calls) ---
+  // Reshapes without initializing contents (they are unspecified).
+  void Resize(std::size_t rows, std::size_t cols);
+  // Reshapes and zero-fills.
+  void AssignZeros(std::size_t rows, std::size_t cols);
+  // Becomes a copy of `src`, reusing this matrix's buffer.
+  void CopyFrom(const Matrix& src);
+  // Copies rows [r0, r1) of `src` into this matrix ((r1-r0) x src.cols).
+  void CopyRowsFrom(const Matrix& src, std::size_t r0, std::size_t r1);
+
   // Elementwise arithmetic. Shapes must match exactly; throws
   // std::invalid_argument otherwise.
   Matrix& operator+=(const Matrix& other);
@@ -58,13 +80,52 @@ class Matrix {
   Matrix operator-(const Matrix& other) const;
   Matrix operator*(double scalar) const;
 
+  // --- in-place fast-path variants (no temporaries) ---
+  Matrix& AddInPlace(const Matrix& other);                 // this += other
+  Matrix& MulAddInPlace(const Matrix& other, double s);    // this += other*s
+  Matrix& HadamardInPlace(const Matrix& other);            // this *= other
+  Matrix& HadamardAccum(const Matrix& a, const Matrix& b); // this += a.*b
+  // this(1 x cols) += per-column sums of `src` (bias-gradient reduction).
+  Matrix& AddColumnSums(const Matrix& src);
+
   // Hadamard (elementwise) product.
   Matrix Hadamard(const Matrix& other) const;
   // Standard matrix product; inner dimensions must agree.
   Matrix MatMul(const Matrix& other) const;
   Matrix Transposed() const;
-  // Applies `fn` to every element, returning a new matrix.
-  Matrix Map(const std::function<double(double)>& fn) const;
+  // out becomes src^T; `out` is reshaped in place and must not alias src.
+  static void TransposeInto(const Matrix& src, Matrix& out);
+
+  // --- destination-passing matrix products ---
+  // out = a * b. `out` must not alias an operand; it is reshaped in place.
+  static void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+  // out += a * b; `out` must already be (a.rows x b.cols).
+  static void MatMulAccum(const Matrix& a, const Matrix& b, Matrix& out);
+  // out += a^T * b (a stored un-transposed: [m x k] against b [m x n]).
+  // Rank-1 row accumulation — the backward pass's  dW += X^T * dY.
+  // (dX += dY * W^T goes through TransposeInto + MatMulAccum instead, so
+  // the blocked kernel can skip the exact zeros ReLU leaves in dY.)
+  static void MatMulTransAAccum(const Matrix& a, const Matrix& b,
+                                Matrix& out);
+
+  // Applies `fn` to every element, returning a new matrix. The callable
+  // is a template parameter so it inlines in the elementwise loop.
+  template <typename Fn>
+  Matrix MapFn(Fn&& fn) const {
+    Matrix out = *this;
+    for (double& v : out.data_) v = fn(v);
+    return out;
+  }
+  // In-place variant of MapFn.
+  template <typename Fn>
+  void MapInPlaceFn(Fn&& fn) {
+    for (double& v : data_) v = fn(v);
+  }
+  // Deprecated: std::function dispatches per element; use MapFn.
+  [[deprecated("use the templated MapFn (inlines the callable)")]]
+  Matrix Map(const std::function<double(double)>& fn) const {
+    return MapFn(fn);
+  }
 
   // Appends the columns of `other` to the right; row counts must match.
   Matrix ConcatCols(const Matrix& other) const;

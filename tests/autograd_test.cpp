@@ -132,7 +132,7 @@ TEST(AutogradTest, GradScaleNegAddScalar) {
 TEST(AutogradTest, GradRelu) {
   // Shift away from 0 to avoid the kink in the numerical check.
   Matrix in = TestInput();
-  in = in.Map([](double v) { return std::abs(v) < 0.05 ? v + 0.2 : v; });
+  in = in.MapFn([](double v) { return std::abs(v) < 0.05 ? v + 0.2 : v; });
   CheckGradient(in, [](Tape& t, Value x) { return t.SumAll(t.Relu(x)); });
 }
 

@@ -91,7 +91,7 @@ TEST(MatrixTest, HadamardAndMap) {
   Matrix a = {{1, 2}, {3, 4}};
   Matrix b = {{2, 2}, {2, 2}};
   EXPECT_DOUBLE_EQ(a.Hadamard(b)(1, 1), 8.0);
-  Matrix sq = a.Map([](double v) { return v * v; });
+  Matrix sq = a.MapFn([](double v) { return v * v; });
   EXPECT_DOUBLE_EQ(sq(1, 0), 9.0);
 }
 

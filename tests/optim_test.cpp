@@ -71,7 +71,7 @@ TEST(AdamTest, WeightDecayShrinksUnusedParameters) {
     opt.ZeroGrad();
     opt.Step();
   }
-  EXPECT_LT(layer.weight().value.Map([](double v) { return std::abs(v); })
+  EXPECT_LT(layer.weight().value.MapFn([](double v) { return std::abs(v); })
                 .MaxValue(),
             1.0);
 }
