@@ -1,0 +1,214 @@
+// Throughput/latency of the multi-tenant ResilienceService: S concurrent
+// federation sessions issue broker-failure repair decisions over a pool
+// of W GON worker replicas. Sweeps worker and session counts and emits
+// machine-readable BENCH_service.json rows:
+//   {"workers", "sessions", "hosts", "requests", "decisions_per_sec",
+//    "p50_ms", "p99_ms", "score_batches", "stacked_jobs"}
+// The headline check: multi-session decision throughput must scale with
+// the worker count (>2x from 1 -> 4 workers at 8 sessions, H=16).
+//
+// Env overrides (bench_util.h): CAROL_BENCH_FAST=1 shrinks the sweep.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "serve/service.h"
+#include "sim/federation.h"
+
+namespace {
+
+using namespace carol;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kHosts = 16;
+constexpr int kBrokers = 4;
+
+core::CarolConfig BenchCarolConfig(unsigned seed) {
+  core::CarolConfig cfg;
+  cfg.gon.hidden_width = 32;
+  cfg.gon.num_layers = 2;
+  cfg.gon.gat_width = 16;
+  cfg.gon.generation_steps = 5;
+  cfg.tabu.max_iterations = 3;
+  cfg.tabu.max_evaluations = 40;
+  cfg.policy = core::FineTunePolicy::kNever;  // steady-state serving
+  cfg.seed = seed;
+  return cfg;
+}
+
+sim::SystemSnapshot MakeFailureSnapshot(int interval) {
+  sim::SystemSnapshot snap;
+  snap.interval = interval;
+  snap.topology = sim::Topology::Initial(kHosts, kBrokers);
+  snap.hosts.resize(kHosts);
+  snap.alive.assign(kHosts, true);
+  for (int i = 0; i < kHosts; ++i) {
+    auto& m = snap.hosts[static_cast<std::size_t>(i)];
+    m.cpu_util = 0.4 + 0.03 * ((interval + i) % 8);
+    m.ram_util = 0.5;
+    m.energy_kwh = m.cpu_util * 4e-4;
+    m.is_broker = snap.topology.is_broker(i);
+  }
+  snap.alive[0] = false;
+  snap.hosts[0].failed = true;
+  return snap;
+}
+
+struct SweepResult {
+  int workers = 0;
+  int sessions = 0;
+  int requests = 0;
+  int linger_us = 0;
+  double decisions_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t score_batches = 0;
+  std::uint64_t stacked_jobs = 0;
+};
+
+SweepResult RunSweep(int workers, int sessions, int requests_per_session,
+                     int linger_us = 0) {
+  serve::ServiceConfig cfg;
+  cfg.gon = BenchCarolConfig(1).gon;
+  cfg.num_workers = workers;
+  cfg.batch_linger_us = linger_us;
+  serve::ResilienceService service(cfg);
+
+  std::vector<serve::SessionId> ids;
+  for (int s = 0; s < sessions; ++s) {
+    serve::FederationSpec spec;
+    spec.name = "fed-" + std::to_string(s);
+    spec.carol = BenchCarolConfig(static_cast<unsigned>(10 + s));
+    ids.push_back(service.OpenSession(spec));
+  }
+
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(sessions));
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> drivers;
+  for (int s = 0; s < sessions; ++s) {
+    drivers.emplace_back([&, s] {
+      auto& lat = latencies_ms[static_cast<std::size_t>(s)];
+      lat.reserve(static_cast<std::size_t>(requests_per_session));
+      for (int r = 0; r < requests_per_session; ++r) {
+        serve::RepairRequest req;
+        const sim::SystemSnapshot snap = MakeFailureSnapshot(r);
+        req.current = snap.topology;
+        req.failed_brokers = {0};
+        req.snapshot = snap;
+        const auto t0 = Clock::now();
+        service.Repair(ids[static_cast<std::size_t>(s)], req);
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  SweepResult result;
+  result.workers = workers;
+  result.sessions = sessions;
+  result.linger_us = linger_us;
+  result.requests = sessions * requests_per_session;
+  result.decisions_per_sec = result.requests / wall_s;
+  std::vector<double> all;
+  for (const auto& lat : latencies_ms) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  result.p50_ms = common::Percentile(all, 50.0);
+  result.p99_ms = common::Percentile(all, 99.0);
+  const serve::ServiceStats stats = service.stats();
+  result.score_batches = stats.score_batches;
+  result.stacked_jobs = stats.stacked_jobs;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = carol::bench::FastMode();
+  const int requests_per_session =
+      carol::bench::EnvInt("CAROL_BENCH_REQUESTS", fast ? 4 : 12);
+
+  carol::bench::PrintBanner(
+      "ResilienceService throughput: decisions/sec and latency vs "
+      "workers x sessions (H=16 broker-failure repairs)");
+  std::printf("%-9s %-10s %-10s %-10s %-16s %-10s %-10s %-14s %-12s\n",
+              "workers", "sessions", "requests", "linger_us",
+              "decisions/sec", "p50(ms)", "p99(ms)", "score_batches",
+              "stacked");
+
+  const std::vector<int> worker_counts = fast ? std::vector<int>{1, 4}
+                                              : std::vector<int>{1, 2, 4};
+  const std::vector<int> session_counts = fast ? std::vector<int>{1, 8}
+                                               : std::vector<int>{1, 4, 8};
+  std::vector<SweepResult> results;
+  auto run_cell = [&](int workers, int sessions, int linger_us) {
+    const SweepResult r =
+        RunSweep(workers, sessions, requests_per_session, linger_us);
+    std::printf("%-9d %-10d %-10d %-10d %-16.1f %-10.2f %-10.2f %-14llu "
+                "%-12llu\n",
+                r.workers, r.sessions, r.requests, r.linger_us,
+                r.decisions_per_sec, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.score_batches),
+                static_cast<unsigned long long>(r.stacked_jobs));
+    results.push_back(r);
+  };
+  for (int workers : worker_counts) {
+    for (int sessions : session_counts) {
+      run_cell(workers, sessions, /*linger_us=*/0);
+    }
+  }
+  // One throughput-oriented cell with the cross-session batcher engaged,
+  // so BENCH_service.json tracks the stacking path too.
+  run_cell(4, 8, /*linger_us=*/200);
+
+  // Headline scaling: 8-session latency-first throughput, 1 worker ->
+  // max workers.
+  double one_worker = 0.0, max_worker = 0.0;
+  int max_workers = 0;
+  for (const SweepResult& r : results) {
+    if (r.sessions != 8 || r.linger_us != 0) continue;
+    if (r.workers == 1) one_worker = r.decisions_per_sec;
+    if (r.workers > max_workers) {
+      max_workers = r.workers;
+      max_worker = r.decisions_per_sec;
+    }
+  }
+  if (one_worker > 0.0) {
+    std::printf("\n8-session scaling 1 -> %d workers: %.2fx\n", max_workers,
+                max_worker / one_worker);
+  }
+
+  FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::fprintf(out,
+                 "  {\"workers\": %d, \"sessions\": %d, \"hosts\": %d, "
+                 "\"requests\": %d, \"linger_us\": %d, "
+                 "\"decisions_per_sec\": %.3f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"score_batches\": %llu, \"stacked_jobs\": %llu}%s\n",
+                 r.workers, r.sessions, kHosts, r.requests, r.linger_us,
+                 r.decisions_per_sec, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.score_batches),
+                 static_cast<unsigned long long>(r.stacked_jobs),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_service.json (%zu rows)\n", results.size());
+  return 0;
+}

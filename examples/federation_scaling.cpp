@@ -1,29 +1,34 @@
 // Scenario: federation scaling — how does CAROL behave as the edge
 // federation grows from 8 to 32 nodes, and as the diurnal workload swings
-// between idle and bursty?
+// between idle and bursty? Ported to the session-based serving API: one
+// ResilienceService hosts every run as a session over shared GON worker
+// replicas.
 //
 // Demonstrates two library properties:
 //   * the GON discriminator is host-count agnostic (GAT branch), so the
-//     SAME trained model transfers across federation sizes;
+//     SAME trained surrogate serves sessions of every federation size;
 //   * the node-shift repair keeps topologies valid at every scale.
 #include <cstdio>
 
-#include "core/carol.h"
 #include "harness/runtime.h"
+#include "serve/service.h"
 
 int main() {
   using namespace carol;
-  std::printf("== federation scaling: one CAROL model, three fleet sizes "
-              "==\n\n");
+  std::printf("== federation scaling: one served surrogate, three fleet "
+              "sizes ==\n\n");
 
-  // Train once on the default 16-node fleet.
+  // Train the shared surrogate once on the default 16-node fleet.
   harness::RunConfig trace_cfg;
   trace_cfg.intervals = 80;
   trace_cfg.seed = 7;
   const workload::Trace trace =
       harness::CollectTrainingTrace(trace_cfg, 10);
-  core::CarolModel carol((core::CarolConfig()));
-  carol.TrainOffline(trace, 10);
+
+  serve::ServiceConfig service_cfg;
+  service_cfg.num_workers = 2;
+  serve::ResilienceService service(service_cfg);
+  service.TrainOffline(trace, 10);
 
   std::printf("%-8s %-9s %-12s %-12s %-10s %-12s\n", "nodes", "brokers",
               "energy(kWh)", "response(s)", "slo_rate", "decision(s)");
@@ -36,8 +41,11 @@ int main() {
     cfg.num_brokers = brokers;
     // Arrival rate scales with fleet size (more gateways).
     cfg.workload.lambda_per_site = 1.2 * nodes / 16.0;
+    serve::FederationSpec spec;
+    spec.name = "scaling-" + std::to_string(nodes);
+    serve::SessionModel model(service, spec);
     harness::FederationRuntime runtime(cfg);
-    const harness::RunResult r = runtime.Run(carol);
+    const harness::RunResult r = runtime.Run(model);
     std::printf("%-8d %-9d %-12.4f %-12.1f %-10.4f %-12.4f\n", nodes,
                 brokers, r.total_energy_kwh, r.avg_response_s,
                 r.slo_violation_rate, r.avg_decision_time_s);
@@ -48,18 +56,23 @@ int main() {
   std::printf("%-11s %-12s %-12s %-10s %-14s\n", "amplitude",
               "energy(kWh)", "response(s)", "slo_rate", "fine-tunes");
   for (double amplitude : {0.0, 0.5, 0.9}) {
-    core::CarolModel fresh((core::CarolConfig()));
+    // A fresh service per amplitude: the shared surrogate fine-tunes
+    // in place, and the sensitivity sweep needs identical starts.
+    serve::ResilienceService fresh(serve::ServiceConfig{});
     fresh.TrainOffline(trace, 8);
     harness::RunConfig cfg;
     cfg.intervals = 40;
     cfg.seed = 44;
     cfg.workload.burst_amplitude = amplitude;
     cfg.workload.regime_shift_prob = amplitude > 0 ? 0.08 : 0.0;
+    serve::FederationSpec spec;
+    spec.name = "burst";
+    serve::SessionModel model(fresh, spec);
     harness::FederationRuntime runtime(cfg);
-    const harness::RunResult r = runtime.Run(fresh);
+    const harness::RunResult r = runtime.Run(model);
     std::printf("%-11.1f %-12.4f %-12.1f %-10.4f %-14d\n", amplitude,
                 r.total_energy_kwh, r.avg_response_s, r.slo_violation_rate,
-                fresh.finetune_count());
+                model.finetune_count());
   }
   std::printf(
       "\nexpected: more volatile workloads trigger more confidence dips "

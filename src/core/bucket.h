@@ -1,0 +1,39 @@
+// Host-count bucketing shared by the GON batch entry points and the
+// serving layer's cross-session score batcher: the batched kernels
+// require equal host counts per stacked pass, so mixed-H inputs are
+// grouped into per-H buckets and each bucket runs as one pass.
+#ifndef CAROL_CORE_BUCKET_H_
+#define CAROL_CORE_BUCKET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace carol::core {
+
+// Groups the indices [0, n) by `key(i)`. Buckets are returned in order of
+// first appearance and each bucket preserves the input order, so callers
+// can scatter per-bucket results back without reordering artifacts.
+template <typename KeyFn>
+std::vector<std::vector<std::size_t>> GroupIndicesBy(std::size_t n,
+                                                     KeyFn&& key) {
+  std::vector<std::vector<std::size_t>> buckets;
+  std::vector<decltype(key(std::size_t{0}))> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto k = key(i);
+    std::size_t b = 0;
+    for (; b < keys.size(); ++b) {
+      if (keys[b] == k) break;
+    }
+    if (b == keys.size()) {
+      keys.push_back(std::move(k));
+      buckets.emplace_back();
+    }
+    buckets[b].push_back(i);
+  }
+  return buckets;
+}
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_BUCKET_H_

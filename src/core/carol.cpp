@@ -6,25 +6,8 @@
 
 namespace carol::core {
 
-CarolModel::CarolModel(const CarolConfig& config)
-    : config_(config),
-      gon_(std::make_unique<GonModel>(config.gon)),
-      pot_(config.pot),
-      rng_(config.seed) {}
+// --- shared decision-path building blocks ------------------------------
 
-std::vector<EpochStats> CarolModel::TrainOffline(
-    const workload::Trace& trace, int max_epochs) {
-  std::vector<EncodedState> data;
-  data.reserve(trace.size());
-  for (const auto& record : trace) {
-    data.push_back(encoder_.EncodeRecord(record));
-  }
-  return gon_->Train(data, max_epochs);
-}
-
-namespace {
-
-// O(M*) of Eq. (7): convex energy/SLO combination over generated metrics.
 double QosObjective(const nn::Matrix& metrics, double alpha, double beta) {
   double energy = 0.0, slo = 0.0;
   for (std::size_t i = 0; i < metrics.rows(); ++i) {
@@ -35,26 +18,20 @@ double QosObjective(const nn::Matrix& metrics, double alpha, double beta) {
   return (alpha * energy + beta * slo) / std::max(1.0, h);
 }
 
-}  // namespace
-
-double CarolModel::ScoreTopology(const sim::Topology& candidate,
-                                 const sim::SystemSnapshot& snapshot) {
-  // Encode the observed metrics against the hypothetical topology, then
-  // let the GON converge M* from the warm start M_{t-1} (paper §III-B)
-  // and read the QoS objective O(M*) off the generated metrics (Eq. 7).
-  const EncodedState ctx = encoder_.EncodeForTopology(snapshot, candidate);
-  const GenerationResult gen = gon_->Generate(ctx.m, ctx);
-  return QosObjective(gen.metrics, config_.alpha, config_.beta);
-}
-
-std::vector<double> CarolModel::ScoreTopologies(
-    const std::vector<sim::Topology>& candidates,
-    const sim::SystemSnapshot& snapshot) {
+std::vector<EncodedState> EncodeFrontier(
+    const FeatureEncoder& encoder, const sim::SystemSnapshot& snapshot,
+    const std::vector<sim::Topology>& candidates) {
   std::vector<EncodedState> contexts;
   contexts.reserve(candidates.size());
   for (const sim::Topology& candidate : candidates) {
-    contexts.push_back(encoder_.EncodeForTopology(snapshot, candidate));
+    contexts.push_back(encoder.EncodeForTopology(snapshot, candidate));
   }
+  return contexts;
+}
+
+std::vector<double> ScoreEncoded(GonModel& gon,
+                                 std::span<const EncodedState> contexts,
+                                 double alpha, double beta) {
   std::vector<const nn::Matrix*> inits;
   std::vector<const EncodedState*> ctx_ptrs;
   inits.reserve(contexts.size());
@@ -64,23 +41,29 @@ std::vector<double> CarolModel::ScoreTopologies(
     ctx_ptrs.push_back(&ctx);
   }
   const std::vector<GenerationResult> gens =
-      gon_->GenerateBatch(inits, ctx_ptrs);
+      gon.GenerateBatch(inits, ctx_ptrs);
   std::vector<double> scores;
   scores.reserve(gens.size());
   for (const GenerationResult& gen : gens) {
-    scores.push_back(QosObjective(gen.metrics, config_.alpha, config_.beta));
+    scores.push_back(QosObjective(gen.metrics, alpha, beta));
   }
   return scores;
 }
 
-sim::Topology CarolModel::Repair(
-    const sim::Topology& current,
-    const std::vector<sim::NodeId>& failed_brokers,
+std::vector<double> ScoreTopologiesWith(
+    GonModel& gon, const FeatureEncoder& encoder, double alpha, double beta,
+    const std::vector<sim::Topology>& candidates,
     const sim::SystemSnapshot& snapshot) {
-  if (failed_brokers.empty()) {
-    if (!config_.proactive) return current;
-    return ProactiveOptimize(current, snapshot);
-  }
+  const std::vector<EncodedState> contexts =
+      EncodeFrontier(encoder, snapshot, candidates);
+  return ScoreEncoded(gon, contexts, alpha, beta);
+}
+
+sim::Topology PlanRepair(const sim::Topology& current,
+                         const std::vector<sim::NodeId>& failed_brokers,
+                         const sim::SystemSnapshot& snapshot,
+                         const CarolConfig& config, common::Rng& rng,
+                         const TopologyBatchScoreFn& score) {
   sim::Topology topo = current;
   std::vector<bool> alive = snapshot.alive;
   if (alive.size() != static_cast<std::size_t>(topo.num_nodes())) {
@@ -96,56 +79,73 @@ sim::Topology CarolModel::Repair(
   for (sim::NodeId failed : failed_brokers) {
     if (!topo.is_broker(failed)) continue;  // repaired by an earlier step
     std::vector<sim::Topology> repairs =
-        FailureNeighbors(topo, failed, alive, config_.node_shift);
+        FailureNeighbors(topo, failed, alive, config.node_shift);
     if (repairs.empty()) continue;  // nothing alive to take over
     // Algorithm 2 line 7: start from a random node-shift...
-    const sim::Topology start = repairs[rng_.Choice(repairs.size())];
+    const sim::Topology start = repairs[rng.Choice(repairs.size())];
     // ...line 8: tabu-search the neighborhood to optimize Omega. The
     // batch objective scores each frontier with one stacked GON pass.
-    TabuSearch search(config_.tabu);
+    TabuSearch search(config.tabu);
     auto neighbor_fn = [&](const sim::Topology& g) {
-      return LocalNeighbors(g, alive, config_.node_shift);
+      return LocalNeighbors(g, alive, config.node_shift);
     };
-    TabuSearch::BatchObjectiveFn objective_fn =
-        [&](const std::vector<sim::Topology>& frontier) {
-          return ScoreTopologies(frontier, snapshot);
-        };
-    topo = search.Optimize(start, neighbor_fn, objective_fn);
+    topo = search.Optimize(start, neighbor_fn,
+                           TabuSearch::BatchObjectiveFn(score));
   }
   return topo;
 }
 
-sim::Topology CarolModel::ProactiveOptimize(
-    const sim::Topology& current, const sim::SystemSnapshot& snapshot) {
+sim::Topology PlanProactive(const sim::Topology& current,
+                            const sim::SystemSnapshot& snapshot,
+                            const CarolConfig& config,
+                            const TopologyBatchScoreFn& score,
+                            bool* acted) {
   // Only act on the failure precursor: sustained resource
   // over-utilization somewhere in the fleet.
   double max_util = 0.0;
   for (const auto& host : snapshot.hosts) {
     max_util = std::max(max_util, host.cpu_util);
   }
-  if (max_util < config_.proactive_util_threshold) return current;
-  ++proactive_optimizations_;
+  if (max_util < config.proactive_util_threshold) return current;
+  if (acted != nullptr) *acted = true;
   std::vector<bool> alive = snapshot.alive;
   if (alive.size() != static_cast<std::size_t>(current.num_nodes())) {
     alive.assign(static_cast<std::size_t>(current.num_nodes()), true);
   }
-  TabuSearch search(config_.tabu);
+  TabuSearch search(config.tabu);
   sim::Topology best = search.Optimize(
       current,
       [&](const sim::Topology& g) {
-        return LocalNeighbors(g, alive, config_.node_shift);
+        return LocalNeighbors(g, alive, config.node_shift);
       },
-      TabuSearch::BatchObjectiveFn(
-          [&](const std::vector<sim::Topology>& frontier) {
-            return ScoreTopologies(frontier, snapshot);
-          }));
+      TabuSearch::BatchObjectiveFn(score));
   // Only move when the surrogate sees a real improvement: node shifts
   // have reconfiguration costs the optimizer does not model.
-  const double current_score = ScoreTopology(current, snapshot);
+  const double current_score = score({current}).front();
   return search.best_score() < current_score - 0.01 ? best : current;
 }
 
-void CarolModel::Observe(const sim::SystemSnapshot& snapshot) {
+sim::Topology PlanDecision(const sim::Topology& current,
+                           const std::vector<sim::NodeId>& failed_brokers,
+                           const sim::SystemSnapshot& snapshot,
+                           const CarolConfig& config, common::Rng& rng,
+                           const TopologyBatchScoreFn& score,
+                           bool* proactive_acted) {
+  if (failed_brokers.empty()) {
+    if (!config.proactive) return current;
+    return PlanProactive(current, snapshot, config, score, proactive_acted);
+  }
+  return PlanRepair(current, failed_brokers, snapshot, config, rng, score);
+}
+
+ConfidenceGate::ConfidenceGate(const CarolConfig& config)
+    : policy_(config.policy),
+      gamma_capacity_(config.gamma_capacity),
+      pot_(config.pot) {}
+
+ConfidenceGate::Outcome ConfidenceGate::Observe(
+    GonModel& gon, const FeatureEncoder& encoder,
+    const sim::SystemSnapshot& snapshot) {
   bool any_broker_failed = false;
   for (std::size_t i = 0; i < snapshot.hosts.size(); ++i) {
     if (snapshot.hosts[i].is_broker && snapshot.hosts[i].failed) {
@@ -154,54 +154,107 @@ void CarolModel::Observe(const sim::SystemSnapshot& snapshot) {
     }
   }
 
-  const EncodedState state = encoder_.Encode(snapshot);
-  const double confidence = gon_->Discriminate(state);
-  confidence_history_.push_back(confidence);
-  const double threshold = pot_.Update(confidence);
-  threshold_history_.push_back(threshold);
+  EncodedState state = encoder.Encode(snapshot);
+  Outcome out;
+  out.confidence = gon.Discriminate(state);
+  out.threshold = pot_.Update(out.confidence);
+  if (record_history_) {
+    confidence_history_.push_back(out.confidence);
+    threshold_history_.push_back(out.threshold);
+  }
 
   if (!any_broker_failed) {
     // Algorithm 2 line 10: grow the running dataset Gamma.
-    gamma_.push_back(state);
-    if (gamma_.size() > config_.gamma_capacity) {
+    gamma_.push_back(std::move(state));
+    if (gamma_.size() > gamma_capacity_) {
       gamma_.erase(gamma_.begin());
     }
   }
 
-  bool fine_tune = false;
-  switch (config_.policy) {
+  switch (policy_) {
     case FineTunePolicy::kConfidence:
-      fine_tune = pot_.Breach(confidence);
+      out.finetune = pot_.Breach(out.confidence);
       break;
     case FineTunePolicy::kAlways:
-      fine_tune = true;
+      out.finetune = true;
       break;
     case FineTunePolicy::kNever:
-      fine_tune = false;
+      out.finetune = false;
       break;
   }
-  if (fine_tune && !gamma_.empty()) {
+  return out;
+}
+
+// --- CarolModel ---------------------------------------------------------
+
+CarolModel::CarolModel(const CarolConfig& config)
+    : config_(config),
+      gon_(std::make_unique<GonModel>(config.gon)),
+      gate_(config),
+      rng_(config.seed) {}
+
+std::vector<EpochStats> CarolModel::TrainOffline(
+    const workload::Trace& trace, int max_epochs) {
+  std::vector<EncodedState> data;
+  data.reserve(trace.size());
+  for (const auto& record : trace) {
+    data.push_back(encoder_.EncodeRecord(record));
+  }
+  return gon_->Train(data, max_epochs);
+}
+
+double CarolModel::ScoreTopology(const sim::Topology& candidate,
+                                 const sim::SystemSnapshot& snapshot) {
+  // Encode the observed metrics against the hypothetical topology, then
+  // let the GON converge M* from the warm start M_{t-1} (paper §III-B)
+  // and read the QoS objective O(M*) off the generated metrics (Eq. 7).
+  return ScoreTopologiesWith(*gon_, encoder_, config_.alpha, config_.beta,
+                             {candidate}, snapshot)
+      .front();
+}
+
+std::vector<double> CarolModel::ScoreTopologies(
+    const std::vector<sim::Topology>& candidates,
+    const sim::SystemSnapshot& snapshot) {
+  return ScoreTopologiesWith(*gon_, encoder_, config_.alpha, config_.beta,
+                             candidates, snapshot);
+}
+
+sim::Topology CarolModel::Repair(
+    const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot) {
+  const TopologyBatchScoreFn score =
+      [&](const std::vector<sim::Topology>& frontier) {
+        return ScoreTopologies(frontier, snapshot);
+      };
+  bool proactive_acted = false;
+  sim::Topology out = PlanDecision(current, failed_brokers, snapshot,
+                                   config_, rng_, score, &proactive_acted);
+  if (proactive_acted) ++proactive_optimizations_;
+  return out;
+}
+
+void CarolModel::Observe(const sim::SystemSnapshot& snapshot) {
+  const ConfidenceGate::Outcome out =
+      gate_.Observe(*gon_, encoder_, snapshot);
+  if (out.finetune && !gate_.gamma().empty()) {
     common::LogInfo() << name_ << ": fine-tuning at interval "
-                      << snapshot.interval << " (confidence " << confidence
-                      << " < threshold " << threshold << ")";
-    gon_->FineTune(gamma_, config_.finetune_epochs);
+                      << snapshot.interval << " (confidence "
+                      << out.confidence << " < threshold " << out.threshold
+                      << ")";
+    gon_->FineTune(gate_.gamma(), config_.finetune_epochs);
     finetune_intervals_.push_back(snapshot.interval);
     if (config_.policy == FineTunePolicy::kConfidence) {
-      gamma_.clear();  // Algorithm 2 line 16
+      gate_.ClearGamma();  // Algorithm 2 line 16
     }
   }
 }
 
 double CarolModel::MemoryFootprintMb() const {
   // GON network + the running dataset Gamma resident on the broker.
-  const double h = 16.0;
-  const double per_state =
-      (h * (FeatureEncoder::kMetricFeatures + FeatureEncoder::kSchedFeatures +
-            FeatureEncoder::kRoleFeatures) +
-       h * h) *
-      sizeof(double);
   return gon_->MemoryFootprintMb() +
-         per_state * static_cast<double>(config_.gamma_capacity) /
+         GammaStateBytes() * static_cast<double>(config_.gamma_capacity) /
              (1024.0 * 1024.0);
 }
 

@@ -9,9 +9,16 @@
 //     dataset Gamma, compute the confidence C = D(M_t, S_t, G_t), update
 //     the POT threshold, and fine-tune the GON on Gamma when C breaches
 //     it (then clear Gamma).
+//
+// The algorithm is split into free building blocks (PlanRepair,
+// PlanProactive, ScoreTopologiesWith, ConfidenceGate) shared between the
+// single-model CarolModel below and the multi-tenant serving layer in
+// src/serve: both drive the same code, which is what makes service
+// decisions bit-identical to the single-model path at fixed seeds.
 #ifndef CAROL_CORE_CAROL_H_
 #define CAROL_CORE_CAROL_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +59,123 @@ struct CarolConfig {
   double proactive_util_threshold = 1.1;
 };
 
+// --- decision-path building blocks (shared with src/serve) -------------
+
+// O(M*) of Eq. (7): convex energy/SLO combination over generated metrics.
+double QosObjective(const nn::Matrix& metrics, double alpha, double beta);
+
+// Analytic footprint of one Gamma entry (M, S, R rows + adjacency) for
+// the reference 16-host federation, in bytes. Every model reports its
+// memory at this reference size so the Fig. 5(e) comparison stays
+// apples-to-apples across techniques.
+inline double GammaStateBytes(double hosts = 16.0) {
+  return (hosts * (FeatureEncoder::kMetricFeatures +
+                   FeatureEncoder::kSchedFeatures +
+                   FeatureEncoder::kRoleFeatures) +
+          hosts * hosts) *
+         sizeof(double);
+}
+
+// Scores a whole candidate frontier for one snapshot; the snapshot and
+// the scoring model are captured by the caller. Used by the tabu search.
+using TopologyBatchScoreFn =
+    std::function<std::vector<double>(const std::vector<sim::Topology>&)>;
+
+// Encodes a candidate frontier against one snapshot — the shared
+// convention for the tabu search and the serving layer's batcher.
+std::vector<EncodedState> EncodeFrontier(
+    const FeatureEncoder& encoder, const sim::SystemSnapshot& snapshot,
+    const std::vector<sim::Topology>& candidates);
+
+// One stacked GON generation pass over already-encoded candidates; the
+// score of each is QosObjective over its generated metrics.
+std::vector<double> ScoreEncoded(GonModel& gon,
+                                 std::span<const EncodedState> contexts,
+                                 double alpha, double beta);
+
+// Batched Omega over candidate topologies: EncodeFrontier + ScoreEncoded.
+// Matches per-candidate scoring.
+std::vector<double> ScoreTopologiesWith(
+    GonModel& gon, const FeatureEncoder& encoder, double alpha, double beta,
+    const std::vector<sim::Topology>& candidates,
+    const sim::SystemSnapshot& snapshot);
+
+// Algorithm 2 lines 6-8: for every failed broker, a random node-shift
+// start followed by tabu search over the node-shift neighborhood.
+// Deterministic given `rng` state and a deterministic `score`.
+sim::Topology PlanRepair(const sim::Topology& current,
+                         const std::vector<sim::NodeId>& failed_brokers,
+                         const sim::SystemSnapshot& snapshot,
+                         const CarolConfig& config, common::Rng& rng,
+                         const TopologyBatchScoreFn& score);
+
+// Proactive (§VI) re-optimization on failure-free intervals: acts only on
+// the overload precursor, and only moves when the surrogate sees a real
+// improvement. Sets *acted when an optimization attempt ran.
+sim::Topology PlanProactive(const sim::Topology& current,
+                            const sim::SystemSnapshot& snapshot,
+                            const CarolConfig& config,
+                            const TopologyBatchScoreFn& score,
+                            bool* acted = nullptr);
+
+// The full per-interval dispatch of the repair step: returns `current`
+// untouched when nothing failed (PlanProactive instead if the proactive
+// extension is on), PlanRepair otherwise. CarolModel and the serving
+// layer both route through this ONE function — that shared dispatch is
+// part of the bit-identity guarantee between the two paths.
+sim::Topology PlanDecision(const sim::Topology& current,
+                           const std::vector<sim::NodeId>& failed_brokers,
+                           const sim::SystemSnapshot& snapshot,
+                           const CarolConfig& config, common::Rng& rng,
+                           const TopologyBatchScoreFn& score,
+                           bool* proactive_acted = nullptr);
+
+// Confidence bookkeeping of Algorithm 2 lines 9-14: per-federation POT
+// threshold, running dataset Gamma and the fine-tune trigger. One gate
+// per federation; the GON it scores with is passed per call so serving
+// replicas can be swapped underneath.
+class ConfidenceGate {
+ public:
+  explicit ConfidenceGate(const CarolConfig& config);
+
+  struct Outcome {
+    double confidence = 0.0;
+    double threshold = 0.0;
+    bool finetune = false;  // policy says fine-tune now
+  };
+
+  // Scores the observed tuple, updates the POT threshold, grows Gamma on
+  // failure-free intervals and evaluates the fine-tune policy.
+  Outcome Observe(GonModel& gon, const FeatureEncoder& encoder,
+                  const sim::SystemSnapshot& snapshot);
+
+  const std::vector<EncodedState>& gamma() const { return gamma_; }
+  void ClearGamma() { gamma_.clear(); }
+  // Per-interval confidence/threshold series (Figure 2). Recording is on
+  // by default for the single-model path; long-running serve sessions
+  // turn it off, since the series grows unboundedly and nothing reads it
+  // through the service API.
+  void set_record_history(bool record) { record_history_ = record; }
+  const std::vector<double>& confidence_history() const {
+    return confidence_history_;
+  }
+  const std::vector<double>& threshold_history() const {
+    return threshold_history_;
+  }
+
+ private:
+  FineTunePolicy policy_;
+  std::size_t gamma_capacity_;
+  bool record_history_ = true;
+  PotThreshold pot_;
+  // Running dataset Gamma (Algorithm 2 line 10).
+  std::vector<EncodedState> gamma_;
+  std::vector<double> confidence_history_;
+  std::vector<double> threshold_history_;
+};
+
+// --- the single-model controller ---------------------------------------
+
 class CarolModel : public ResilienceModel {
  public:
   explicit CarolModel(const CarolConfig& config);
@@ -83,10 +207,10 @@ class CarolModel : public ResilienceModel {
 
   // --- introspection (Figure 2 series, overhead accounting) ---
   const std::vector<double>& confidence_history() const {
-    return confidence_history_;
+    return gate_.confidence_history();
   }
   const std::vector<double>& threshold_history() const {
-    return threshold_history_;
+    return gate_.threshold_history();
   }
   const std::vector<int>& finetune_intervals() const {
     return finetune_intervals_;
@@ -97,22 +221,16 @@ class CarolModel : public ResilienceModel {
   // Number of proactive (no-failure) re-optimizations performed.
   int proactive_optimizations() const { return proactive_optimizations_; }
   GonModel& gon() { return *gon_; }
+  const GonModel& gon() const { return *gon_; }
   const CarolConfig& config() const { return config_; }
 
  private:
-  sim::Topology ProactiveOptimize(const sim::Topology& current,
-                                  const sim::SystemSnapshot& snapshot);
-
   CarolConfig config_;
   std::string name_ = "CAROL";
   FeatureEncoder encoder_;
   std::unique_ptr<GonModel> gon_;
-  PotThreshold pot_;
+  ConfidenceGate gate_;
   common::Rng rng_;
-  // Running dataset Gamma (Algorithm 2 line 10).
-  std::vector<EncodedState> gamma_;
-  std::vector<double> confidence_history_;
-  std::vector<double> threshold_history_;
   std::vector<int> finetune_intervals_;
   int proactive_optimizations_ = 0;
 };

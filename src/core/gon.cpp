@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "core/bucket.h"
 
 namespace carol::core {
 
@@ -80,12 +81,14 @@ GonModel::~GonModel() = default;
 GonModel::GonModel(const GonConfig& config)
     : config_(config), rng_(config.seed) {
   net_impl_ = std::make_unique<Network>(config_, rng_);
-  net_ = net_impl_.get();
   optimizer_ = std::make_unique<nn::Adam>(
-      net_->Parameters(), config_.train_lr, 0.9, 0.999, 1e-8,
+      net().Parameters(), config_.train_lr, 0.9, 0.999, 1e-8,
       config_.weight_decay);
   inference_ = std::make_unique<InferenceWorkspace>();
 }
+
+nn::Module& GonModel::network() { return *net_impl_; }
+const nn::Module& GonModel::network() const { return *net_impl_; }
 
 bool GonModel::SameHostCount(std::span<const EncodedState* const> states) {
   for (const EncodedState* s : states) {
@@ -227,7 +230,7 @@ double GonModel::Discriminate(const EncodedState& state) {
   }
   nn::Tape tape;
   tape.set_naive_kernels(true);  // seed-style reference execution
-  net_->ClearBindings();
+  net().ClearBindings();
   nn::Value m = tape.Leaf(state.m);
   return Forward(tape, m, state).scalar();
 }
@@ -236,15 +239,39 @@ std::vector<double> GonModel::DiscriminateBatch(
     std::span<const EncodedState* const> states) {
   std::vector<double> out;
   if (states.empty()) return out;
-  if (!config_.use_fast_path || !SameHostCount(states)) {
+  if (!config_.use_fast_path) {
     out.reserve(states.size());
     for (const EncodedState* s : states) out.push_back(Discriminate(*s));
     return out;
   }
-  InferenceWorkspace& ws = *inference_;
-  ws.m_ptrs.clear();
-  for (const EncodedState* s : states) ws.m_ptrs.push_back(&s->m);
-  ForwardInferenceBatch(ws.m_ptrs, states, out);
+  if (SameHostCount(states)) {
+    InferenceWorkspace& ws = *inference_;
+    ws.m_ptrs.clear();
+    for (const EncodedState* s : states) ws.m_ptrs.push_back(&s->m);
+    ForwardInferenceBatch(ws.m_ptrs, states, out);
+    return out;
+  }
+  // Mixed host counts: one stacked pass per H bucket (the per-state
+  // computations are independent, so bucketed == sequential exactly).
+  out.resize(states.size());
+  const auto buckets = GroupIndicesBy(
+      states.size(), [&](std::size_t i) { return states[i]->m.rows(); });
+  std::vector<const EncodedState*> sub_states;
+  std::vector<const nn::Matrix*> sub_ms;
+  std::vector<double> sub_out;
+  for (const auto& bucket : buckets) {
+    sub_states.clear();
+    sub_ms.clear();
+    for (std::size_t i : bucket) {
+      sub_states.push_back(states[i]);
+      sub_ms.push_back(&states[i]->m);
+    }
+    ForwardInferenceBatch(
+        sub_ms, std::span<const EncodedState* const>(sub_states), sub_out);
+    for (std::size_t j = 0; j < bucket.size(); ++j) {
+      out[bucket[j]] = sub_out[j];
+    }
+  }
   return out;
 }
 
@@ -276,7 +303,7 @@ GenerationResult GonModel::GenerateSequential(const nn::Matrix& m_init,
   for (int step = 0; step < config_.generation_steps; ++step) {
     nn::Tape tape;
     tape.set_naive_kernels(!config_.use_fast_path);
-    net_->ClearBindings();
+    net().ClearBindings();
     nn::Value m = tape.Leaf(m_cur, /*requires_grad=*/true);
     nn::Value score = Forward(tape, m, context);
     nn::Value objective = tape.Log(score);
@@ -324,11 +351,34 @@ std::vector<GenerationResult> GonModel::GenerateBatch(
   }
   std::vector<GenerationResult> results(contexts.size());
   if (contexts.empty()) return results;
-  if (!config_.use_fast_path || !SameHostCount(contexts)) {
+  if (!config_.use_fast_path) {
     for (std::size_t i = 0; i < contexts.size(); ++i) {
-      results[i] = config_.use_fast_path
-                       ? Generate(*inits[i], *contexts[i])
-                       : GenerateSequential(*inits[i], *contexts[i]);
+      results[i] = GenerateSequential(*inits[i], *contexts[i]);
+    }
+    return results;
+  }
+  if (!SameHostCount(contexts)) {
+    // Mixed host counts: bucket by H and run one stacked ascent per
+    // bucket. Candidate trajectories are independent, so the scatter is
+    // exactly the sequential result.
+    const auto buckets = GroupIndicesBy(
+        contexts.size(),
+        [&](std::size_t i) { return contexts[i]->m.rows(); });
+    std::vector<const nn::Matrix*> sub_inits;
+    std::vector<const EncodedState*> sub_ctxs;
+    for (const auto& bucket : buckets) {
+      sub_inits.clear();
+      sub_ctxs.clear();
+      for (std::size_t i : bucket) {
+        sub_inits.push_back(inits[i]);
+        sub_ctxs.push_back(contexts[i]);
+      }
+      auto sub = GenerateBatch(
+          std::span<const nn::Matrix* const>(sub_inits),
+          std::span<const EncodedState* const>(sub_ctxs));
+      for (std::size_t j = 0; j < bucket.size(); ++j) {
+        results[bucket[j]] = std::move(sub[j]);
+      }
     }
     return results;
   }
@@ -364,7 +414,7 @@ std::vector<GenerationResult> GonModel::GenerateBatch(
     nn::Module* net;
     explicit FrozenGuard(nn::Module* n) : net(n) { net->SetFrozen(true); }
     ~FrozenGuard() { net->SetFrozen(false); }
-  } frozen_guard(net_);
+  } frozen_guard(&net());
   // Each global step advances every still-active candidate by exactly the
   // update sequential Generate would have applied at that step: the
   // stacked forward/backward is row-block independent per candidate.
@@ -387,7 +437,7 @@ std::vector<GenerationResult> GonModel::GenerateBatch(
     }
 
     tape_.Reset();
-    net_->ClearBindings();
+    net().ClearBindings();
     nn::Value m = tape_.LeafRef(ws.m_stack, /*requires_grad=*/true);
     nn::Value d = ForwardBatch(tape_, m, sub_ctx);
     // Sum of per-candidate log-likelihoods: the per-candidate gradient
@@ -484,7 +534,7 @@ double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
   }
 
   tape_.Reset();
-  net_->ClearBindings();
+  net().ClearBindings();
   const std::span<const EncodedState* const> ctx_span(batch);
   InferenceWorkspace& ws = *inference_;
   nn::Value d_real = ForwardBatch(tape_, StackLeaf(tape_, real_ms), ctx_span);
@@ -510,7 +560,7 @@ double GonModel::TrainBatch(const std::vector<const EncodedState*>& batch) {
       tape_.Scale(tape_.Neg(logsum), 1.0 / static_cast<double>(b));
   optimizer_->ZeroGrad();
   tape_.Backward(loss);
-  net_->CollectGrads();
+  net().CollectGrads();
   optimizer_->Step();
   return loss.scalar();
 }
@@ -542,7 +592,7 @@ double GonModel::TrainBatchSequential(
 
   nn::Tape tape;
   tape.set_naive_kernels(!config_.use_fast_path);
-  net_->ClearBindings();
+  net().ClearBindings();
   nn::Value total;
   nn::Value one = tape.Leaf(nn::Matrix::Ones(1, 1));
   int terms = 0;
@@ -568,7 +618,7 @@ double GonModel::TrainBatchSequential(
   nn::Value loss = tape.Scale(total, 1.0 / static_cast<double>(terms));
   optimizer_->ZeroGrad();
   tape.Backward(loss);
-  net_->CollectGrads();
+  net().CollectGrads();
   optimizer_->Step();
   return loss.scalar();
 }
@@ -661,7 +711,7 @@ void GonModel::FineTune(const std::vector<EncodedState>& recent,
   }
 }
 
-std::size_t GonModel::ParameterCount() { return net_->ParameterCount(); }
+std::size_t GonModel::ParameterCount() { return net().ParameterCount(); }
 
 double GonModel::MemoryFootprintMb() const {
   const double params =

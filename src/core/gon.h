@@ -90,7 +90,8 @@ class GonModel {
   // Batched scoring: one stacked kernel pass over K states that share a
   // host count. Matches K sequential Discriminate calls (the per-host /
   // per-state computations are independent; see header comment). States
-  // with differing host counts fall back to sequential scoring.
+  // with differing host counts are bucketed by H and run as one stacked
+  // pass per bucket.
   std::vector<double> DiscriminateBatch(
       std::span<const EncodedState* const> states);
   std::vector<double> DiscriminateBatch(std::span<const EncodedState> states);
@@ -104,8 +105,8 @@ class GonModel {
   // Batched Eq. (1): runs the input-space ascent for K candidates in one
   // tape per step (candidates converge and drop out individually). The
   // per-candidate trajectories are identical to sequential Generate
-  // calls. `inits` and `contexts` must have equal length and share a
-  // host count (mixed host counts fall back to sequential generation).
+  // calls. `inits` and `contexts` must have equal length; mixed host
+  // counts are bucketed by H and each bucket runs as one stacked ascent.
   std::vector<GenerationResult> GenerateBatch(
       std::span<const nn::Matrix* const> inits,
       std::span<const EncodedState* const> contexts);
@@ -129,7 +130,9 @@ class GonModel {
 
   std::size_t ParameterCount();
   const GonConfig& config() const { return config_; }
-  nn::Module& network() { return *net_; }
+  // The underlying discriminator module (weight save/load/clone surface).
+  nn::Module& network();
+  const nn::Module& network() const;
 
  private:
   struct Network;
@@ -155,10 +158,12 @@ class GonModel {
                                       const EncodedState& context);
   static bool SameHostCount(std::span<const EncodedState* const> states);
 
+  // Typed view over net_impl_ (replaces the old raw facade pointer).
+  nn::Module& net() { return network(); }
+
   GonConfig config_;
   common::Rng rng_;
   std::unique_ptr<Network> net_impl_;
-  nn::Module* net_;  // facade over net_impl_
   std::unique_ptr<nn::Adam> optimizer_;
   // Arena tape recycled across scoring/generation/training calls.
   nn::Tape tape_;

@@ -1,0 +1,39 @@
+#include "harness/serve_experiment.h"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace carol::harness {
+
+std::vector<RunResult> RunFederationsViaService(
+    serve::ResilienceService& service,
+    const std::vector<serve::FederationSpec>& specs,
+    const std::vector<RunConfig>& configs) {
+  if (specs.size() != configs.size()) {
+    throw std::invalid_argument(
+        "RunFederationsViaService: specs/configs size mismatch");
+  }
+  std::vector<RunResult> results(specs.size());
+  std::vector<std::exception_ptr> errors(specs.size());
+  std::vector<std::thread> drivers;
+  drivers.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      try {
+        serve::SessionModel model(service, specs[i]);
+        FederationRuntime runtime(configs[i]);
+        results[i] = runtime.Run(model);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace carol::harness

@@ -1,0 +1,28 @@
+// Bridges the experiment harness onto the multi-tenant serving layer.
+// Kept out of harness/experiment.h so consumers that only need the
+// single-model RunExperiment path do not pull in the serving layer's
+// thread machinery.
+#ifndef CAROL_HARNESS_SERVE_EXPERIMENT_H_
+#define CAROL_HARNESS_SERVE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "harness/runtime.h"
+#include "serve/service.h"
+
+namespace carol::harness {
+
+// Drives one full federation experiment per (spec, config) pair through
+// the shared multi-tenant service, each federation on its own driver
+// thread over the service's worker shards. Returns results in input
+// order. Sessions with FineTunePolicy::kNever are bit-identical to
+// sequential single-model runs; confidence-triggered fine-tunes couple
+// sessions through the shared surrogate (see src/serve/README.md).
+std::vector<RunResult> RunFederationsViaService(
+    serve::ResilienceService& service,
+    const std::vector<serve::FederationSpec>& specs,
+    const std::vector<RunConfig>& configs);
+
+}  // namespace carol::harness
+
+#endif  // CAROL_HARNESS_SERVE_EXPERIMENT_H_

@@ -48,4 +48,21 @@ void LoadParameters(Module& module, const std::string& path) {
   if (!in) throw std::runtime_error("LoadParameters: truncated file");
 }
 
+void CopyParameters(Module& from, Module& to) {
+  const auto src = from.Parameters();
+  auto dst = to.Parameters();
+  if (src.size() != dst.size()) {
+    throw std::runtime_error("CopyParameters: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i]->name != dst[i]->name ||
+        src[i]->value.rows() != dst[i]->value.rows() ||
+        src[i]->value.cols() != dst[i]->value.cols()) {
+      throw std::runtime_error("CopyParameters: mismatch at " +
+                               dst[i]->name);
+    }
+    dst[i]->value.CopyFrom(src[i]->value);
+  }
+}
+
 }  // namespace carol::nn

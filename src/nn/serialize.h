@@ -22,6 +22,12 @@ void SaveParameters(Module& module, const std::string& path);
 // SaveParameters wrote; throws std::runtime_error otherwise.
 void LoadParameters(Module& module, const std::string& path);
 
+// In-memory weight clone between two architecturally identical modules
+// (same parameter names, order and shapes); throws std::runtime_error on
+// any mismatch. The serving layer uses this to broadcast master weights
+// into per-worker GON replicas without touching disk.
+void CopyParameters(Module& from, Module& to);
+
 }  // namespace carol::nn
 
 #endif  // CAROL_NN_SERIALIZE_H_

@@ -1,0 +1,544 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+
+#include "core/bucket.h"
+#include "nn/serialize.h"
+
+namespace carol::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::int64_t NsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+}  // namespace
+
+// --- internal state -----------------------------------------------------
+
+// Per-federation controller state. Everything here is cheap; the GON
+// surrogate is shared by every session (see header comment).
+struct ResilienceService::Session {
+  explicit Session(const FederationSpec& spec)
+      : name(spec.name),
+        cfg(spec.carol),
+        gate(spec.carol),
+        rng(spec.carol.seed) {
+    // Serve sessions are long-running and nothing reads the Figure-2
+    // series through the service API — don't grow it forever.
+    gate.set_record_history(false);
+  }
+
+  SessionId id = 0;
+  std::string name;
+  core::CarolConfig cfg;
+  core::FeatureEncoder encoder;
+  core::ConfidenceGate gate;
+  common::Rng rng;
+  // True while a worker is executing this session's job; guarded by the
+  // service's queue_mu_. The scheduler skips jobs of busy sessions, so
+  // session work is exclusive AND in FIFO submission order without a
+  // per-session lock that could park worker threads.
+  bool busy = false;
+};
+
+// A worker shard: one thread, one GonModel replica. The replica is only
+// ever touched by its own thread (plus the master-locked weight sync).
+struct ResilienceService::Worker {
+  std::unique_ptr<core::GonModel> replica;
+  std::uint64_t epoch = 0;  // last weight epoch copied from the master
+  std::thread thread;
+};
+
+// Cross-session bucketing queue: candidate-scoring jobs from concurrently
+// repairing sessions are claimed in batches, grouped by host count, and
+// each H bucket runs as ONE stacked GenerateBatch pass. Batched GON
+// passes equal sequential ones exactly, so results are independent of
+// batch composition — stacking is purely a kernel-efficiency play.
+class ResilienceService::ScoreBatcher {
+ public:
+  ScoreBatcher(std::size_t max_jobs, int linger_us)
+      : max_jobs_(max_jobs), linger_us_(linger_us) {}
+
+  // Submits one job (a session's frontier, already encoded), optionally
+  // lingers to let concurrent submitters pile on, then claims its own
+  // job plus every pending job tagged with the SAME weight epoch — a
+  // claimer may only execute jobs on its replica when the submitter saw
+  // identical weights, otherwise stacking could serve stale parameters
+  // and break the bit-identity guarantee. A job claimed by another
+  // thread is simply awaited; epoch-mismatched jobs stay queued for
+  // their own submitters, so nothing is orphaned.
+  std::vector<double> Execute(std::vector<core::EncodedState> contexts,
+                              double alpha, double beta,
+                              std::uint64_t epoch,
+                              core::GonModel& replica) {
+    auto job = std::make_shared<ScoreJob>();
+    job->host_count = contexts.front().m.rows();
+    job->contexts = std::move(contexts);
+    job->alpha = alpha;
+    job->beta = beta;
+    job->epoch = epoch;
+    auto future = job->promise.get_future();
+    std::vector<std::shared_ptr<ScoreJob>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(job);
+      cv_.notify_all();
+      if (linger_us_ > 0 && queue_.size() < max_jobs_) {
+        cv_.wait_for(lock, std::chrono::microseconds(linger_us_), [&] {
+          return job->claimed || queue_.size() >= max_jobs_;
+        });
+      }
+      if (!job->claimed) {
+        // Claim our own job FIRST — filling the batch from the queue
+        // front could otherwise hit max_jobs_ before reaching it,
+        // leaving it orphaned (and this thread blocked forever below).
+        job->claimed = true;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (*it == job) {
+            queue_.erase(it);
+            break;
+          }
+        }
+        batch.push_back(job);
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < max_jobs_;) {
+          if ((*it)->epoch == epoch) {
+            (*it)->claimed = true;
+            batch.push_back(*it);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    if (!batch.empty()) {
+      cv_.notify_all();  // wake lingerers whose jobs we just claimed
+      RunBatch(batch, replica);
+    }
+    return future.get();
+  }
+
+  std::uint64_t score_batches() const { return score_batches_.load(); }
+  std::uint64_t stacked_jobs() const { return stacked_jobs_.load(); }
+
+ private:
+  struct ScoreJob {
+    std::vector<core::EncodedState> contexts;
+    double alpha = 0.5;
+    double beta = 0.5;
+    std::size_t host_count = 0;
+    std::uint64_t epoch = 0;  // submitter's replica weight epoch
+    bool claimed = false;     // guarded by mu_
+    std::promise<std::vector<double>> promise;
+  };
+
+  void RunBatch(std::vector<std::shared_ptr<ScoreJob>>& batch,
+                core::GonModel& replica) {
+    const auto buckets = core::GroupIndicesBy(
+        batch.size(),
+        [&](std::size_t i) { return batch[i]->host_count; });
+    std::vector<const nn::Matrix*> inits;
+    std::vector<const core::EncodedState*> ctxs;
+    for (const auto& bucket : buckets) {
+      inits.clear();
+      ctxs.clear();
+      for (std::size_t j : bucket) {
+        for (const core::EncodedState& ctx : batch[j]->contexts) {
+          inits.push_back(&ctx.m);
+          ctxs.push_back(&ctx);
+        }
+      }
+      // Promises are only touched after ALL per-job results exist, and
+      // the catch covers exactly the not-yet-satisfied tail — calling
+      // set_exception on an already-satisfied promise would itself throw
+      // and orphan the remaining jobs' waiters forever.
+      std::size_t done = 0;
+      try {
+        const std::vector<core::GenerationResult> gens =
+            replica.GenerateBatch(inits, ctxs);
+        std::vector<std::vector<double>> all_scores(bucket.size());
+        std::size_t pos = 0;
+        for (std::size_t b = 0; b < bucket.size(); ++b) {
+          const ScoreJob& j = *batch[bucket[b]];
+          all_scores[b].reserve(j.contexts.size());
+          for (std::size_t c = 0; c < j.contexts.size(); ++c) {
+            all_scores[b].push_back(core::QosObjective(
+                gens[pos++].metrics, j.alpha, j.beta));
+          }
+        }
+        for (; done < bucket.size(); ++done) {
+          batch[bucket[done]]->promise.set_value(
+              std::move(all_scores[done]));
+        }
+      } catch (...) {
+        for (std::size_t b = done; b < bucket.size(); ++b) {
+          batch[bucket[b]]->promise.set_exception(std::current_exception());
+        }
+      }
+      score_batches_.fetch_add(1, std::memory_order_relaxed);
+      if (bucket.size() > 1) {
+        stacked_jobs_.fetch_add(bucket.size(), std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t max_jobs_;
+  int linger_us_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<ScoreJob>> queue_;
+  std::atomic<std::uint64_t> score_batches_{0};
+  std::atomic<std::uint64_t> stacked_jobs_{0};
+};
+
+// --- service ------------------------------------------------------------
+
+ResilienceService::ResilienceService(const ServiceConfig& config)
+    : config_(config) {
+  if (config_.num_workers < 1) {
+    throw std::invalid_argument("ResilienceService: num_workers must be >= 1");
+  }
+  master_ = std::make_unique<core::GonModel>(config_.gon);
+  batcher_ = std::make_unique<ScoreBatcher>(
+      std::max<std::size_t>(1, config_.max_batch_jobs),
+      config_.batch_linger_us);
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    // Same config (and seed) as the master => identical initial weights,
+    // so epoch 0 needs no copy.
+    worker->replica = std::make_unique<core::GonModel>(config_.gon);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(*w); });
+  }
+}
+
+ResilienceService::~ResilienceService() { Shutdown(); }
+
+void ResilienceService::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shut_down_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  shut_down_ = true;
+}
+
+void ResilienceService::WorkerLoop(Worker& worker) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    // Earliest job whose session is idle: FIFO within a session and
+    // across sessions, but a session already running on another worker
+    // never parks this one.
+    auto runnable = queue_.end();
+    queue_cv_.wait(lock, [&] {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (!it->session->busy) {
+          runnable = it;
+          return true;
+        }
+      }
+      runnable = queue_.end();
+      return stopping_ && queue_.empty();
+    });
+    if (runnable == queue_.end()) return;  // stopping_ and fully drained
+    QueuedJob job = std::move(*runnable);
+    queue_.erase(runnable);
+    job.session->busy = true;
+    lock.unlock();
+    job.run(worker);
+    lock.lock();
+    job.session->busy = false;
+    queue_cv_.notify_all();  // another of this session's jobs may be next
+  }
+}
+
+void ResilienceService::Enqueue(std::shared_ptr<Session> session,
+                                std::function<void(Worker&)> run) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      throw std::runtime_error("ResilienceService: shut down");
+    }
+    queue_.push_back(QueuedJob{std::move(session), std::move(run)});
+  }
+  queue_cv_.notify_all();
+}
+
+SessionId ResilienceService::OpenSession(const FederationSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      throw std::runtime_error("ResilienceService: shut down");
+    }
+  }
+  auto session = std::make_shared<Session>(spec);
+  const SessionId id = next_session_id_.fetch_add(1);
+  session->id = id;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void ResilienceService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(id) == 0) {
+    throw std::invalid_argument("ResilienceService: unknown session " +
+                                std::to_string(id));
+  }
+}
+
+std::size_t ResilienceService::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<ResilienceService::Session> ResilienceService::FindSession(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("ResilienceService: unknown session " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+void ResilienceService::SyncReplica(Worker& worker) {
+  if (worker.epoch == weight_epoch_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(master_mu_);
+  nn::CopyParameters(master_->network(), worker.replica->network());
+  worker.epoch = weight_epoch_.load(std::memory_order_acquire);
+}
+
+RepairResponse ResilienceService::Repair(SessionId id,
+                                         const RepairRequest& request) {
+  return Repair(id, request.current, request.failed_brokers,
+                request.snapshot);
+}
+
+RepairResponse ResilienceService::Repair(
+    SessionId id, const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot) {
+  const std::shared_ptr<Session> session = FindSession(id);
+  std::promise<RepairResponse> promise;
+  auto future = promise.get_future();
+  // The caller blocks on the future, so capturing the request pieces and
+  // the promise by reference is safe and avoids copying the topology.
+  Enqueue(session, [this, session, &current, &failed_brokers, &snapshot,
+                    &promise](Worker& worker) {
+    try {
+      promise.set_value(
+          DoRepair(*session, current, failed_brokers, snapshot, worker));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  });
+  return future.get();
+}
+
+ObserveResponse ResilienceService::Observe(SessionId id,
+                                           const ObserveRequest& request) {
+  return Observe(id, request.snapshot);
+}
+
+ObserveResponse ResilienceService::Observe(
+    SessionId id, const sim::SystemSnapshot& snapshot) {
+  const std::shared_ptr<Session> session = FindSession(id);
+  std::promise<ObserveResponse> promise;
+  auto future = promise.get_future();
+  Enqueue(session, [this, session, &snapshot, &promise](Worker& worker) {
+    try {
+      promise.set_value(DoObserve(*session, snapshot, worker));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  });
+  return future.get();
+}
+
+RepairResponse ResilienceService::DoRepair(
+    Session& session, const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot, Worker& worker) {
+  // Exclusive session access: the scheduler never runs two jobs of one
+  // session concurrently (Session::busy).
+  SyncReplica(worker);
+  const auto start = Clock::now();
+  const core::TopologyBatchScoreFn score =
+      [&](const std::vector<sim::Topology>& frontier) {
+        return ScoreFrontier(session, frontier, snapshot, worker);
+      };
+  RepairResponse response;
+  bool proactive_acted = false;
+  response.topology =
+      core::PlanDecision(current, failed_brokers, snapshot, session.cfg,
+                         session.rng, score, &proactive_acted);
+  if (proactive_acted) {
+    proactives_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const core::EncodedState encoded =
+      session.encoder.EncodeForTopology(snapshot, response.topology);
+  response.confidence = worker.replica->Discriminate(encoded);
+  response.decision_ns = NsSince(start);
+  repairs_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+ObserveResponse ResilienceService::DoObserve(
+    Session& session, const sim::SystemSnapshot& snapshot, Worker& worker) {
+  // Exclusive session access: see DoRepair.
+  SyncReplica(worker);
+  const auto start = Clock::now();
+  const core::ConfidenceGate::Outcome outcome =
+      session.gate.Observe(*worker.replica, session.encoder, snapshot);
+  ObserveResponse response;
+  response.confidence = outcome.confidence;
+  response.threshold = outcome.threshold;
+  if (outcome.finetune && !session.gate.gamma().empty()) {
+    // Confidence breach: fine-tune the MASTER on this session's Gamma and
+    // bump the weight epoch; every replica (including this worker's, right
+    // here) re-syncs before serving its next job.
+    std::lock_guard<std::mutex> master_lock(master_mu_);
+    master_->FineTune(session.gate.gamma(), session.cfg.finetune_epochs);
+    weight_epoch_.fetch_add(1, std::memory_order_release);
+    if (session.cfg.policy == core::FineTunePolicy::kConfidence) {
+      session.gate.ClearGamma();  // Algorithm 2 line 16
+    }
+    nn::CopyParameters(master_->network(), worker.replica->network());
+    worker.epoch = weight_epoch_.load(std::memory_order_acquire);
+    finetunes_.fetch_add(1, std::memory_order_relaxed);
+    response.fine_tuned = true;
+  }
+  response.observe_ns = NsSince(start);
+  observes_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::vector<double> ResilienceService::ScoreFrontier(
+    Session& session, const std::vector<sim::Topology>& frontier,
+    const sim::SystemSnapshot& snapshot, Worker& worker) {
+  if (frontier.empty()) return {};
+  std::vector<core::EncodedState> contexts =
+      core::EncodeFrontier(session.encoder, snapshot, frontier);
+  if (!config_.cross_session_batching || config_.batch_linger_us <= 0 ||
+      workers_.size() <= 1) {
+    // A zero-length linger window can never observe a peer's job — and
+    // neither can a sole worker, which would otherwise sleep out the
+    // full window on every frontier — so skip the batcher's
+    // queue/promise machinery entirely.
+    return core::ScoreEncoded(*worker.replica, contexts, session.cfg.alpha,
+                              session.cfg.beta);
+  }
+  return batcher_->Execute(std::move(contexts), session.cfg.alpha,
+                           session.cfg.beta, worker.epoch, *worker.replica);
+}
+
+std::vector<core::EpochStats> ResilienceService::TrainOffline(
+    const workload::Trace& trace, int max_epochs) {
+  std::vector<core::EncodedState> data;
+  data.reserve(trace.size());
+  const core::FeatureEncoder encoder;
+  for (const auto& record : trace) {
+    data.push_back(encoder.EncodeRecord(record));
+  }
+  std::lock_guard<std::mutex> lock(master_mu_);
+  auto stats = master_->Train(data, max_epochs);
+  weight_epoch_.fetch_add(1, std::memory_order_release);
+  return stats;
+}
+
+void ResilienceService::LoadWeights(const std::string& path) {
+  std::lock_guard<std::mutex> lock(master_mu_);
+  nn::LoadParameters(master_->network(), path);
+  weight_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void ResilienceService::SaveWeights(const std::string& path) {
+  std::lock_guard<std::mutex> lock(master_mu_);
+  nn::SaveParameters(master_->network(), path);
+}
+
+ServiceStats ResilienceService::stats() const {
+  ServiceStats s;
+  s.repairs = repairs_.load();
+  s.observes = observes_.load();
+  s.finetunes = finetunes_.load();
+  s.proactive_optimizations = proactives_.load();
+  s.score_batches = batcher_->score_batches();
+  s.stacked_jobs = batcher_->stacked_jobs();
+  s.weight_epoch = weight_epoch_.load();
+  return s;
+}
+
+double ResilienceService::MemoryFootprintMb() const {
+  // Master + one replica per worker shard...
+  double mb = master_->MemoryFootprintMb() *
+              (1.0 + static_cast<double>(workers_.size()));
+  // ...plus every session's Gamma budget (16-host states, as CarolModel).
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& [id, session] : sessions_) {
+    mb += core::GammaStateBytes() *
+          static_cast<double>(session->cfg.gamma_capacity) /
+          (1024.0 * 1024.0);
+  }
+  return mb;
+}
+
+// --- SessionModel -------------------------------------------------------
+
+SessionModel::SessionModel(ResilienceService& service,
+                           const FederationSpec& spec)
+    : service_(&service),
+      id_(service.OpenSession(spec)),
+      name_(spec.name),
+      gamma_capacity_(spec.carol.gamma_capacity) {}
+
+SessionModel::~SessionModel() {
+  try {
+    service_->CloseSession(id_);
+  } catch (...) {
+    // Session already closed or service shut down: nothing to release.
+  }
+}
+
+sim::Topology SessionModel::Repair(
+    const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot) {
+  RepairResponse response =
+      service_->Repair(id_, current, failed_brokers, snapshot);
+  decision_ns_.push_back(response.decision_ns);
+  return std::move(response.topology);
+}
+
+void SessionModel::Observe(const sim::SystemSnapshot& snapshot) {
+  const ObserveResponse response = service_->Observe(id_, snapshot);
+  if (response.fine_tuned) ++finetunes_;
+}
+
+double SessionModel::MemoryFootprintMb() const {
+  // This session's share: the shared surrogate plus its own Gamma budget
+  // (mirrors CarolModel::MemoryFootprintMb for comparability).
+  return service_->master_gon().MemoryFootprintMb() +
+         core::GammaStateBytes() * static_cast<double>(gamma_capacity_) /
+             (1024.0 * 1024.0);
+}
+
+}  // namespace carol::serve

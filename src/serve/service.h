@@ -1,0 +1,274 @@
+// Multi-tenant resilience serving (the ROADMAP's multi-federation
+// sharding item): one ResilienceService owns N concurrent federation
+// *sessions* and a sharded pool of GON worker replicas, replacing the
+// implicit "one model object == one federation" contract of the
+// single-model path.
+//
+// Architecture:
+//   * Sessions hold the per-federation controller state (feature
+//     encoder, POT confidence gate, running dataset Gamma, repair rng).
+//     They are cheap; the expensive state — the GON surrogate — is
+//     shared by every session.
+//   * Workers each own a full GonModel replica (GonModel is not
+//     thread-safe; see src/core/gon.h). Replicas are architecturally
+//     identical clones of a master model: initial weights coincide by
+//     seeded construction, and after a confidence-triggered fine-tune on
+//     the master the new weights are re-broadcast lazily via an epoch
+//     check + nn::CopyParameters before a replica serves its next job.
+//   * A cross-session score batcher stacks candidate-topology scoring
+//     jobs from concurrently repairing sessions into single GON kernel
+//     passes, bucketing states by host count (mixed-H federations).
+//
+// Determinism: repair planning runs the same core::PlanRepair /
+// ScoreTopologiesWith code as CarolModel with per-session rng streams,
+// and batched GON passes are exactly equal to sequential ones, so the
+// topology decisions of a session are bit-identical to a single
+// CarolModel driven with the same inputs — independent of worker count
+// and batch composition. The one caveat is weight mutation: fine-tunes
+// from concurrent sessions interleave nondeterministically because the
+// surrogate is shared (see src/serve/README.md).
+#ifndef CAROL_SERVE_SERVICE_H_
+#define CAROL_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/carol.h"
+#include "core/resilience.h"
+
+namespace carol::serve {
+
+using SessionId = std::uint64_t;
+
+// Per-federation serving contract. The nested `carol.gon` sub-config is
+// ignored: sessions share the service's surrogate (ServiceConfig::gon).
+struct FederationSpec {
+  std::string name = "federation";
+  core::CarolConfig carol;
+};
+
+struct ServiceConfig {
+  // The shared surrogate: master + one replica per worker are all built
+  // from this config (same seed => identical initial weights).
+  core::GonConfig gon;
+  // Worker shards. Each owns a GonModel replica and serves any session.
+  int num_workers = 4;
+  // Stack candidate-scoring jobs from concurrently repairing sessions
+  // into shared kernel passes (bucketed by host count).
+  bool cross_session_batching = true;
+  // Cap on jobs combined into one batched scoring pass.
+  std::size_t max_batch_jobs = 8;
+  // How long a scoring job lingers in the batcher queue waiting for
+  // passengers from other sessions before its submitter claims it.
+  // 0 (the default) is latency-first and bypasses the batcher entirely:
+  // frontiers score directly on the serving worker, since a zero-length
+  // window can never observe a peer's job. Set > 0 on
+  // throughput-oriented deployments with many more sessions than
+  // workers; results are identical either way (batch composition never
+  // changes decisions).
+  int batch_linger_us = 0;
+};
+
+struct RepairRequest {
+  sim::Topology current;
+  std::vector<sim::NodeId> failed_brokers;
+  sim::SystemSnapshot snapshot;
+};
+
+struct RepairResponse {
+  sim::Topology topology;
+  // D(M_t, S_t, G_repaired): the surrogate's confidence in the tuple
+  // under the returned topology.
+  double confidence = 0.0;
+  // Service-side decision latency (planning + confidence), the paper's
+  // headline per-interval metric.
+  std::int64_t decision_ns = 0;
+};
+
+struct ObserveRequest {
+  sim::SystemSnapshot snapshot;
+};
+
+struct ObserveResponse {
+  double confidence = 0.0;
+  double threshold = 0.0;
+  bool fine_tuned = false;
+  std::int64_t observe_ns = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t repairs = 0;
+  std::uint64_t observes = 0;
+  std::uint64_t finetunes = 0;
+  // Proactive (no-failure) re-optimizations across all sessions.
+  std::uint64_t proactive_optimizations = 0;
+  // Batched scoring passes run by the cross-session batcher, and how
+  // many jobs shared a pass with at least one other job.
+  std::uint64_t score_batches = 0;
+  std::uint64_t stacked_jobs = 0;
+  std::uint64_t weight_epoch = 0;
+};
+
+class ResilienceService {
+ public:
+  explicit ResilienceService(const ServiceConfig& config);
+  ~ResilienceService();
+
+  ResilienceService(const ResilienceService&) = delete;
+  ResilienceService& operator=(const ResilienceService&) = delete;
+
+  // --- session lifecycle -----------------------------------------------
+  SessionId OpenSession(const FederationSpec& spec);
+  void CloseSession(SessionId id);
+  std::size_t session_count() const;
+
+  // --- the decision API ------------------------------------------------
+  // Both calls block until a worker shard has served the request. Calls
+  // for the SAME session are serialized internally; issue them from one
+  // client thread per session if request order matters.
+  RepairResponse Repair(SessionId id, const RepairRequest& request);
+  ObserveResponse Observe(SessionId id, const ObserveRequest& request);
+  // Zero-copy overloads (SessionModel's per-interval hot path): the
+  // arguments are borrowed for the duration of the blocking call.
+  RepairResponse Repair(SessionId id, const sim::Topology& current,
+                        const std::vector<sim::NodeId>& failed_brokers,
+                        const sim::SystemSnapshot& snapshot);
+  ObserveResponse Observe(SessionId id,
+                          const sim::SystemSnapshot& snapshot);
+
+  // --- shared-surrogate management -------------------------------------
+  // Offline-trains the master on the trace Lambda and broadcasts the new
+  // weights. Call before opening traffic (it blocks the master).
+  std::vector<core::EpochStats> TrainOffline(const workload::Trace& trace,
+                                             int max_epochs = 30);
+  // Loads pretrained weights into the master and broadcasts them.
+  void LoadWeights(const std::string& path);
+  // Checkpoints the master weights under the master lock — safe while
+  // traffic (and therefore fine-tuning) is flowing.
+  void SaveWeights(const std::string& path);
+
+  // --- introspection ---------------------------------------------------
+  // Setup/test access to the master model. NOT synchronized: weights
+  // mutate under the internal master lock whenever a session fine-tunes,
+  // so only touch this while no traffic is flowing (use SaveWeights for
+  // live checkpoints).
+  core::GonModel& master_gon() { return *master_; }
+  std::uint64_t weight_epoch() const {
+    return weight_epoch_.load(std::memory_order_acquire);
+  }
+  ServiceStats stats() const;
+  // Master + replicas + per-session Gamma budgets, in MB.
+  double MemoryFootprintMb() const;
+  const ServiceConfig& config() const { return config_; }
+
+  // Stops accepting new work, drains every accepted request, joins the
+  // workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Session;
+  struct Worker;
+  class ScoreBatcher;
+
+  // A queued request with its session attached, so the scheduler can
+  // skip jobs whose session is mid-execution on another worker (one
+  // chatty session must not park the whole pool).
+  struct QueuedJob {
+    std::shared_ptr<Session> session;
+    std::function<void(Worker&)> run;
+  };
+
+  std::shared_ptr<Session> FindSession(SessionId id) const;
+  void Enqueue(std::shared_ptr<Session> session,
+               std::function<void(Worker&)> run);
+  void WorkerLoop(Worker& worker);
+  // Copies master weights into the worker's replica if its epoch is
+  // stale; replicas only ever sync at job boundaries.
+  void SyncReplica(Worker& worker);
+
+  RepairResponse DoRepair(Session& session, const sim::Topology& current,
+                          const std::vector<sim::NodeId>& failed_brokers,
+                          const sim::SystemSnapshot& snapshot,
+                          Worker& worker);
+  ObserveResponse DoObserve(Session& session,
+                            const sim::SystemSnapshot& snapshot,
+                            Worker& worker);
+  std::vector<double> ScoreFrontier(Session& session,
+                                    const std::vector<sim::Topology>& frontier,
+                                    const sim::SystemSnapshot& snapshot,
+                                    Worker& worker);
+
+  ServiceConfig config_;
+
+  // Master model: the only GonModel whose weights mutate (fine-tunes,
+  // offline training, weight loads) — always under master_mu_.
+  mutable std::mutex master_mu_;
+  std::unique_ptr<core::GonModel> master_;
+  std::atomic<std::uint64_t> weight_epoch_{0};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedJob> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  std::atomic<SessionId> next_session_id_{1};
+
+  std::unique_ptr<ScoreBatcher> batcher_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> repairs_{0};
+  std::atomic<std::uint64_t> observes_{0};
+  std::atomic<std::uint64_t> finetunes_{0};
+  std::atomic<std::uint64_t> proactives_{0};
+};
+
+// Adapter: presents one service session as a core::ResilienceModel, so
+// the existing harness (FederationRuntime, RunExperiment) and the
+// baseline comparisons keep working unchanged on top of the service.
+// Opens its session on construction and closes it on destruction.
+class SessionModel : public core::ResilienceModel {
+ public:
+  SessionModel(ResilienceService& service, const FederationSpec& spec);
+  ~SessionModel() override;
+
+  std::string name() const override { return name_; }
+  sim::Topology Repair(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot) override;
+  void Observe(const sim::SystemSnapshot& snapshot) override;
+  double MemoryFootprintMb() const override;
+
+  SessionId id() const { return id_; }
+  // Per-decision service-side latency, one entry per Repair call.
+  const std::vector<std::int64_t>& decision_ns_history() const {
+    return decision_ns_;
+  }
+  int finetune_count() const { return finetunes_; }
+
+ private:
+  ResilienceService* service_;
+  SessionId id_;
+  std::string name_;
+  std::size_t gamma_capacity_;
+  std::vector<std::int64_t> decision_ns_;
+  int finetunes_ = 0;
+};
+
+}  // namespace carol::serve
+
+#endif  // CAROL_SERVE_SERVICE_H_

@@ -1,0 +1,435 @@
+// Tests for the multi-tenant serving layer: session decisions must be
+// bit-identical to the sequential single-model path, replicas must pick
+// up fine-tuned master weights, mixed-host-count batches must equal
+// per-H sequential scoring, and shutdown must be safe under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/carol.h"
+#include "nn/serialize.h"
+#include "serve/service.h"
+#include "sim/federation.h"
+
+namespace carol::serve {
+namespace {
+
+core::CarolConfig TinyCarolConfig(unsigned seed = 7) {
+  core::CarolConfig cfg;
+  cfg.gon.hidden_width = 12;
+  cfg.gon.num_layers = 2;
+  cfg.gon.gat_width = 6;
+  cfg.gon.generation_steps = 3;
+  cfg.gon.batch_size = 8;
+  cfg.tabu.max_iterations = 3;
+  cfg.tabu.max_evaluations = 24;
+  cfg.pot.min_calibration = 4;
+  cfg.finetune_epochs = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ServiceConfig TinyServiceConfig(int workers) {
+  ServiceConfig cfg;
+  cfg.gon = TinyCarolConfig().gon;
+  cfg.num_workers = workers;
+  // Exercise the cross-session batcher path (0, the latency-first
+  // default, bypasses it entirely).
+  cfg.batch_linger_us = 2000;
+  return cfg;
+}
+
+sim::SystemSnapshot MakeSnapshot(double util, int hosts, int brokers,
+                                 int interval = 0) {
+  sim::SystemSnapshot snap;
+  snap.interval = interval;
+  snap.topology = sim::Topology::Initial(hosts, brokers);
+  snap.hosts.resize(static_cast<std::size_t>(hosts));
+  snap.alive.assign(static_cast<std::size_t>(hosts), true);
+  for (int i = 0; i < hosts; ++i) {
+    auto& m = snap.hosts[static_cast<std::size_t>(i)];
+    m.cpu_util = util;
+    m.ram_util = util * 0.8;
+    m.energy_kwh = util * 4e-4;
+    m.slo_violation_rate = util > 0.9 ? 0.3 : 0.0;
+    m.is_broker = snap.topology.is_broker(i);
+  }
+  return snap;
+}
+
+sim::SystemSnapshot MakeFailureSnapshot(double util, int hosts, int brokers,
+                                        int interval = 0) {
+  sim::SystemSnapshot snap = MakeSnapshot(util, hosts, brokers, interval);
+  snap.alive[0] = false;
+  snap.hosts[0].failed = true;
+  return snap;
+}
+
+// One federation's scripted episode: alternating observations and broker-
+// failure repairs with drifting utilization. Returns every topology
+// decision plus every observed confidence, so callers can compare the
+// service against the single-model reference bit for bit.
+struct Episode {
+  std::vector<sim::Topology> decisions;
+  std::vector<double> confidences;
+};
+
+template <typename RepairFn, typename ObserveFn>
+Episode DriveEpisode(int hosts, int brokers, int rounds, RepairFn repair,
+                     ObserveFn observe) {
+  Episode ep;
+  for (int t = 0; t < rounds; ++t) {
+    const double util = 0.3 + 0.06 * (t % 7);
+    ep.confidences.push_back(
+        observe(MakeSnapshot(util, hosts, brokers, t)));
+    const sim::SystemSnapshot failing =
+        MakeFailureSnapshot(util, hosts, brokers, t);
+    ep.decisions.push_back(repair(failing.topology, {0}, failing));
+  }
+  return ep;
+}
+
+Episode DriveCarol(core::CarolModel& model, int hosts, int brokers,
+                   int rounds) {
+  return DriveEpisode(
+      hosts, brokers, rounds,
+      [&](const sim::Topology& topo, const std::vector<sim::NodeId>& failed,
+          const sim::SystemSnapshot& snap) {
+        return model.Repair(topo, failed, snap);
+      },
+      [&](const sim::SystemSnapshot& snap) {
+        model.Observe(snap);
+        return model.confidence_history().back();
+      });
+}
+
+Episode DriveSession(ResilienceService& service, SessionId id, int hosts,
+                     int brokers, int rounds) {
+  return DriveEpisode(
+      hosts, brokers, rounds,
+      [&](const sim::Topology& topo, const std::vector<sim::NodeId>& failed,
+          const sim::SystemSnapshot& snap) {
+        RepairRequest req;
+        req.current = topo;
+        req.failed_brokers = failed;
+        req.snapshot = snap;
+        return service.Repair(id, req).topology;
+      },
+      [&](const sim::SystemSnapshot& snap) {
+        ObserveRequest req;
+        req.snapshot = snap;
+        return service.Observe(id, req).confidence;
+      });
+}
+
+void ExpectEpisodesIdentical(const Episode& a, const Episode& b) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  ASSERT_EQ(a.confidences.size(), b.confidences.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_TRUE(a.decisions[i] == b.decisions[i]) << "decision " << i;
+  }
+  for (std::size_t i = 0; i < a.confidences.size(); ++i) {
+    EXPECT_EQ(a.confidences[i], b.confidences[i]) << "confidence " << i;
+  }
+}
+
+// --- mixed-host-count bucketing in the GON batch entry points ----------
+
+TEST(GonBucketingTest, MixedHostDiscriminateBatchMatchesSequential) {
+  core::GonModel gon(TinyCarolConfig().gon);
+  core::FeatureEncoder encoder;
+  std::vector<core::EncodedState> states;
+  for (int hosts : {8, 12, 8, 16, 12, 8}) {
+    states.push_back(
+        encoder.Encode(MakeSnapshot(0.2 + 0.05 * hosts / 4.0, hosts,
+                                    std::max(2, hosts / 4))));
+  }
+  const std::vector<double> batched = gon.DiscriminateBatch(
+      std::span<const core::EncodedState>(states));
+  ASSERT_EQ(batched.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_NEAR(batched[i], gon.Discriminate(states[i]), 1e-9) << i;
+  }
+}
+
+TEST(GonBucketingTest, MixedHostGenerateBatchMatchesSequential) {
+  core::GonModel gon(TinyCarolConfig().gon);
+  core::FeatureEncoder encoder;
+  std::vector<core::EncodedState> states;
+  for (int hosts : {8, 16, 8, 12}) {
+    states.push_back(encoder.Encode(
+        MakeSnapshot(0.4, hosts, std::max(2, hosts / 4))));
+  }
+  std::vector<const nn::Matrix*> inits;
+  std::vector<const core::EncodedState*> ctxs;
+  for (const auto& s : states) {
+    inits.push_back(&s.m);
+    ctxs.push_back(&s);
+  }
+  const auto batched = gon.GenerateBatch(inits, ctxs);
+  ASSERT_EQ(batched.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const core::GenerationResult seq = gon.Generate(states[i].m, states[i]);
+    EXPECT_EQ(batched[i].steps, seq.steps) << i;
+    EXPECT_NEAR(batched[i].confidence, seq.confidence, 1e-9) << i;
+    ASSERT_EQ(batched[i].metrics.rows(), seq.metrics.rows());
+    for (std::size_t r = 0; r < seq.metrics.rows(); ++r) {
+      for (std::size_t c = 0; c < seq.metrics.cols(); ++c) {
+        EXPECT_NEAR(batched[i].metrics(r, c), seq.metrics(r, c), 1e-9);
+      }
+    }
+  }
+}
+
+// --- determinism against the single-model path --------------------------
+
+TEST(ServeTest, SingleSessionMatchesCarolModelIncludingFineTunes) {
+  // One session, fine-tuning enabled (kAlways): every Observe mutates the
+  // shared surrogate, so this exercises replica weight re-sync on every
+  // worker hop — and must STILL be bit-identical to one CarolModel.
+  core::CarolConfig cfg = TinyCarolConfig();
+  cfg.policy = core::FineTunePolicy::kAlways;
+
+  core::CarolModel reference(cfg);
+  const Episode expected = DriveCarol(reference, 12, 3, 6);
+
+  ResilienceService service(TinyServiceConfig(4));
+  FederationSpec spec;
+  spec.carol = cfg;
+  const SessionId id = service.OpenSession(spec);
+  const Episode actual = DriveSession(service, id, 12, 3, 6);
+
+  ExpectEpisodesIdentical(expected, actual);
+  EXPECT_GE(service.stats().finetunes, 1u);
+  EXPECT_GE(service.weight_epoch(), 1u);
+}
+
+TEST(ServeTest, ParallelHeterogeneousSessionsMatchSequentialRuns) {
+  // K federations with different host counts served concurrently over 4
+  // worker shards must each produce exactly the decisions of a dedicated
+  // CarolModel run sequentially. kNever keeps the shared surrogate
+  // frozen, so sessions are fully independent.
+  struct Fleet {
+    int hosts;
+    int brokers;
+    unsigned seed;
+  };
+  const std::vector<Fleet> fleets = {{8, 2, 11}, {12, 3, 22}, {16, 4, 33}};
+  const int rounds = 5;
+
+  std::vector<Episode> expected;
+  for (const Fleet& f : fleets) {
+    core::CarolConfig cfg = TinyCarolConfig(f.seed);
+    cfg.policy = core::FineTunePolicy::kNever;
+    core::CarolModel reference(cfg);
+    expected.push_back(DriveCarol(reference, f.hosts, f.brokers, rounds));
+  }
+
+  ResilienceService service(TinyServiceConfig(4));
+  std::vector<SessionId> ids;
+  for (const Fleet& f : fleets) {
+    FederationSpec spec;
+    spec.carol = TinyCarolConfig(f.seed);
+    spec.carol.policy = core::FineTunePolicy::kNever;
+    ids.push_back(service.OpenSession(spec));
+  }
+  std::vector<Episode> actual(fleets.size());
+  std::vector<std::thread> drivers;
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      actual[i] = DriveSession(service, ids[i], fleets[i].hosts,
+                               fleets[i].brokers, rounds);
+    });
+  }
+  for (auto& d : drivers) d.join();
+
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    ExpectEpisodesIdentical(expected[i], actual[i]);
+  }
+  // The concurrent repairs ran through the cross-session batcher.
+  EXPECT_GT(service.stats().score_batches, 0u);
+}
+
+TEST(ServeTest, LingerWindowStacksConcurrentSessionsIntoSharedPasses) {
+  // With a generous linger window, two sessions repairing at the same
+  // time must share scoring passes — and still produce exactly the
+  // sequential single-model decisions (batch composition never changes
+  // results).
+  ServiceConfig cfg = TinyServiceConfig(2);
+  cfg.batch_linger_us = 50000;  // 50 ms: plenty for the peer to arrive
+  ResilienceService service(cfg);
+  std::vector<SessionId> ids;
+  std::vector<Episode> expected;
+  for (unsigned seed : {51u, 52u}) {
+    core::CarolConfig carol = TinyCarolConfig(seed);
+    carol.policy = core::FineTunePolicy::kNever;
+    FederationSpec spec;
+    spec.carol = carol;
+    ids.push_back(service.OpenSession(spec));
+    core::CarolModel reference(carol);
+    expected.push_back(DriveCarol(reference, 12, 3, 4));
+  }
+
+  std::vector<Episode> actual(2);
+  std::vector<std::thread> drivers;
+  for (std::size_t i = 0; i < 2; ++i) {
+    drivers.emplace_back(
+        [&, i] { actual[i] = DriveSession(service, ids[i], 12, 3, 4); });
+  }
+  for (auto& d : drivers) d.join();
+
+  ExpectEpisodesIdentical(expected[0], actual[0]);
+  ExpectEpisodesIdentical(expected[1], actual[1]);
+  // The linger window must have produced at least one genuinely shared
+  // (cross-session) kernel pass.
+  EXPECT_GT(service.stats().stacked_jobs, 0u);
+}
+
+// --- replica weight sync -------------------------------------------------
+
+TEST(ServeTest, ReplicasServeFineTunedWeights) {
+  ResilienceService service(TinyServiceConfig(2));
+
+  FederationSpec tuner;
+  tuner.carol = TinyCarolConfig();
+  tuner.carol.policy = core::FineTunePolicy::kAlways;
+  const SessionId tuner_id = service.OpenSession(tuner);
+
+  FederationSpec prober;
+  prober.carol = TinyCarolConfig();
+  prober.carol.policy = core::FineTunePolicy::kNever;
+  const SessionId prober_id = service.OpenSession(prober);
+
+  // Fine-tune the master through the tuner session (failure-free snapshot
+  // grows Gamma; kAlways then fine-tunes immediately).
+  ObserveRequest tune;
+  tune.snapshot = MakeSnapshot(0.5, 12, 3);
+  const ObserveResponse tuned = service.Observe(tuner_id, tune);
+  ASSERT_TRUE(tuned.fine_tuned);
+  ASSERT_GE(service.weight_epoch(), 1u);
+
+  // Reference confidence from a direct clone of the tuned master.
+  core::GonModel clone(TinyServiceConfig(2).gon);
+  nn::CopyParameters(service.master_gon().network(), clone.network());
+  core::FeatureEncoder encoder;
+  const sim::SystemSnapshot probe = MakeSnapshot(0.35, 10, 2);
+  const double expected = clone.Discriminate(encoder.Encode(probe));
+
+  // Every replica that serves the prober must have re-synced: the served
+  // confidence equals the tuned-master value exactly, on every call.
+  for (int i = 0; i < 6; ++i) {
+    ObserveRequest req;
+    req.snapshot = probe;
+    EXPECT_EQ(service.Observe(prober_id, req).confidence, expected) << i;
+  }
+}
+
+TEST(ServeTest, CopyParametersRejectsArchitectureMismatch) {
+  core::GonConfig small = TinyCarolConfig().gon;
+  core::GonConfig big = small;
+  big.hidden_width = 24;
+  core::GonModel a(small);
+  core::GonModel b(big);
+  EXPECT_THROW(nn::CopyParameters(a.network(), b.network()),
+               std::runtime_error);
+}
+
+TEST(ServeTest, BusySessionDoesNotStarveOtherTenants) {
+  // Two clients hammer session A concurrently while a third drives
+  // session B; every request must complete and produce valid repairs
+  // (the scheduler skips queued jobs of busy sessions instead of
+  // blocking workers on them).
+  ResilienceService service(TinyServiceConfig(2));
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig();
+  spec.carol.policy = core::FineTunePolicy::kNever;
+  const SessionId a = service.OpenSession(spec);
+  spec.carol.seed = 99;
+  const SessionId b = service.OpenSession(spec);
+
+  std::atomic<int> completed{0};
+  auto hammer = [&](SessionId id, int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      RepairRequest req;
+      const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2, r);
+      req.current = snap.topology;
+      req.failed_brokers = {0};
+      req.snapshot = snap;
+      EXPECT_TRUE(service.Repair(id, req).topology.IsValid());
+      completed.fetch_add(1);
+    }
+  };
+  std::thread t1([&] { hammer(a, 6); });
+  std::thread t2([&] { hammer(a, 6); });
+  std::thread t3([&] { hammer(b, 6); });
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(completed.load(), 18);
+}
+
+// --- lifecycle -----------------------------------------------------------
+
+TEST(ServeTest, UnknownSessionThrows) {
+  ResilienceService service(TinyServiceConfig(1));
+  ObserveRequest req;
+  req.snapshot = MakeSnapshot(0.4, 8, 2);
+  EXPECT_THROW(service.Observe(999, req), std::invalid_argument);
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig();
+  const SessionId id = service.OpenSession(spec);
+  service.CloseSession(id);
+  EXPECT_THROW(service.Observe(id, req), std::invalid_argument);
+}
+
+TEST(ServeTest, ShutdownUnderLoadCompletesOrRejectsEveryRequest) {
+  ResilienceService service(TinyServiceConfig(2));
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig();
+  spec.carol.policy = core::FineTunePolicy::kNever;
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    spec.carol.seed = 100 + static_cast<unsigned>(i);
+    ids.push_back(service.OpenSession(spec));
+  }
+
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 8; ++r) {
+        RepairRequest req;
+        const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2, r);
+        req.current = snap.topology;
+        req.failed_brokers = {0};
+        req.snapshot = snap;
+        try {
+          service.Repair(ids[static_cast<std::size_t>(c)], req);
+          completed.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);
+          break;  // service is shutting down
+        }
+      }
+    });
+  }
+  // Let some requests land, then pull the plug while clients are active.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.Shutdown();
+  for (auto& c : clients) c.join();
+
+  EXPECT_GT(completed.load() + rejected.load(), 0);
+  // Accepted work was drained, not dropped; post-shutdown calls throw.
+  RepairRequest req;
+  const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2);
+  req.current = snap.topology;
+  req.failed_brokers = {0};
+  req.snapshot = snap;
+  EXPECT_THROW(service.Repair(ids[0], req), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace carol::serve
