@@ -1,11 +1,16 @@
 // Throughput/latency of the multi-tenant ResilienceService: S concurrent
 // federation sessions issue broker-failure repair decisions over a pool
-// of W GON worker replicas. Sweeps worker and session counts and emits
-// machine-readable BENCH_service.json rows:
-//   {"workers", "sessions", "hosts", "requests", "decisions_per_sec",
-//    "p50_ms", "p99_ms", "score_batches", "stacked_jobs"}
-// The headline check: multi-session decision throughput must scale with
-// the worker count (>2x from 1 -> 4 workers at 8 sessions, H=16).
+// of W GON worker replicas. Sweeps worker and session counts — in the
+// default step-driven pipeline mode plus legacy run-to-completion
+// reference cells — and emits machine-readable BENCH_service.json rows:
+//   {"workers", "sessions", "hosts", "requests", "linger_us", "pipeline",
+//    "decisions_per_sec", "p50_ms", "p99_ms", "score_batches",
+//    "stacked_jobs", "pipeline_passes", "pipeline_jobs",
+//    "pipeline_states", "stacking_ratio"}
+// Headline checks: multi-session decision throughput must scale with the
+// worker count, and the pipeline must stack concurrent sessions'
+// frontiers into shared kernel passes with ZERO linger (stacking_ratio =
+// frontier jobs per GON kernel pass; > 1.5 at 8 sessions).
 //
 // Env overrides (bench_util.h): CAROL_BENCH_FAST=1 shrinks the sweep.
 #include <chrono>
@@ -63,18 +68,24 @@ struct SweepResult {
   int sessions = 0;
   int requests = 0;
   int linger_us = 0;
+  bool pipeline = true;
   double decisions_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   std::uint64_t score_batches = 0;
   std::uint64_t stacked_jobs = 0;
+  std::uint64_t pipeline_passes = 0;
+  std::uint64_t pipeline_jobs = 0;
+  std::uint64_t pipeline_states = 0;
+  double stacking_ratio = 0.0;
 };
 
 SweepResult RunSweep(int workers, int sessions, int requests_per_session,
-                     int linger_us = 0) {
+                     bool pipeline, int linger_us = 0) {
   serve::ServiceConfig cfg;
   cfg.gon = BenchCarolConfig(1).gon;
   cfg.num_workers = workers;
+  cfg.pipeline = pipeline;
   cfg.batch_linger_us = linger_us;
   serve::ResilienceService service(cfg);
 
@@ -116,6 +127,7 @@ SweepResult RunSweep(int workers, int sessions, int requests_per_session,
   result.workers = workers;
   result.sessions = sessions;
   result.linger_us = linger_us;
+  result.pipeline = pipeline;
   result.requests = sessions * requests_per_session;
   result.decisions_per_sec = result.requests / wall_s;
   std::vector<double> all;
@@ -127,6 +139,13 @@ SweepResult RunSweep(int workers, int sessions, int requests_per_session,
   const serve::ServiceStats stats = service.stats();
   result.score_batches = stats.score_batches;
   result.stacked_jobs = stats.stacked_jobs;
+  result.pipeline_passes = stats.pipeline_passes;
+  result.pipeline_jobs = stats.pipeline_jobs;
+  result.pipeline_states = stats.pipeline_states;
+  if (stats.pipeline_passes > 0) {
+    result.stacking_ratio = static_cast<double>(stats.pipeline_jobs) /
+                            static_cast<double>(stats.pipeline_passes);
+  }
   return result;
 }
 
@@ -139,43 +158,49 @@ int main() {
 
   carol::bench::PrintBanner(
       "ResilienceService throughput: decisions/sec and latency vs "
-      "workers x sessions (H=16 broker-failure repairs)");
-  std::printf("%-9s %-10s %-10s %-10s %-16s %-10s %-10s %-14s %-12s\n",
-              "workers", "sessions", "requests", "linger_us",
-              "decisions/sec", "p50(ms)", "p99(ms)", "score_batches",
-              "stacked");
+      "workers x sessions (H=16 broker-failure repairs; pipeline mode "
+      "stacks cross-session frontiers with zero linger)");
+  std::printf("%-9s %-9s %-9s %-9s %-9s %-14s %-9s %-9s %-8s %-8s %-8s\n",
+              "mode", "workers", "sessions", "requests", "linger",
+              "decisions/sec", "p50(ms)", "p99(ms)", "passes", "jobs",
+              "stack");
 
   const std::vector<int> worker_counts = fast ? std::vector<int>{1, 4}
                                               : std::vector<int>{1, 2, 4};
   const std::vector<int> session_counts = fast ? std::vector<int>{1, 8}
                                                : std::vector<int>{1, 4, 8};
   std::vector<SweepResult> results;
-  auto run_cell = [&](int workers, int sessions, int linger_us) {
-    const SweepResult r =
-        RunSweep(workers, sessions, requests_per_session, linger_us);
-    std::printf("%-9d %-10d %-10d %-10d %-16.1f %-10.2f %-10.2f %-14llu "
-                "%-12llu\n",
-                r.workers, r.sessions, r.requests, r.linger_us,
-                r.decisions_per_sec, r.p50_ms, r.p99_ms,
-                static_cast<unsigned long long>(r.score_batches),
-                static_cast<unsigned long long>(r.stacked_jobs));
+  auto run_cell = [&](int workers, int sessions, bool pipeline,
+                      int linger_us) {
+    const SweepResult r = RunSweep(workers, sessions, requests_per_session,
+                                   pipeline, linger_us);
+    std::printf("%-9s %-9d %-9d %-9d %-9d %-14.1f %-9.2f %-9.2f %-8llu "
+                "%-8llu %-8.2f\n",
+                r.pipeline ? "pipeline" : "legacy", r.workers, r.sessions,
+                r.requests, r.linger_us, r.decisions_per_sec, r.p50_ms,
+                r.p99_ms,
+                static_cast<unsigned long long>(r.pipeline_passes),
+                static_cast<unsigned long long>(r.pipeline_jobs),
+                r.stacking_ratio);
     results.push_back(r);
   };
+  // The default serving mode: step-driven pipeline, zero linger.
   for (int workers : worker_counts) {
     for (int sessions : session_counts) {
-      run_cell(workers, sessions, /*linger_us=*/0);
+      run_cell(workers, sessions, /*pipeline=*/true, /*linger_us=*/0);
     }
   }
-  // One throughput-oriented cell with the cross-session batcher engaged,
-  // so BENCH_service.json tracks the stacking path too.
-  run_cell(4, 8, /*linger_us=*/200);
+  // Legacy run-to-completion reference cells: latency-first (linger 0,
+  // never stacks) and throughput-oriented (linger window).
+  run_cell(4, 8, /*pipeline=*/false, /*linger_us=*/0);
+  run_cell(4, 8, /*pipeline=*/false, /*linger_us=*/200);
 
-  // Headline scaling: 8-session latency-first throughput, 1 worker ->
-  // max workers.
+  // Headline scaling: 8-session pipeline throughput, 1 worker -> max
+  // workers; plus the zero-linger cross-session stacking ratio.
   double one_worker = 0.0, max_worker = 0.0;
   int max_workers = 0;
   for (const SweepResult& r : results) {
-    if (r.sessions != 8 || r.linger_us != 0) continue;
+    if (r.sessions != 8 || !r.pipeline) continue;
     if (r.workers == 1) one_worker = r.decisions_per_sec;
     if (r.workers > max_workers) {
       max_workers = r.workers;
@@ -186,6 +211,15 @@ int main() {
     std::printf("\n8-session scaling 1 -> %d workers: %.2fx\n", max_workers,
                 max_worker / one_worker);
   }
+  for (const SweepResult& r : results) {
+    if (r.pipeline && r.sessions == 8 && r.workers == max_workers) {
+      std::printf("8-session zero-linger stacking ratio (%d workers): "
+                  "%.2f jobs/pass (%llu states over %llu passes)\n",
+                  r.workers, r.stacking_ratio,
+                  static_cast<unsigned long long>(r.pipeline_states),
+                  static_cast<unsigned long long>(r.pipeline_passes));
+    }
+  }
 
   FILE* out = std::fopen("BENCH_service.json", "w");
   if (out == nullptr) {
@@ -195,17 +229,23 @@ int main() {
   std::fprintf(out, "[\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
-    std::fprintf(out,
-                 "  {\"workers\": %d, \"sessions\": %d, \"hosts\": %d, "
-                 "\"requests\": %d, \"linger_us\": %d, "
-                 "\"decisions_per_sec\": %.3f, "
-                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
-                 "\"score_batches\": %llu, \"stacked_jobs\": %llu}%s\n",
-                 r.workers, r.sessions, kHosts, r.requests, r.linger_us,
-                 r.decisions_per_sec, r.p50_ms, r.p99_ms,
-                 static_cast<unsigned long long>(r.score_batches),
-                 static_cast<unsigned long long>(r.stacked_jobs),
-                 i + 1 < results.size() ? "," : "");
+    std::fprintf(
+        out,
+        "  {\"workers\": %d, \"sessions\": %d, \"hosts\": %d, "
+        "\"requests\": %d, \"linger_us\": %d, \"pipeline\": %s, "
+        "\"decisions_per_sec\": %.3f, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"score_batches\": %llu, \"stacked_jobs\": %llu, "
+        "\"pipeline_passes\": %llu, \"pipeline_jobs\": %llu, "
+        "\"pipeline_states\": %llu, \"stacking_ratio\": %.3f}%s\n",
+        r.workers, r.sessions, kHosts, r.requests, r.linger_us,
+        r.pipeline ? "true" : "false", r.decisions_per_sec, r.p50_ms,
+        r.p99_ms, static_cast<unsigned long long>(r.score_batches),
+        static_cast<unsigned long long>(r.stacked_jobs),
+        static_cast<unsigned long long>(r.pipeline_passes),
+        static_cast<unsigned long long>(r.pipeline_jobs),
+        static_cast<unsigned long long>(r.pipeline_states),
+        r.stacking_ratio, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

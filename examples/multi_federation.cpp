@@ -26,8 +26,10 @@ int main() {
   serve::ServiceConfig service_cfg;
   service_cfg.gon.hidden_width = 48;
   service_cfg.num_workers = 4;
-  // Throughput-oriented: let concurrent sessions share kernel passes.
-  service_cfg.batch_linger_us = 200;
+  // The default step-driven pipeline stacks concurrent sessions' repair
+  // frontiers into shared kernel passes with ZERO linger: no wall-clock
+  // window to tune, no latency trade.
+  service_cfg.pipeline = true;
   serve::ResilienceService service(service_cfg);
 
   harness::RunConfig trace_cfg;
@@ -58,8 +60,9 @@ int main() {
     configs.push_back(cfg);
   }
 
-  const std::vector<harness::RunResult> results =
-      harness::RunFederationsViaService(service, specs, configs);
+  const harness::ServiceRunReport report =
+      harness::RunFederationsViaServiceReport(service, specs, configs);
+  const std::vector<harness::RunResult>& results = report.results;
 
   std::printf("%-14s %-8s %-12s %-12s %-10s %-12s\n", "federation",
               "hosts", "energy(kWh)", "response(s)", "slo_rate",
@@ -74,16 +77,22 @@ int main() {
 
   const serve::ServiceStats stats = service.stats();
   std::printf("\nservice totals: %llu repairs, %llu observes, %llu "
-              "fine-tunes (weight epoch %llu), %llu batched scoring "
-              "passes, %llu cross-session stacked jobs\n",
+              "fine-tunes (weight epoch %llu)\n",
               static_cast<unsigned long long>(stats.repairs),
               static_cast<unsigned long long>(stats.observes),
               static_cast<unsigned long long>(stats.finetunes),
-              static_cast<unsigned long long>(stats.weight_epoch),
-              static_cast<unsigned long long>(stats.score_batches),
-              static_cast<unsigned long long>(stats.stacked_jobs));
+              static_cast<unsigned long long>(stats.weight_epoch));
+  std::printf("pipeline stacking: %llu frontier jobs over %llu kernel "
+              "passes (%llu candidate states) -> stacking ratio %.2f "
+              "with zero linger\n",
+              static_cast<unsigned long long>(report.pipeline_jobs),
+              static_cast<unsigned long long>(report.pipeline_passes),
+              static_cast<unsigned long long>(report.pipeline_states),
+              report.stacking_ratio);
   std::printf("\nexpected: every fleet finishes with valid topologies and "
               "bounded decision latency; fine-tunes from volatile fleets "
-              "propagate to all worker replicas.\n");
+              "propagate to all worker replicas; concurrently repairing "
+              "fleets share GON kernel passes (stacking ratio > 1 when "
+              "sessions outnumber idle workers).\n");
   return 0;
 }

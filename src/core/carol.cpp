@@ -1,6 +1,8 @@
 #include "core/carol.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "common/log.h"
 
@@ -59,40 +61,159 @@ std::vector<double> ScoreTopologiesWith(
   return ScoreEncoded(gon, contexts, alpha, beta);
 }
 
+// --- the resumable repair pipeline --------------------------------------
+
+namespace {
+
+// Snapshot alive flags, falling back to all-alive when the snapshot does
+// not cover the candidate topology's node range.
+std::vector<bool> AliveForTopology(const sim::SystemSnapshot& snapshot,
+                                   const sim::Topology& topo) {
+  std::vector<bool> alive = snapshot.alive;
+  if (alive.size() != static_cast<std::size_t>(topo.num_nodes())) {
+    alive.assign(static_cast<std::size_t>(topo.num_nodes()), true);
+  }
+  return alive;
+}
+
+const std::vector<sim::NodeId> kNoFailedBrokers;
+const std::vector<sim::Topology> kEmptyFrontier;
+
+}  // namespace
+
+RepairJob::RepairJob(const sim::Topology& current,
+                     const std::vector<sim::NodeId>& failed_brokers,
+                     const sim::SystemSnapshot& snapshot,
+                     const CarolConfig& config, common::Rng* rng, Mode mode)
+    : failed_(&failed_brokers),
+      config_(&config),
+      rng_(rng),
+      topo_(current) {
+  const bool repair_path =
+      mode == Mode::kRepairOnly ||
+      (mode == Mode::kDecision && !failed_brokers.empty());
+  if (repair_path) {
+    alive_ = AliveForTopology(snapshot, topo_);
+    // Every failed broker is byzantine: exclude from candidate roles.
+    for (sim::NodeId b : failed_brokers) {
+      if (static_cast<std::size_t>(b) < alive_.size()) {
+        alive_[static_cast<std::size_t>(b)] = false;
+      }
+    }
+    phase_ = Phase::kRepairSearch;
+    StartNextBrokerSearch();
+    return;
+  }
+  const bool proactive_path =
+      mode == Mode::kProactiveOnly ||
+      (mode == Mode::kDecision && config.proactive);
+  if (!proactive_path) return;  // nothing failed, nothing to do
+  // Only act on the failure precursor: sustained resource
+  // over-utilization somewhere in the fleet (§VI).
+  double max_util = 0.0;
+  for (const auto& host : snapshot.hosts) {
+    max_util = std::max(max_util, host.cpu_util);
+  }
+  if (max_util < config.proactive_util_threshold) return;
+  proactive_acted_ = true;
+  alive_ = AliveForTopology(snapshot, topo_);
+  search_.emplace(config.tabu, topo_,
+                  LocalMoveNeighbors(alive_, config_->node_shift));
+  phase_ = Phase::kProactiveSearch;
+}
+
+void RepairJob::StartNextBrokerSearch() {
+  while (broker_idx_ < failed_->size()) {
+    const sim::NodeId failed = (*failed_)[broker_idx_];
+    if (!topo_.is_broker(failed)) {  // repaired by an earlier step
+      ++broker_idx_;
+      continue;
+    }
+    std::vector<sim::Topology> repairs =
+        FailureNeighbors(topo_, failed, alive_, config_->node_shift);
+    if (repairs.empty()) {  // nothing alive to take over
+      ++broker_idx_;
+      continue;
+    }
+    // Algorithm 2 line 7: start from a random node-shift...
+    sim::Topology start = std::move(repairs[rng_->Choice(repairs.size())]);
+    // ...line 8: tabu-search the neighborhood to optimize Omega; the
+    // caller scores each proposed frontier (one stacked GON pass in the
+    // single-model path, a cross-session batch in the serving layer).
+    search_.emplace(config_->tabu, std::move(start),
+                    LocalMoveNeighbors(alive_, config_->node_shift));
+    return;
+  }
+  search_.reset();
+  phase_ = Phase::kDone;
+}
+
+const std::vector<sim::Topology>& RepairJob::ProposeFrontier() const {
+  if (phase_ == Phase::kProactiveBaseline) return baseline_;
+  if (search_.has_value()) return search_->ProposeFrontier();
+  return kEmptyFrontier;
+}
+
+void RepairJob::Advance(std::span<const double> scores) {
+  switch (phase_) {
+    case Phase::kRepairSearch:
+      search_->Advance(scores);
+      if (search_->done()) {
+        topo_ = search_->best();
+        ++broker_idx_;
+        StartNextBrokerSearch();
+      }
+      return;
+    case Phase::kProactiveSearch:
+      search_->Advance(scores);
+      if (search_->done()) {
+        // The move gate needs the incumbent's own score: propose it as a
+        // one-candidate frontier (matches the one-shot form's trailing
+        // score({current}) call).
+        baseline_.assign(1, topo_);
+        phase_ = Phase::kProactiveBaseline;
+      }
+      return;
+    case Phase::kProactiveBaseline: {
+      if (scores.size() != 1) {
+        throw std::logic_error(
+            "RepairJob: baseline frontier expects exactly one score");
+      }
+      // Only move when the surrogate sees a real improvement: node
+      // shifts have reconfiguration costs the optimizer does not model.
+      if (search_->best_score() < scores[0] - 0.01) topo_ = search_->best();
+      baseline_.clear();
+      search_.reset();
+      phase_ = Phase::kDone;
+      return;
+    }
+    case Phase::kDone:
+      throw std::logic_error("RepairJob: Advance on a finished job");
+  }
+}
+
+namespace {
+
+// Drives a job to completion against a blocking scorer — the shared body
+// of the one-shot Plan* wrappers.
+sim::Topology DriveToCompletion(RepairJob& job,
+                                const TopologyBatchScoreFn& score) {
+  while (!job.done()) {
+    job.Advance(score(job.ProposeFrontier()));
+  }
+  return job.result();
+}
+
+}  // namespace
+
 sim::Topology PlanRepair(const sim::Topology& current,
                          const std::vector<sim::NodeId>& failed_brokers,
                          const sim::SystemSnapshot& snapshot,
                          const CarolConfig& config, common::Rng& rng,
                          const TopologyBatchScoreFn& score) {
-  sim::Topology topo = current;
-  std::vector<bool> alive = snapshot.alive;
-  if (alive.size() != static_cast<std::size_t>(topo.num_nodes())) {
-    alive.assign(static_cast<std::size_t>(topo.num_nodes()), true);
-  }
-  // Every failed broker is byzantine: exclude from candidate roles.
-  for (sim::NodeId b : failed_brokers) {
-    if (static_cast<std::size_t>(b) < alive.size()) {
-      alive[static_cast<std::size_t>(b)] = false;
-    }
-  }
-
-  for (sim::NodeId failed : failed_brokers) {
-    if (!topo.is_broker(failed)) continue;  // repaired by an earlier step
-    std::vector<sim::Topology> repairs =
-        FailureNeighbors(topo, failed, alive, config.node_shift);
-    if (repairs.empty()) continue;  // nothing alive to take over
-    // Algorithm 2 line 7: start from a random node-shift...
-    const sim::Topology start = repairs[rng.Choice(repairs.size())];
-    // ...line 8: tabu-search the neighborhood to optimize Omega. The
-    // batch objective scores each frontier with one stacked GON pass.
-    TabuSearch search(config.tabu);
-    auto neighbor_fn = [&](const sim::Topology& g) {
-      return LocalNeighbors(g, alive, config.node_shift);
-    };
-    topo = search.Optimize(start, neighbor_fn,
-                           TabuSearch::BatchObjectiveFn(score));
-  }
-  return topo;
+  RepairJob job(current, failed_brokers, snapshot, config, &rng,
+                RepairJob::Mode::kRepairOnly);
+  return DriveToCompletion(job, score);
 }
 
 sim::Topology PlanProactive(const sim::Topology& current,
@@ -100,29 +221,10 @@ sim::Topology PlanProactive(const sim::Topology& current,
                             const CarolConfig& config,
                             const TopologyBatchScoreFn& score,
                             bool* acted) {
-  // Only act on the failure precursor: sustained resource
-  // over-utilization somewhere in the fleet.
-  double max_util = 0.0;
-  for (const auto& host : snapshot.hosts) {
-    max_util = std::max(max_util, host.cpu_util);
-  }
-  if (max_util < config.proactive_util_threshold) return current;
-  if (acted != nullptr) *acted = true;
-  std::vector<bool> alive = snapshot.alive;
-  if (alive.size() != static_cast<std::size_t>(current.num_nodes())) {
-    alive.assign(static_cast<std::size_t>(current.num_nodes()), true);
-  }
-  TabuSearch search(config.tabu);
-  sim::Topology best = search.Optimize(
-      current,
-      [&](const sim::Topology& g) {
-        return LocalNeighbors(g, alive, config.node_shift);
-      },
-      TabuSearch::BatchObjectiveFn(score));
-  // Only move when the surrogate sees a real improvement: node shifts
-  // have reconfiguration costs the optimizer does not model.
-  const double current_score = score({current}).front();
-  return search.best_score() < current_score - 0.01 ? best : current;
+  RepairJob job(current, kNoFailedBrokers, snapshot, config, nullptr,
+                RepairJob::Mode::kProactiveOnly);
+  if (job.proactive_acted() && acted != nullptr) *acted = true;
+  return DriveToCompletion(job, score);
 }
 
 sim::Topology PlanDecision(const sim::Topology& current,
@@ -131,11 +233,12 @@ sim::Topology PlanDecision(const sim::Topology& current,
                            const CarolConfig& config, common::Rng& rng,
                            const TopologyBatchScoreFn& score,
                            bool* proactive_acted) {
-  if (failed_brokers.empty()) {
-    if (!config.proactive) return current;
-    return PlanProactive(current, snapshot, config, score, proactive_acted);
+  RepairJob job(current, failed_brokers, snapshot, config, &rng,
+                RepairJob::Mode::kDecision);
+  if (job.proactive_acted() && proactive_acted != nullptr) {
+    *proactive_acted = true;
   }
-  return PlanRepair(current, failed_brokers, snapshot, config, rng, score);
+  return DriveToCompletion(job, score);
 }
 
 ConfidenceGate::ConfidenceGate(const CarolConfig& config)

@@ -10,16 +10,22 @@
 //     the POT threshold, and fine-tune the GON on Gamma when C breaches
 //     it (then clear Gamma).
 //
-// The algorithm is split into free building blocks (PlanRepair,
-// PlanProactive, ScoreTopologiesWith, ConfidenceGate) shared between the
-// single-model CarolModel below and the multi-tenant serving layer in
-// src/serve: both drive the same code, which is what makes service
-// decisions bit-identical to the single-model path at fixed seeds.
+// The algorithm is split into free building blocks (RepairJob,
+// PlanRepair, PlanProactive, ScoreTopologiesWith, ConfidenceGate) shared
+// between the single-model CarolModel below and the multi-tenant serving
+// layer in src/serve: both drive the same code, which is what makes
+// service decisions bit-identical to the single-model path at fixed
+// seeds. The repair path is a resumable state machine (RepairJob): it
+// yields one candidate frontier per step and the caller supplies the
+// scores, so a serving layer can interleave and batch scoring across
+// federations; the one-shot Plan* functions drive a job to completion.
 #ifndef CAROL_CORE_CAROL_H_
 #define CAROL_CORE_CAROL_H_
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/encoder.h"
@@ -99,6 +105,75 @@ std::vector<double> ScoreTopologiesWith(
     GonModel& gon, const FeatureEncoder& encoder, double alpha, double beta,
     const std::vector<sim::Topology>& candidates,
     const sim::SystemSnapshot& snapshot);
+
+// Resumable form of the per-interval repair dispatch: the per-broker
+// loop of Algorithm 2 lines 6-8 (plus the §VI proactive extension) as an
+// explicit state machine that yields one candidate frontier per step
+// instead of blocking on a scoring callback. Protocol:
+//   RepairJob job(current, failed, snapshot, config, &rng);
+//   while (!job.done()) job.Advance(scores_for(job.ProposeFrontier()));
+//   use job.result();
+// Driving a job to completion performs exactly the evaluations (and rng
+// draws) of the one-shot PlanDecision/PlanRepair/PlanProactive calls —
+// which are now thin loops over this class — for ANY interleaving with
+// other jobs: all search state is self-contained, so a scheduler may
+// advance many federations' jobs step by step in any order and batch
+// their frontiers into shared GON passes (src/serve does exactly that).
+class RepairJob {
+ public:
+  // Which slice of the per-interval dispatch to run; the one-shot
+  // wrappers map 1:1 onto these.
+  enum class Mode { kDecision, kRepairOnly, kProactiveOnly };
+
+  // All reference arguments are borrowed for the lifetime of the job.
+  // `rng` is consumed only for repair starts (Algorithm 2 line 7) and
+  // may be null when the mode can never reach the repair path
+  // (kProactiveOnly).
+  RepairJob(const sim::Topology& current,
+            const std::vector<sim::NodeId>& failed_brokers,
+            const sim::SystemSnapshot& snapshot, const CarolConfig& config,
+            common::Rng* rng, Mode mode = Mode::kDecision);
+
+  // Steps capture interior pointers; keep the job pinned in place.
+  RepairJob(const RepairJob&) = delete;
+  RepairJob& operator=(const RepairJob&) = delete;
+
+  bool done() const { return phase_ == Phase::kDone; }
+  // Candidate topologies awaiting scores; non-empty unless done(). The
+  // reference stays valid until the next Advance call.
+  const std::vector<sim::Topology>& ProposeFrontier() const;
+  // Supplies one score per proposed candidate and advances the job.
+  void Advance(std::span<const double> scores);
+  // The decided topology (the input topology until repairs land; the
+  // final decision once done()).
+  const sim::Topology& result() const { return topo_; }
+  // True when the proactive extension ran an optimization attempt.
+  bool proactive_acted() const { return proactive_acted_; }
+
+ private:
+  enum class Phase {
+    kRepairSearch,       // tabu search for the current failed broker
+    kProactiveSearch,    // proactive tabu search from the incumbent
+    kProactiveBaseline,  // re-score the incumbent for the move gate
+    kDone
+  };
+
+  // Advances broker_idx_ to the next failed broker that still needs a
+  // repair search (consuming one rng draw per searchable broker), or
+  // finishes the job.
+  void StartNextBrokerSearch();
+
+  const std::vector<sim::NodeId>* failed_;
+  const CarolConfig* config_;
+  common::Rng* rng_;
+  std::vector<bool> alive_;
+  sim::Topology topo_;
+  std::size_t broker_idx_ = 0;
+  std::optional<TabuSearchState> search_;
+  std::vector<sim::Topology> baseline_;  // proactive incumbent re-score
+  Phase phase_ = Phase::kDone;
+  bool proactive_acted_ = false;
+};
 
 // Algorithm 2 lines 6-8: for every failed broker, a random node-shift
 // start followed by tabu search over the node-shift neighborhood.

@@ -1,6 +1,7 @@
 #include "core/node_shift.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace carol::core {
 
@@ -91,40 +92,37 @@ std::vector<sim::Topology> FailureNeighbors(
   return neighbors;
 }
 
-std::vector<sim::Topology> LocalNeighbors(const sim::Topology& g,
-                                          const std::vector<bool>& alive,
-                                          const NodeShiftOptions& options) {
-  std::vector<sim::Topology> neighbors;
+std::vector<LocalMove> LocalMoves(const sim::Topology& g,
+                                  const std::vector<bool>& alive,
+                                  const NodeShiftOptions& options) {
+  std::vector<LocalMove> moves;
   std::vector<sim::NodeId> live_brokers;
   for (sim::NodeId b : g.brokers()) {
     if (IsAlive(alive, b)) live_brokers.push_back(b);
   }
-  neighbors.reserve(
+  const std::vector<sim::NodeId> workers = g.workers();
+  moves.reserve(
       static_cast<std::size_t>(std::max(0, options.max_reassignments)) +
-      g.workers().size() + live_brokers.size() * live_brokers.size());
+      workers.size() + live_brokers.size() * live_brokers.size());
 
   // Worker reassignments across LEIs.
   int reassignments = 0;
-  for (sim::NodeId w : g.workers()) {
+  for (sim::NodeId w : workers) {
     if (!IsAlive(alive, w)) continue;
     for (sim::NodeId b : live_brokers) {
       if (g.broker_of(w) == b) continue;
       if (reassignments >= options.max_reassignments) break;
-      sim::Topology t = g;
-      t.Assign(w, b);
-      neighbors.push_back(std::move(t));
+      moves.push_back({LocalMove::Kind::kAssign, w, b});
       ++reassignments;
     }
   }
 
   // Worker-to-broker shifts (promotions) — increases the broker count.
-  for (sim::NodeId w : g.workers()) {
+  for (sim::NodeId w : workers) {
     if (!IsAlive(alive, w)) continue;
     // Only promote out of LEIs that keep at least one worker.
     if (g.workers_of(g.broker_of(w)).size() < 2) continue;
-    sim::Topology t = g;
-    t.Promote(w);
-    neighbors.push_back(std::move(t));
+    moves.push_back({LocalMove::Kind::kPromote, w, 0});
   }
 
   // Broker-to-worker shifts (demotions) — decreases the broker count.
@@ -132,16 +130,52 @@ std::vector<sim::Topology> LocalNeighbors(const sim::Topology& g,
     for (sim::NodeId b : live_brokers) {
       for (sim::NodeId b2 : live_brokers) {
         if (b == b2) continue;
-        sim::Topology t = g;
-        t.Demote(b, b2);
-        neighbors.push_back(std::move(t));
+        moves.push_back({LocalMove::Kind::kDemote, b, b2});
       }
     }
   }
+  return moves;
+}
 
-  std::erase_if(neighbors,
-                [](const sim::Topology& t) { return !t.IsValid(); });
+void ApplyLocalMove(const sim::Topology& base, const LocalMove& move,
+                    sim::Topology& out) {
+  out = base;
+  switch (move.kind) {
+    case LocalMove::Kind::kAssign:
+      out.Assign(move.node, move.target);
+      break;
+    case LocalMove::Kind::kPromote:
+      out.Promote(move.node);
+      break;
+    case LocalMove::Kind::kDemote:
+      out.Demote(move.node, move.target);
+      break;
+  }
+}
+
+std::vector<sim::Topology> LocalNeighbors(const sim::Topology& g,
+                                          const std::vector<bool>& alive,
+                                          const NodeShiftOptions& options) {
+  const std::vector<LocalMove> moves = LocalMoves(g, alive, options);
+  std::vector<sim::Topology> neighbors(moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    ApplyLocalMove(g, moves[i], neighbors[i]);
+  }
   return neighbors;
+}
+
+LazyNeighborFn LocalMoveNeighbors(const std::vector<bool>& alive,
+                                  NodeShiftOptions options) {
+  return [&alive, options](const sim::Topology& g) -> LazyFrontier {
+    auto moves =
+        std::make_shared<std::vector<LocalMove>>(LocalMoves(g, alive, options));
+    LazyFrontier frontier;
+    frontier.count = moves->size();
+    frontier.materialize = [moves, &g](std::size_t i, sim::Topology& out) {
+      ApplyLocalMove(g, (*moves)[i], out);
+    };
+    return frontier;
+  };
 }
 
 }  // namespace carol::core

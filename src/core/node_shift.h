@@ -8,11 +8,23 @@
 // The respective broker-to-worker counterparts, together with single
 // worker reassignments, form the general neighborhood the tabu search
 // explores when optimizing QoS beyond the immediate repair.
+//
+// The general neighborhood is enumerated as compact move records
+// (LocalMoves) rather than materialized topologies: enumeration is O(1)
+// per neighbor instead of copying an H-sized assignment vector each (the
+// ROADMAP's H>=64 repair bottleneck). The tabu search then materializes
+// candidates one at a time into a reused scratch buffer — over-budget
+// candidates are never built, tabu-filtered ones cost a scratch rebuild
+// but no allocation, and only eligible candidates are ever copied into a
+// frontier. LocalNeighbors survives as the eager wrapper, so the two
+// forms agree by construction.
 #ifndef CAROL_CORE_NODE_SHIFT_H_
 #define CAROL_CORE_NODE_SHIFT_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "core/tabu.h"
 #include "sim/topology.h"
 
 namespace carol::core {
@@ -26,6 +38,22 @@ struct NodeShiftOptions {
   bool include_demotions = true;
 };
 
+// One local node-shift move, recorded as a (kind, node, target) triple.
+// Applying it to the base topology yields the corresponding
+// LocalNeighbors entry; every enumerated move produces a valid topology
+// (the mutation primitives preserve validity and only alive nodes are
+// used as brokers/targets).
+struct LocalMove {
+  enum class Kind : std::uint8_t {
+    kAssign,   // reassign worker `node` to broker `target`
+    kPromote,  // promote worker `node` to broker (target unused)
+    kDemote,   // demote broker `node` into broker `target`
+  };
+  Kind kind = Kind::kAssign;
+  sim::NodeId node = 0;
+  sim::NodeId target = 0;
+};
+
 // N(G, b): repair neighborhoods for a failed broker `b` (Algorithm 2,
 // line 7). Every returned topology is valid, demotes `b`, and only uses
 // alive nodes as brokers/targets. Returns empty when no alive node can
@@ -34,11 +62,32 @@ std::vector<sim::Topology> FailureNeighbors(
     const sim::Topology& g, sim::NodeId failed_broker,
     const std::vector<bool>& alive, const NodeShiftOptions& options = {});
 
-// General local moves around `g` for the tabu search: single worker
-// reassignments, promotions, and demotions, restricted to alive nodes.
+// Move-record form of the general local neighborhood around `g`: single
+// worker reassignments, promotions, and demotions, restricted to alive
+// nodes. Same moves, same order as LocalNeighbors.
+std::vector<LocalMove> LocalMoves(const sim::Topology& g,
+                                  const std::vector<bool>& alive,
+                                  const NodeShiftOptions& options = {});
+
+// Materializes one move: `out` becomes `base` with the move applied
+// (out's buffer is reused; out must not alias base).
+void ApplyLocalMove(const sim::Topology& base, const LocalMove& move,
+                    sim::Topology& out);
+
+// General local moves around `g`, eagerly materialized — the classic
+// form, now a wrapper over LocalMoves + ApplyLocalMove.
 std::vector<sim::Topology> LocalNeighbors(
     const sim::Topology& g, const std::vector<bool>& alive,
     const NodeShiftOptions& options = {});
+
+// Tabu-ready lazy neighborhood over LocalMoves: each call enumerates
+// move records (no topology copies at enumeration time) and the search
+// materializes candidates one at a time into a reused scratch buffer at
+// frontier-build time — over-budget candidates are never built at all.
+// `alive` is borrowed and must outlive the returned callable; `options`
+// is copied (so temporaries are fine).
+LazyNeighborFn LocalMoveNeighbors(const std::vector<bool>& alive,
+                                  NodeShiftOptions options);
 
 }  // namespace carol::core
 

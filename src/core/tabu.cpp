@@ -1,11 +1,41 @@
 #include "core/tabu.h"
 
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace carol::core {
 
-void TabuSearch::PushTabu(std::size_t hash) {
+LazyNeighborFn LazyFromNeighbors(TabuSearch::NeighborFn neighbors) {
+  return [neighbors =
+              std::move(neighbors)](const sim::Topology& g) -> LazyFrontier {
+    auto cache = std::make_shared<std::vector<sim::Topology>>(neighbors(g));
+    LazyFrontier frontier;
+    frontier.count = cache->size();
+    frontier.materialize = [cache](std::size_t i, sim::Topology& out) {
+      out = std::move((*cache)[i]);
+    };
+    return frontier;
+  };
+}
+
+// --- TabuSearchState ----------------------------------------------------
+
+TabuSearchState::TabuSearchState(const TabuConfig& config,
+                                 sim::Topology start,
+                                 LazyNeighborFn neighbors)
+    : config_(config),
+      neighbors_(std::move(neighbors)),
+      current_(std::move(start)),
+      best_(current_) {
+  // The first proposal is the incumbent itself: its score seeds
+  // best_score_ on the first Advance, exactly like the one-shot form's
+  // leading objective({start}) call.
+  frontier_.push_back(current_);
+}
+
+void TabuSearchState::PushTabu(std::size_t hash) {
   if (tabu_set_.insert(hash).second) {
     tabu_order_.push_back(hash);
     while (tabu_order_.size() >
@@ -16,9 +46,74 @@ void TabuSearch::PushTabu(std::size_t hash) {
   }
 }
 
-bool TabuSearch::IsTabu(std::size_t hash) const {
+bool TabuSearchState::IsTabu(std::size_t hash) const {
   return tabu_set_.contains(hash);
 }
+
+void TabuSearchState::BuildNextFrontier() {
+  frontier_.clear();
+  if (iter_ >= config_.max_iterations ||
+      evaluations_ >= config_.max_evaluations) {
+    done_ = true;
+    return;
+  }
+  const LazyFrontier lazy = neighbors_(current_);
+  // Non-tabu candidates in enumeration order, truncated to the remaining
+  // evaluation budget — exactly the set the sequential loop scores.
+  // Over-budget candidates are never built; candidates before the cutoff
+  // materialize once into the reused scratch (its buffer survives across
+  // iterations, so a tabu-filtered candidate costs no allocation) and
+  // only the eligible ones are copied out for scoring.
+  const std::size_t budget =
+      static_cast<std::size_t>(config_.max_evaluations - evaluations_);
+  sim::Topology scratch;
+  for (std::size_t i = 0; i < lazy.count; ++i) {
+    if (frontier_.size() >= budget) break;
+    lazy.materialize(i, scratch);
+    if (IsTabu(scratch.Hash())) continue;
+    frontier_.push_back(scratch);
+  }
+  if (frontier_.empty()) done_ = true;  // exhausted or all tabu
+}
+
+void TabuSearchState::Advance(std::span<const double> scores) {
+  if (done_) {
+    throw std::logic_error("TabuSearchState: Advance on a finished search");
+  }
+  if (scores.size() != frontier_.size()) {
+    throw std::logic_error(
+        "TabuSearchState: score count does not match the proposed frontier");
+  }
+  if (start_pending_) {
+    start_pending_ = false;
+    evaluations_ = 1;
+    best_score_ = scores[0];
+    PushTabu(current_.Hash());
+    BuildNextFrontier();
+    return;
+  }
+  evaluations_ += static_cast<int>(frontier_.size());
+  // Aspiration: among eligibles pick the best (ties keep the first for
+  // determinism).
+  std::size_t chosen = 0;
+  double chosen_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    if (scores[i] < chosen_score) {
+      chosen_score = scores[i];
+      chosen = i;
+    }
+  }
+  current_ = std::move(frontier_[chosen]);
+  PushTabu(current_.Hash());
+  if (chosen_score < best_score_) {
+    best_score_ = chosen_score;
+    best_ = current_;
+  }
+  ++iter_;
+  BuildNextFrontier();
+}
+
+// --- one-shot wrappers --------------------------------------------------
 
 sim::Topology TabuSearch::Optimize(const sim::Topology& start,
                                    const NeighborFn& neighbors,
@@ -39,57 +134,18 @@ sim::Topology TabuSearch::Optimize(const sim::Topology& start,
 sim::Topology TabuSearch::Optimize(const sim::Topology& start,
                                    const NeighborFn& neighbors,
                                    const BatchObjectiveFn& objective) {
-  evaluations_ = 0;
-  tabu_order_.clear();
-  tabu_set_.clear();
-
-  sim::Topology current = start;
-  double current_score = objective({current}).front();
-  ++evaluations_;
-  sim::Topology best = current;
-  best_score_ = current_score;
-  PushTabu(current.Hash());
-
-  std::vector<sim::Topology> eligible;
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
-    if (evaluations_ >= config_.max_evaluations) break;
-    std::vector<sim::Topology> frontier = neighbors(current);
-    // Non-tabu candidates in frontier order, truncated to the remaining
-    // evaluation budget — exactly the set the sequential loop scores.
-    eligible.clear();
-    const std::size_t budget =
-        static_cast<std::size_t>(config_.max_evaluations - evaluations_);
-    for (sim::Topology& candidate : frontier) {
-      if (eligible.size() >= budget) break;
-      if (IsTabu(candidate.Hash())) continue;
-      eligible.push_back(std::move(candidate));
-    }
-    if (eligible.empty()) break;  // neighborhood exhausted or all tabu
-    const std::vector<double> scores = objective(eligible);
-    if (scores.size() != eligible.size()) {
+  TabuSearchState state(config_, start, LazyFromNeighbors(neighbors));
+  while (!state.done()) {
+    const std::vector<double> scores = objective(state.ProposeFrontier());
+    if (scores.size() != state.ProposeFrontier().size()) {
       throw std::logic_error(
           "TabuSearch: batch objective returned wrong score count");
     }
-    evaluations_ += static_cast<int>(eligible.size());
-    // Aspiration: among eligibles pick the best (ties keep the first for
-    // determinism).
-    std::size_t chosen = 0;
-    double chosen_score = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < eligible.size(); ++i) {
-      if (scores[i] < chosen_score) {
-        chosen_score = scores[i];
-        chosen = i;
-      }
-    }
-    current = std::move(eligible[chosen]);
-    current_score = chosen_score;
-    PushTabu(current.Hash());
-    if (current_score < best_score_) {
-      best_score_ = current_score;
-      best = current;
-    }
+    state.Advance(scores);
   }
-  return best;
+  evaluations_ = state.evaluations();
+  best_score_ = state.best_score();
+  return state.best();
 }
 
 }  // namespace carol::core

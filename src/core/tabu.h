@@ -3,12 +3,27 @@
 // Minimizes an arbitrary objective Omega(G) over neighborhoods produced by
 // a caller-supplied expansion function, with a fixed-size tabu list of
 // topology hashes (list size L is the Fig. 6(c) sensitivity knob).
+//
+// Two driving styles share one implementation:
+//   * TabuSearch::Optimize — the one-shot form: the caller hands over an
+//     objective and blocks until the search finishes.
+//   * TabuSearchState — the resumable, step-driven form: the search
+//     yields its pending candidate frontier (ProposeFrontier), the caller
+//     scores it with whatever machinery it likes (one stacked GON pass, a
+//     cross-session batcher, a toy objective) and feeds the scores back
+//     (Advance). This is what lets the serving layer stack frontiers from
+//     many concurrently-repairing federations into shared kernel passes
+//     without any wall-clock lingering (src/serve).
+// Optimize is a thin loop over TabuSearchState, so the two evaluate
+// exactly the same candidates in the same order — interchangeable bit
+// for bit.
 #ifndef CAROL_CORE_TABU_H_
 #define CAROL_CORE_TABU_H_
 
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -24,6 +39,23 @@ struct TabuConfig {
   // latency bounded in latency-critical settings (§III-B).
   int max_evaluations = 160;
 };
+
+// A lazily materialized neighborhood: `count` candidate moves around the
+// base topology handed to the producing LazyNeighborFn; materialize(i,
+// out) builds candidate i into `out` (reusing out's buffer). The search
+// materializes indices in ascending order, each at most once, and only
+// while the base topology is unchanged — so the callback may keep
+// references to the base and to any captured move records. Enumeration
+// itself copies no topologies, candidates past the evaluation budget are
+// never built, and the ones before it build into one reused scratch —
+// which is what cuts the per-iteration topology copies out of
+// neighborhood enumeration (src/core/node_shift.h provides the
+// move-record producer).
+struct LazyFrontier {
+  std::size_t count = 0;
+  std::function<void(std::size_t, sim::Topology&)> materialize;
+};
+using LazyNeighborFn = std::function<LazyFrontier(const sim::Topology&)>;
 
 class TabuSearch {
  public:
@@ -56,14 +88,66 @@ class TabuSearch {
   double best_score() const { return best_score_; }
 
  private:
-  void PushTabu(std::size_t hash);
-  bool IsTabu(std::size_t hash) const;
-
   TabuConfig config_;
-  std::deque<std::size_t> tabu_order_;
-  std::unordered_set<std::size_t> tabu_set_;
   int evaluations_ = 0;
   double best_score_ = 0.0;
+};
+
+// Adapts an eager neighbor expansion into the lazy frontier protocol
+// (the produced topologies are cached per call and moved out on
+// materialization, so nothing is built twice).
+LazyNeighborFn LazyFromNeighbors(TabuSearch::NeighborFn neighbors);
+
+// The resumable search. Protocol:
+//   TabuSearchState s(config, start, neighbors);
+//   while (!s.done()) s.Advance(scores_for(s.ProposeFrontier()));
+//   use s.best();
+// The first proposed frontier is {start} (the incumbent evaluation);
+// every later one is the non-tabu, budget-truncated neighborhood of the
+// current topology. State is self-contained, so many searches can be
+// interleaved step by step in any order without affecting each other's
+// results.
+class TabuSearchState {
+ public:
+  TabuSearchState(const TabuConfig& config, sim::Topology start,
+                  LazyNeighborFn neighbors);
+
+  // Candidates awaiting scores, in evaluation order. Non-empty unless
+  // done(). The reference stays valid until the next Advance call.
+  const std::vector<sim::Topology>& ProposeFrontier() const {
+    return frontier_;
+  }
+  // Supplies one score per proposed candidate and advances the search to
+  // its next frontier (or completion). Throws std::logic_error on a
+  // count mismatch or when the search is already done.
+  void Advance(std::span<const double> scores);
+
+  bool done() const { return done_; }
+  // Best topology / score seen so far (the final answer once done()).
+  const sim::Topology& best() const { return best_; }
+  double best_score() const { return best_score_; }
+  int evaluations() const { return evaluations_; }
+
+ private:
+  void PushTabu(std::size_t hash);
+  bool IsTabu(std::size_t hash) const;
+  // Fills frontier_ with the next iteration's eligible candidates, or
+  // flags completion (iteration/evaluation budget spent, neighborhood
+  // exhausted or fully tabu).
+  void BuildNextFrontier();
+
+  TabuConfig config_;
+  LazyNeighborFn neighbors_;
+  sim::Topology current_;
+  sim::Topology best_;
+  double best_score_ = 0.0;
+  std::deque<std::size_t> tabu_order_;
+  std::unordered_set<std::size_t> tabu_set_;
+  std::vector<sim::Topology> frontier_;
+  int evaluations_ = 0;
+  int iter_ = 0;
+  bool start_pending_ = true;  // the first Advance scores the incumbent
+  bool done_ = false;
 };
 
 }  // namespace carol::core

@@ -6,7 +6,7 @@
 
 namespace carol::harness {
 
-std::vector<RunResult> RunFederationsViaService(
+ServiceRunReport RunFederationsViaServiceReport(
     serve::ResilienceService& service,
     const std::vector<serve::FederationSpec>& specs,
     const std::vector<RunConfig>& configs) {
@@ -14,7 +14,9 @@ std::vector<RunResult> RunFederationsViaService(
     throw std::invalid_argument(
         "RunFederationsViaService: specs/configs size mismatch");
   }
-  std::vector<RunResult> results(specs.size());
+  const serve::ServiceStats before = service.stats();
+  ServiceRunReport report;
+  report.results.resize(specs.size());
   std::vector<std::exception_ptr> errors(specs.size());
   std::vector<std::thread> drivers;
   drivers.reserve(specs.size());
@@ -23,7 +25,7 @@ std::vector<RunResult> RunFederationsViaService(
       try {
         serve::SessionModel model(service, specs[i]);
         FederationRuntime runtime(configs[i]);
-        results[i] = runtime.Run(model);
+        report.results[i] = runtime.Run(model);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -33,7 +35,22 @@ std::vector<RunResult> RunFederationsViaService(
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-  return results;
+  const serve::ServiceStats after = service.stats();
+  report.pipeline_passes = after.pipeline_passes - before.pipeline_passes;
+  report.pipeline_jobs = after.pipeline_jobs - before.pipeline_jobs;
+  report.pipeline_states = after.pipeline_states - before.pipeline_states;
+  if (report.pipeline_passes > 0) {
+    report.stacking_ratio = static_cast<double>(report.pipeline_jobs) /
+                            static_cast<double>(report.pipeline_passes);
+  }
+  return report;
+}
+
+std::vector<RunResult> RunFederationsViaService(
+    serve::ResilienceService& service,
+    const std::vector<serve::FederationSpec>& specs,
+    const std::vector<RunConfig>& configs) {
+  return RunFederationsViaServiceReport(service, specs, configs).results;
 }
 
 }  // namespace carol::harness

@@ -5,12 +5,30 @@
 #ifndef CAROL_HARNESS_SERVE_EXPERIMENT_H_
 #define CAROL_HARNESS_SERVE_EXPERIMENT_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "harness/runtime.h"
 #include "serve/service.h"
 
 namespace carol::harness {
+
+// Per-run serving report: the federation results plus the service-side
+// stacking counters accumulated over exactly this run (deltas of the
+// service stats, so back-to-back runs on one service don't bleed into
+// each other).
+struct ServiceRunReport {
+  std::vector<RunResult> results;  // one per (spec, config), input order
+  // Pipeline-mode cross-session stacking over this run: frontier jobs
+  // per GON kernel pass. 1.0 = every pass carried one session's
+  // frontier; >1 = sessions shared passes (see src/serve/README.md for
+  // the metric's definition). 0 when the pipeline never scored (legacy
+  // mode or no repairs).
+  double stacking_ratio = 0.0;
+  std::uint64_t pipeline_passes = 0;
+  std::uint64_t pipeline_jobs = 0;
+  std::uint64_t pipeline_states = 0;
+};
 
 // Drives one full federation experiment per (spec, config) pair through
 // the shared multi-tenant service, each federation on its own driver
@@ -19,6 +37,14 @@ namespace carol::harness {
 // sequential single-model runs; confidence-triggered fine-tunes couple
 // sessions through the shared surrogate (see src/serve/README.md).
 std::vector<RunResult> RunFederationsViaService(
+    serve::ResilienceService& service,
+    const std::vector<serve::FederationSpec>& specs,
+    const std::vector<RunConfig>& configs);
+
+// As above, but also reports the pipeline stacking achieved while the
+// federations ran concurrently (the serving layer's headline efficiency
+// metric: decisions stay bit-identical, kernel passes shrink).
+ServiceRunReport RunFederationsViaServiceReport(
     serve::ResilienceService& service,
     const std::vector<serve::FederationSpec>& specs,
     const std::vector<RunConfig>& configs);

@@ -87,13 +87,6 @@ void NaiveMatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
 
 }  // namespace
 
-Matrix Tape::NaiveMap(std::size_t idx,
-                      const std::function<double(double)>& fn) {
-  Matrix out = nodes_[idx].value;  // fresh allocation, seed-style
-  for (double& v : out.flat()) v = fn(v);
-  return out;
-}
-
 Value Tape::Leaf(Matrix m, bool requires_grad) {
   const std::size_t self = AcquireIndex();
   Node& n = nodes_[self];

@@ -185,8 +185,16 @@ class Tape {
   Matrix& Scratch() { return scratch_; }
   Matrix& Scratch2() { return scratch2_; }
 
-  // Seed-style per-element dispatch through std::function (naive mode).
-  Matrix NaiveMap(std::size_t idx, const std::function<double(double)>& fn);
+  // Seed-style elementwise map that allocates a fresh result matrix
+  // (naive mode keeps the allocation behavior of the reference path; the
+  // callable is a template parameter like Matrix::MapFn, so the helper
+  // no longer pays a std::function dispatch per element).
+  template <typename Fn>
+  Matrix NaiveMap(std::size_t idx, Fn&& fn) {
+    Matrix out = nodes_[idx].value;  // fresh allocation, seed-style
+    for (double& v : out.flat()) v = fn(v);
+    return out;
+  }
 
   std::vector<Node> nodes_;
   std::size_t live_ = 0;

@@ -11,13 +11,12 @@
 //     so per-interval code (the autograd tape, the GON inference
 //     workspace) can recycle buffers instead of allocating per op.
 //   * Elementwise transforms take the callable as a template parameter
-//     (`MapFn`, `MapInPlaceFn`) so it inlines; the old std::function
-//     `Map` survives only as a deprecated thin wrapper.
+//     (`MapFn`, `MapInPlaceFn`) so it inlines in the elementwise loop
+//     (the old std::function `Map` is gone).
 #ifndef CAROL_NN_MATRIX_H_
 #define CAROL_NN_MATRIX_H_
 
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -120,11 +119,6 @@ class Matrix {
   template <typename Fn>
   void MapInPlaceFn(Fn&& fn) {
     for (double& v : data_) v = fn(v);
-  }
-  // Deprecated: std::function dispatches per element; use MapFn.
-  [[deprecated("use the templated MapFn (inlines the callable)")]]
-  Matrix Map(const std::function<double(double)>& fn) const {
-    return MapFn(fn);
   }
 
   // Appends the columns of `other` to the right; row counts must match.

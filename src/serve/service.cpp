@@ -3,6 +3,8 @@
 #include <chrono>
 #include <future>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "core/bucket.h"
 #include "nn/serialize.h"
@@ -40,11 +42,13 @@ struct ResilienceService::Session {
   core::FeatureEncoder encoder;
   core::ConfidenceGate gate;
   common::Rng rng;
-  // True while a worker is executing this session's job; guarded by the
-  // service's queue_mu_. The scheduler skips jobs of busy sessions, so
-  // session work is exclusive AND in FIFO submission order without a
-  // per-session lock that could park worker threads.
-  bool busy = false;
+  // True while a request of this session is in flight — from the moment
+  // a worker pops its start step until its response promise is
+  // satisfied, across every pipeline step in between. Guarded by the
+  // service's queue_mu_. The scheduler holds back queued requests of
+  // active sessions, so session work is exclusive AND in FIFO submission
+  // order without a per-session lock that could park worker threads.
+  bool active = false;
 };
 
 // A worker shard: one thread, one GonModel replica. The replica is only
@@ -55,11 +59,29 @@ struct ResilienceService::Worker {
   std::thread thread;
 };
 
-// Cross-session bucketing queue: candidate-scoring jobs from concurrently
-// repairing sessions are claimed in batches, grouped by host count, and
-// each H bucket runs as ONE stacked GenerateBatch pass. Batched GON
-// passes equal sequential ones exactly, so results are independent of
-// batch composition — stacking is purely a kernel-efficiency play.
+// One in-flight pipelined repair: the resumable core::RepairJob plus the
+// request/response plumbing. The blocking caller owns the request pieces
+// and the promise; steps reference the pipeline via shared_ptr. Fields
+// are only ever touched by the single step currently executing for this
+// pipeline — step hand-offs synchronize through queue_mu_.
+struct ResilienceService::RepairPipeline {
+  std::shared_ptr<Session> session;
+  const sim::Topology* current = nullptr;
+  const std::vector<sim::NodeId>* failed = nullptr;
+  const sim::SystemSnapshot* snapshot = nullptr;
+  std::promise<RepairResponse>* promise = nullptr;
+  Clock::time_point t0{};
+  std::optional<core::RepairJob> job;
+  // The encoded pending frontier, parked in the pending-score pool.
+  std::vector<core::EncodedState> contexts;
+};
+
+// LEGACY cross-session bucketing queue (pipeline == false): candidate-
+// scoring jobs from concurrently repairing sessions are claimed in
+// batches after a linger window, grouped by host count, and each H
+// bucket runs as ONE stacked GenerateBatch pass. Batched GON passes
+// equal sequential ones exactly, so results are independent of batch
+// composition — stacking is purely a kernel-efficiency play.
 class ResilienceService::ScoreBatcher {
  public:
   ScoreBatcher(std::size_t max_jobs, int linger_us)
@@ -242,29 +264,57 @@ void ResilienceService::Shutdown() {
 void ResilienceService::WorkerLoop(Worker& worker) {
   std::unique_lock<std::mutex> lock(queue_mu_);
   for (;;) {
-    // Earliest job whose session is idle: FIFO within a session and
-    // across sessions, but a session already running on another worker
-    // never parks this one.
-    auto runnable = queue_.end();
     queue_cv_.wait(lock, [&] {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (!it->session->busy) {
-          runnable = it;
-          return true;
-        }
+      if (!ready_.empty() || !pending_scores_.empty()) return true;
+      for (const QueuedJob& job : queue_) {
+        if (!job.session->active) return true;
       }
-      runnable = queue_.end();
-      return stopping_ && queue_.empty();
+      return stopping_ && queue_.empty() && inflight_ == 0;
     });
-    if (runnable == queue_.end()) return;  // stopping_ and fully drained
-    QueuedJob job = std::move(*runnable);
-    queue_.erase(runnable);
-    job.session->busy = true;
-    lock.unlock();
-    job.run(worker);
-    lock.lock();
-    job.session->busy = false;
-    queue_cv_.notify_all();  // another of this session's jobs may be next
+    // Scheduling policy, in priority order:
+    //   1. resumed pipeline steps — they complete in-flight repairs and
+    //      deposit fresh frontiers into the pending-score pool;
+    //   2. new requests (earliest whose session is idle — FIFO within a
+    //      session and across sessions, and a session already being
+    //      served never parks this worker) — their first step stacks
+    //      more frontiers;
+    //   3. a stacked scoring pass over EVERYTHING pending.
+    // A worker only flushes when no compute step is runnable, so
+    // frontiers pile up exactly while peers have other work — stacking
+    // with zero wall-clock lingering.
+    if (!ready_.empty()) {
+      std::function<void(Worker&)> step = std::move(ready_.front());
+      ready_.pop_front();
+      lock.unlock();
+      step(worker);
+      lock.lock();
+      continue;
+    }
+    auto runnable = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!it->session->active) {
+        runnable = it;
+        break;
+      }
+    }
+    if (runnable != queue_.end()) {
+      QueuedJob job = std::move(*runnable);
+      queue_.erase(runnable);
+      job.session->active = true;
+      ++inflight_;
+      lock.unlock();
+      job.run(worker);
+      lock.lock();
+      continue;
+    }
+    if (!pending_scores_.empty()) {
+      FlushPendingScores(lock, worker);  // unlocks while running kernels
+      continue;
+    }
+    if (stopping_ && queue_.empty() && ready_.empty() &&
+        pending_scores_.empty() && inflight_ == 0) {
+      return;
+    }
   }
 }
 
@@ -276,6 +326,15 @@ void ResilienceService::Enqueue(std::shared_ptr<Session> session,
       throw std::runtime_error("ResilienceService: shut down");
     }
     queue_.push_back(QueuedJob{std::move(session), std::move(run)});
+  }
+  queue_cv_.notify_all();
+}
+
+void ResilienceService::FinishRequest(Session& session) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    session.active = false;
+    --inflight_;
   }
   queue_cv_.notify_all();
 }
@@ -339,17 +398,30 @@ RepairResponse ResilienceService::Repair(
   const std::shared_ptr<Session> session = FindSession(id);
   std::promise<RepairResponse> promise;
   auto future = promise.get_future();
-  // The caller blocks on the future, so capturing the request pieces and
-  // the promise by reference is safe and avoids copying the topology.
-  Enqueue(session, [this, session, &current, &failed_brokers, &snapshot,
-                    &promise](Worker& worker) {
-    try {
-      promise.set_value(
-          DoRepair(*session, current, failed_brokers, snapshot, worker));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-    }
-  });
+  // The caller blocks on the future, so the request pieces and the
+  // promise stay alive for every step of the pipeline — borrowing them
+  // avoids copying the topology/snapshot.
+  if (config_.pipeline && config_.cross_session_batching) {
+    auto pipe = std::make_shared<RepairPipeline>();
+    pipe->session = session;
+    pipe->current = &current;
+    pipe->failed = &failed_brokers;
+    pipe->snapshot = &snapshot;
+    pipe->promise = &promise;
+    Enqueue(session,
+            [this, pipe](Worker& worker) { StartRepairPipeline(pipe, worker); });
+  } else {
+    Enqueue(session, [this, session, &current, &failed_brokers, &snapshot,
+                      &promise](Worker& worker) {
+      try {
+        promise.set_value(
+            DoRepair(*session, current, failed_brokers, snapshot, worker));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+      FinishRequest(*session);
+    });
+  }
   return future.get();
 }
 
@@ -363,22 +435,172 @@ ObserveResponse ResilienceService::Observe(
   const std::shared_ptr<Session> session = FindSession(id);
   std::promise<ObserveResponse> promise;
   auto future = promise.get_future();
+  // Observations are a single step in either mode (no frontier to
+  // stack): confidence, POT update, Gamma bookkeeping, maybe fine-tune.
   Enqueue(session, [this, session, &snapshot, &promise](Worker& worker) {
     try {
       promise.set_value(DoObserve(*session, snapshot, worker));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
+    FinishRequest(*session);
   });
   return future.get();
 }
+
+// --- the repair pipeline (event-driven steps) ---------------------------
+
+void ResilienceService::StartRepairPipeline(
+    const std::shared_ptr<RepairPipeline>& pipe, Worker& worker) {
+  pipe->t0 = Clock::now();
+  try {
+    pipe->job.emplace(*pipe->current, *pipe->failed, *pipe->snapshot,
+                      pipe->session->cfg, &pipe->session->rng);
+    if (pipe->job->done()) {
+      // Nothing failed and nothing to optimize: answer on this worker.
+      FinishRepairPipeline(*pipe, worker);
+      return;
+    }
+    SubmitFrontier(pipe);
+  } catch (...) {
+    try {
+      pipe->promise->set_exception(std::current_exception());
+    } catch (...) {
+      // Promise already satisfied: the failure happened after the
+      // response was delivered; nothing more to report.
+    }
+    FinishRequest(*pipe->session);
+  }
+}
+
+void ResilienceService::AdvanceRepairPipeline(
+    const std::shared_ptr<RepairPipeline>& pipe,
+    const std::vector<double>& scores, Worker& worker) {
+  try {
+    pipe->job->Advance(scores);
+    if (pipe->job->done()) {
+      FinishRepairPipeline(*pipe, worker);
+      return;
+    }
+    SubmitFrontier(pipe);
+  } catch (...) {
+    try {
+      pipe->promise->set_exception(std::current_exception());
+    } catch (...) {
+    }
+    FinishRequest(*pipe->session);
+  }
+}
+
+void ResilienceService::SubmitFrontier(
+    const std::shared_ptr<RepairPipeline>& pipe) {
+  // Encoding runs on the compute step (outside any lock); only the park
+  // itself synchronizes. The next idle worker flushes the pool.
+  pipe->contexts =
+      core::EncodeFrontier(pipe->session->encoder, *pipe->snapshot,
+                           pipe->job->ProposeFrontier());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_scores_.push_back(pipe);
+  }
+  queue_cv_.notify_all();
+}
+
+void ResilienceService::FlushPendingScores(
+    std::unique_lock<std::mutex>& lock, Worker& worker) {
+  std::vector<std::shared_ptr<RepairPipeline>> batch =
+      std::move(pending_scores_);
+  pending_scores_.clear();
+  lock.unlock();
+  SyncReplica(worker);
+  std::vector<std::vector<double>> all_scores(batch.size());
+  bool flush_failed = false;
+  std::exception_ptr error;
+  try {
+    // One stacked generation pass over every parked frontier; the GON
+    // buckets mixed host counts internally (one kernel pass per H).
+    std::vector<const nn::Matrix*> inits;
+    std::vector<const core::EncodedState*> ctxs;
+    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
+      for (const core::EncodedState& ctx : pipe->contexts) {
+        inits.push_back(&ctx.m);
+        ctxs.push_back(&ctx);
+      }
+    }
+    const std::vector<core::GenerationResult> gens =
+        worker.replica->GenerateBatch(inits, ctxs);
+    std::size_t pos = 0;
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      const RepairPipeline& pipe = *batch[j];
+      all_scores[j].reserve(pipe.contexts.size());
+      for (std::size_t c = 0; c < pipe.contexts.size(); ++c) {
+        all_scores[j].push_back(core::QosObjective(
+            gens[pos++].metrics, pipe.session->cfg.alpha,
+            pipe.session->cfg.beta));
+      }
+    }
+    // Stacking accounting: jobs of one host count share one kernel pass.
+    std::unordered_set<std::size_t> host_counts;
+    std::uint64_t states = 0;
+    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
+      host_counts.insert(pipe->contexts.front().num_hosts());
+      states += pipe->contexts.size();
+    }
+    pipeline_passes_.fetch_add(host_counts.size(),
+                               std::memory_order_relaxed);
+    pipeline_jobs_.fetch_add(batch.size(), std::memory_order_relaxed);
+    pipeline_states_.fetch_add(states, std::memory_order_relaxed);
+  } catch (...) {
+    flush_failed = true;
+    error = std::current_exception();
+  }
+  if (flush_failed) {
+    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
+      try {
+        pipe->promise->set_exception(error);
+      } catch (...) {
+      }
+      FinishRequest(*pipe->session);
+    }
+    lock.lock();
+    return;
+  }
+  lock.lock();
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    ready_.push_back([this, pipe = batch[j],
+                      scores = std::move(all_scores[j])](Worker& w) {
+      AdvanceRepairPipeline(pipe, scores, w);
+    });
+  }
+  queue_cv_.notify_all();
+}
+
+void ResilienceService::FinishRepairPipeline(RepairPipeline& pipe,
+                                             Worker& worker) {
+  SyncReplica(worker);
+  Session& session = *pipe.session;
+  RepairResponse response;
+  response.topology = pipe.job->result();
+  if (pipe.job->proactive_acted()) {
+    proactives_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const core::EncodedState encoded =
+      session.encoder.EncodeForTopology(*pipe.snapshot, response.topology);
+  response.confidence = worker.replica->Discriminate(encoded);
+  response.decision_ns = NsSince(pipe.t0);
+  repairs_.fetch_add(1, std::memory_order_relaxed);
+  pipe.promise->set_value(std::move(response));
+  FinishRequest(session);
+}
+
+// --- legacy run-to-completion path --------------------------------------
 
 RepairResponse ResilienceService::DoRepair(
     Session& session, const sim::Topology& current,
     const std::vector<sim::NodeId>& failed_brokers,
     const sim::SystemSnapshot& snapshot, Worker& worker) {
-  // Exclusive session access: the scheduler never runs two jobs of one
-  // session concurrently (Session::busy).
+  // Exclusive session access: the scheduler never serves two requests of
+  // one session concurrently (Session::active).
   SyncReplica(worker);
   const auto start = Clock::now();
   const core::TopologyBatchScoreFn score =
@@ -414,7 +636,7 @@ ObserveResponse ResilienceService::DoObserve(
   if (outcome.finetune && !session.gate.gamma().empty()) {
     // Confidence breach: fine-tune the MASTER on this session's Gamma and
     // bump the weight epoch; every replica (including this worker's, right
-    // here) re-syncs before serving its next job.
+    // here) re-syncs before serving its next step.
     std::lock_guard<std::mutex> master_lock(master_mu_);
     master_->FineTune(session.gate.gamma(), session.cfg.finetune_epochs);
     weight_epoch_.fetch_add(1, std::memory_order_release);
@@ -450,6 +672,8 @@ std::vector<double> ResilienceService::ScoreFrontier(
                            session.cfg.beta, worker.epoch, *worker.replica);
 }
 
+// --- surrogate management / introspection -------------------------------
+
 std::vector<core::EpochStats> ResilienceService::TrainOffline(
     const workload::Trace& trace, int max_epochs) {
   std::vector<core::EncodedState> data;
@@ -483,6 +707,9 @@ ServiceStats ResilienceService::stats() const {
   s.proactive_optimizations = proactives_.load();
   s.score_batches = batcher_->score_batches();
   s.stacked_jobs = batcher_->stacked_jobs();
+  s.pipeline_passes = pipeline_passes_.load();
+  s.pipeline_jobs = pipeline_jobs_.load();
+  s.pipeline_states = pipeline_states_.load();
   s.weight_epoch = weight_epoch_.load();
   return s;
 }

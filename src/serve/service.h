@@ -14,19 +14,29 @@
 //     identical clones of a master model: initial weights coincide by
 //     seeded construction, and after a confidence-triggered fine-tune on
 //     the master the new weights are re-broadcast lazily via an epoch
-//     check + nn::CopyParameters before a replica serves its next job.
-//   * A cross-session score batcher stacks candidate-topology scoring
-//     jobs from concurrently repairing sessions into single GON kernel
-//     passes, bucketing states by host count (mixed-H federations).
+//     check + nn::CopyParameters before a replica serves its next step.
+//   * Repairs run as resumable pipelines (core::RepairJob) over an
+//     event-driven step scheduler: a worker executes one pipeline step,
+//     the step deposits the session's candidate frontier into a shared
+//     pending-score pool, and whichever worker next runs out of compute
+//     steps flushes the WHOLE pool as stacked GenerateBatch passes
+//     (bucketed by host count inside the GON). Frontiers from N
+//     concurrently-repairing sessions therefore share kernel passes with
+//     ZERO linger: nothing ever waits on a wall clock, a session's next
+//     step is scheduled the moment its scores return.
+//   * The legacy run-to-completion path (ServiceConfig::pipeline =
+//     false) serves each request on one worker; there, the linger-based
+//     cross-session ScoreBatcher is the only way to stack.
 //
-// Determinism: repair planning runs the same core::PlanRepair /
+// Determinism: repair planning runs the same core::RepairJob /
 // ScoreTopologiesWith code as CarolModel with per-session rng streams,
 // and batched GON passes are exactly equal to sequential ones, so the
 // topology decisions of a session are bit-identical to a single
-// CarolModel driven with the same inputs — independent of worker count
-// and batch composition. The one caveat is weight mutation: fine-tunes
-// from concurrent sessions interleave nondeterministically because the
-// surrogate is shared (see src/serve/README.md).
+// CarolModel driven with the same inputs — independent of worker count,
+// pipeline step interleaving and batch composition. The one caveat is
+// weight mutation: fine-tunes from concurrent sessions interleave
+// nondeterministically because the surrogate is shared (see
+// src/serve/README.md).
 #ifndef CAROL_SERVE_SERVICE_H_
 #define CAROL_SERVE_SERVICE_H_
 
@@ -37,6 +47,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -62,19 +73,32 @@ struct ServiceConfig {
   core::GonConfig gon;
   // Worker shards. Each owns a GonModel replica and serves any session.
   int num_workers = 4;
+  // Step-driven repair pipeline (the default): repairs run as resumable
+  // core::RepairJobs over an event-driven scheduler, and concurrent
+  // sessions' frontiers stack into shared kernel passes with zero
+  // linger. When false, the legacy run-to-completion path serves each
+  // request on one worker and `batch_linger_us` governs stacking.
+  // Requires cross_session_batching: stacking is the pipeline's whole
+  // point, so with batching disabled requests run to completion on one
+  // worker (legacy execution) regardless of this flag.
+  bool pipeline = true;
   // Stack candidate-scoring jobs from concurrently repairing sessions
-  // into shared kernel passes (bucketed by host count).
+  // into shared kernel passes (bucketed by host count). Disabling this
+  // also disables the pipeline scheduler (see `pipeline` above): every
+  // frontier then scores directly on its request's own worker and the
+  // pipeline_* stats stay zero.
   bool cross_session_batching = true;
-  // Cap on jobs combined into one batched scoring pass.
+  // LEGACY (pipeline == false): cap on jobs combined into one batched
+  // scoring pass by the linger batcher. The pipeline scheduler flushes
+  // everything pending instead.
   std::size_t max_batch_jobs = 8;
-  // How long a scoring job lingers in the batcher queue waiting for
-  // passengers from other sessions before its submitter claims it.
-  // 0 (the default) is latency-first and bypasses the batcher entirely:
-  // frontiers score directly on the serving worker, since a zero-length
-  // window can never observe a peer's job. Set > 0 on
-  // throughput-oriented deployments with many more sessions than
-  // workers; results are identical either way (batch composition never
-  // changes decisions).
+  // LEGACY fallback (pipeline == false only): how long a scoring job
+  // lingers in the batcher queue waiting for passengers from other
+  // sessions before its submitter claims it. 0 (the default) is
+  // latency-first and bypasses the batcher entirely, so the legacy path
+  // then never stacks. The pipeline path ignores this knob — stacking
+  // comes from scheduling, not from waiting — and is the supported way
+  // to get cross-session batching without a latency trade.
   int batch_linger_us = 0;
 };
 
@@ -111,10 +135,19 @@ struct ServiceStats {
   std::uint64_t finetunes = 0;
   // Proactive (no-failure) re-optimizations across all sessions.
   std::uint64_t proactive_optimizations = 0;
-  // Batched scoring passes run by the cross-session batcher, and how
-  // many jobs shared a pass with at least one other job.
+  // LEGACY linger batcher: batched scoring passes run, and how many jobs
+  // shared a pass with at least one other job.
   std::uint64_t score_batches = 0;
   std::uint64_t stacked_jobs = 0;
+  // Pipeline scheduler: GON generation kernel passes flushed from the
+  // pending-score pool, the frontier jobs they carried, and the total
+  // candidate states scored. The cross-session *stacking ratio* is
+  // pipeline_jobs / pipeline_passes — 1.0 means every pass carried a
+  // single session's frontier, 2.0 means two sessions shared each pass
+  // on average (see src/serve/README.md).
+  std::uint64_t pipeline_passes = 0;
+  std::uint64_t pipeline_jobs = 0;
+  std::uint64_t pipeline_states = 0;
   std::uint64_t weight_epoch = 0;
 };
 
@@ -132,9 +165,9 @@ class ResilienceService {
   std::size_t session_count() const;
 
   // --- the decision API ------------------------------------------------
-  // Both calls block until a worker shard has served the request. Calls
-  // for the SAME session are serialized internally; issue them from one
-  // client thread per session if request order matters.
+  // Both calls block until the request has been served. Calls for the
+  // SAME session are serialized internally; issue them from one client
+  // thread per session if request order matters.
   RepairResponse Repair(SessionId id, const RepairRequest& request);
   ObserveResponse Observe(SessionId id, const ObserveRequest& request);
   // Zero-copy overloads (SessionModel's per-interval hot path): the
@@ -170,18 +203,20 @@ class ResilienceService {
   double MemoryFootprintMb() const;
   const ServiceConfig& config() const { return config_; }
 
-  // Stops accepting new work, drains every accepted request, joins the
-  // workers. Idempotent; the destructor calls it.
+  // Stops accepting new work, drains every accepted request (including
+  // every step of in-flight repair pipelines), joins the workers.
+  // Idempotent; the destructor calls it.
   void Shutdown();
 
  private:
   struct Session;
   struct Worker;
   class ScoreBatcher;
+  struct RepairPipeline;
 
-  // A queued request with its session attached, so the scheduler can
-  // skip jobs whose session is mid-execution on another worker (one
-  // chatty session must not park the whole pool).
+  // A queued request start with its session attached, so the scheduler
+  // can hold back requests of sessions that already have a request in
+  // flight (per-session FIFO without parking a worker).
   struct QueuedJob {
     std::shared_ptr<Session> session;
     std::function<void(Worker&)> run;
@@ -192,9 +227,33 @@ class ResilienceService {
                std::function<void(Worker&)> run);
   void WorkerLoop(Worker& worker);
   // Copies master weights into the worker's replica if its epoch is
-  // stale; replicas only ever sync at job boundaries.
+  // stale; replicas only ever sync at step boundaries.
   void SyncReplica(Worker& worker);
 
+  // --- pipeline steps (see WorkerLoop for the scheduling policy) -------
+  // First step of a repair: builds the RepairJob and either finishes
+  // immediately (nothing to search) or deposits the first frontier.
+  void StartRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe,
+                           Worker& worker);
+  // Resumed step: feeds returned scores into the job, then deposits the
+  // next frontier or finishes.
+  void AdvanceRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe,
+                             const std::vector<double>& scores,
+                             Worker& worker);
+  // Encodes the job's pending frontier and parks it in the pending-score
+  // pool for the next flush.
+  void SubmitFrontier(const std::shared_ptr<RepairPipeline>& pipe);
+  // Scores EVERYTHING in the pending pool as stacked GenerateBatch
+  // passes on this worker's replica and schedules the continuations.
+  // Called with `lock` held; unlocks while running kernels.
+  void FlushPendingScores(std::unique_lock<std::mutex>& lock,
+                          Worker& worker);
+  // Confidence + response + promise for a completed job.
+  void FinishRepairPipeline(RepairPipeline& pipe, Worker& worker);
+  // Marks the session idle again and wakes the scheduler.
+  void FinishRequest(Session& session);
+
+  // --- legacy run-to-completion path -----------------------------------
   RepairResponse DoRepair(Session& session, const sim::Topology& current,
                           const std::vector<sim::NodeId>& failed_brokers,
                           const sim::SystemSnapshot& snapshot,
@@ -217,16 +276,23 @@ class ResilienceService {
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
+  // Scheduler state, all guarded by queue_mu_: queued request starts,
+  // ready-to-run resumed steps, the pending-score pool and the count of
+  // requests currently in flight (a request stays in flight across all
+  // of its pipeline steps).
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<QueuedJob> queue_;
+  std::deque<std::function<void(Worker&)>> ready_;
+  std::vector<std::shared_ptr<RepairPipeline>> pending_scores_;
+  std::size_t inflight_ = 0;
   bool stopping_ = false;
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   std::atomic<SessionId> next_session_id_{1};
 
-  std::unique_ptr<ScoreBatcher> batcher_;
+  std::unique_ptr<ScoreBatcher> batcher_;  // legacy path only
 
   std::mutex shutdown_mu_;
   bool shut_down_ = false;
@@ -235,6 +301,9 @@ class ResilienceService {
   std::atomic<std::uint64_t> observes_{0};
   std::atomic<std::uint64_t> finetunes_{0};
   std::atomic<std::uint64_t> proactives_{0};
+  std::atomic<std::uint64_t> pipeline_passes_{0};
+  std::atomic<std::uint64_t> pipeline_jobs_{0};
+  std::atomic<std::uint64_t> pipeline_states_{0};
 };
 
 // Adapter: presents one service session as a core::ResilienceModel, so

@@ -35,9 +35,18 @@ ServiceConfig TinyServiceConfig(int workers) {
   ServiceConfig cfg;
   cfg.gon = TinyCarolConfig().gon;
   cfg.num_workers = workers;
-  // Exercise the cross-session batcher path (0, the latency-first
-  // default, bypasses it entirely).
-  cfg.batch_linger_us = 2000;
+  // The default step-driven pipeline: zero linger, stacking by
+  // scheduling.
+  cfg.pipeline = true;
+  return cfg;
+}
+
+ServiceConfig TinyLegacyConfig(int workers, int linger_us) {
+  ServiceConfig cfg = TinyServiceConfig(workers);
+  // The legacy run-to-completion path, where the linger window is the
+  // only way to stack.
+  cfg.pipeline = false;
+  cfg.batch_linger_us = linger_us;
   return cfg;
 }
 
@@ -187,79 +196,140 @@ TEST(GonBucketingTest, MixedHostGenerateBatchMatchesSequential) {
 
 TEST(ServeTest, SingleSessionMatchesCarolModelIncludingFineTunes) {
   // One session, fine-tuning enabled (kAlways): every Observe mutates the
-  // shared surrogate, so this exercises replica weight re-sync on every
-  // worker hop — and must STILL be bit-identical to one CarolModel.
+  // shared surrogate, so this exercises replica weight re-sync between
+  // pipeline steps — and must STILL be bit-identical to one CarolModel,
+  // for every worker count (different counts produce different step
+  // interleavings on the scheduler).
   core::CarolConfig cfg = TinyCarolConfig();
   cfg.policy = core::FineTunePolicy::kAlways;
 
   core::CarolModel reference(cfg);
   const Episode expected = DriveCarol(reference, 12, 3, 6);
 
-  ResilienceService service(TinyServiceConfig(4));
-  FederationSpec spec;
-  spec.carol = cfg;
-  const SessionId id = service.OpenSession(spec);
-  const Episode actual = DriveSession(service, id, 12, 3, 6);
+  for (int workers : {1, 2, 4}) {
+    ResilienceService service(TinyServiceConfig(workers));
+    FederationSpec spec;
+    spec.carol = cfg;
+    const SessionId id = service.OpenSession(spec);
+    const Episode actual = DriveSession(service, id, 12, 3, 6);
 
-  ExpectEpisodesIdentical(expected, actual);
-  EXPECT_GE(service.stats().finetunes, 1u);
-  EXPECT_GE(service.weight_epoch(), 1u);
+    ExpectEpisodesIdentical(expected, actual);
+    EXPECT_GE(service.stats().finetunes, 1u) << workers << " workers";
+    EXPECT_GE(service.weight_epoch(), 1u) << workers << " workers";
+  }
 }
 
 TEST(ServeTest, ParallelHeterogeneousSessionsMatchSequentialRuns) {
-  // K federations with different host counts served concurrently over 4
-  // worker shards must each produce exactly the decisions of a dedicated
-  // CarolModel run sequentially. kNever keeps the shared surrogate
-  // frozen, so sessions are fully independent.
+  // K federations with different host counts AND different search depths
+  // (tabu budgets) served concurrently must each produce exactly the
+  // decisions of a dedicated CarolModel run sequentially, for every
+  // worker count. Different depths mean the sessions' pipelines need
+  // different step counts, so their steps interleave adversarially on
+  // the scheduler. kNever keeps the shared surrogate frozen, so sessions
+  // are fully independent.
   struct Fleet {
     int hosts;
     int brokers;
     unsigned seed;
+    int max_iterations;
   };
-  const std::vector<Fleet> fleets = {{8, 2, 11}, {12, 3, 22}, {16, 4, 33}};
+  const std::vector<Fleet> fleets = {
+      {8, 2, 11, 2}, {12, 3, 22, 5}, {16, 4, 33, 3}};
   const int rounds = 5;
 
-  std::vector<Episode> expected;
-  for (const Fleet& f : fleets) {
+  auto fleet_config = [&](const Fleet& f) {
     core::CarolConfig cfg = TinyCarolConfig(f.seed);
     cfg.policy = core::FineTunePolicy::kNever;
-    core::CarolModel reference(cfg);
+    cfg.tabu.max_iterations = f.max_iterations;
+    return cfg;
+  };
+  std::vector<Episode> expected;
+  for (const Fleet& f : fleets) {
+    core::CarolModel reference(fleet_config(f));
     expected.push_back(DriveCarol(reference, f.hosts, f.brokers, rounds));
   }
 
-  ResilienceService service(TinyServiceConfig(4));
-  std::vector<SessionId> ids;
-  for (const Fleet& f : fleets) {
-    FederationSpec spec;
-    spec.carol = TinyCarolConfig(f.seed);
-    spec.carol.policy = core::FineTunePolicy::kNever;
-    ids.push_back(service.OpenSession(spec));
+  for (int workers : {1, 2, 4}) {
+    ResilienceService service(TinyServiceConfig(workers));
+    std::vector<SessionId> ids;
+    for (const Fleet& f : fleets) {
+      FederationSpec spec;
+      spec.carol = fleet_config(f);
+      ids.push_back(service.OpenSession(spec));
+    }
+    std::vector<Episode> actual(fleets.size());
+    std::vector<std::thread> drivers;
+    for (std::size_t i = 0; i < fleets.size(); ++i) {
+      drivers.emplace_back([&, i] {
+        actual[i] = DriveSession(service, ids[i], fleets[i].hosts,
+                                 fleets[i].brokers, rounds);
+      });
+    }
+    for (auto& d : drivers) d.join();
+
+    for (std::size_t i = 0; i < fleets.size(); ++i) {
+      ExpectEpisodesIdentical(expected[i], actual[i]);
+    }
+    // The concurrent repairs ran through the pipeline scheduler.
+    EXPECT_GT(service.stats().pipeline_passes, 0u) << workers;
+    EXPECT_GE(service.stats().pipeline_jobs,
+              service.stats().pipeline_passes)
+        << workers;
   }
-  std::vector<Episode> actual(fleets.size());
+}
+
+TEST(ServeTest, PipelineStacksConcurrentSessionsWithZeroLinger) {
+  // The tentpole property: with batch_linger_us = 0 (nobody ever waits
+  // on a wall clock), concurrently repairing sessions must still share
+  // GON kernel passes, because a worker only flushes the pending-score
+  // pool when no compute step is runnable. One worker, five eager
+  // sessions: the pool piles up while the worker steps other pipelines.
+  ResilienceService service(TinyServiceConfig(1));
+  ASSERT_EQ(service.config().batch_linger_us, 0);
+
+  const int sessions = 5, rounds = 8;
+  std::vector<SessionId> ids;
+  std::vector<Episode> expected;
+  for (int s = 0; s < sessions; ++s) {
+    core::CarolConfig cfg = TinyCarolConfig(60 + static_cast<unsigned>(s));
+    cfg.policy = core::FineTunePolicy::kNever;
+    FederationSpec spec;
+    spec.carol = cfg;
+    ids.push_back(service.OpenSession(spec));
+    core::CarolModel reference(cfg);
+    expected.push_back(DriveCarol(reference, 10, 2, rounds));
+  }
+
+  std::vector<Episode> actual(static_cast<std::size_t>(sessions));
   std::vector<std::thread> drivers;
-  for (std::size_t i = 0; i < fleets.size(); ++i) {
-    drivers.emplace_back([&, i] {
-      actual[i] = DriveSession(service, ids[i], fleets[i].hosts,
-                               fleets[i].brokers, rounds);
+  for (int s = 0; s < sessions; ++s) {
+    drivers.emplace_back([&, s] {
+      actual[static_cast<std::size_t>(s)] =
+          DriveSession(service, ids[static_cast<std::size_t>(s)], 10, 2,
+                       rounds);
     });
   }
   for (auto& d : drivers) d.join();
 
-  for (std::size_t i = 0; i < fleets.size(); ++i) {
-    ExpectEpisodesIdentical(expected[i], actual[i]);
+  for (int s = 0; s < sessions; ++s) {
+    ExpectEpisodesIdentical(expected[static_cast<std::size_t>(s)],
+                            actual[static_cast<std::size_t>(s)]);
   }
-  // The concurrent repairs ran through the cross-session batcher.
-  EXPECT_GT(service.stats().score_batches, 0u);
+  const ServiceStats stats = service.stats();
+  ASSERT_GT(stats.pipeline_passes, 0u);
+  // Strictly more frontier jobs than kernel passes == at least some
+  // passes carried multiple sessions' frontiers, with zero linger.
+  EXPECT_GT(stats.pipeline_jobs, stats.pipeline_passes);
+  EXPECT_GT(stats.pipeline_states, stats.pipeline_jobs);
 }
 
-TEST(ServeTest, LingerWindowStacksConcurrentSessionsIntoSharedPasses) {
-  // With a generous linger window, two sessions repairing at the same
-  // time must share scoring passes — and still produce exactly the
-  // sequential single-model decisions (batch composition never changes
-  // results).
-  ServiceConfig cfg = TinyServiceConfig(2);
-  cfg.batch_linger_us = 50000;  // 50 ms: plenty for the peer to arrive
-  ResilienceService service(cfg);
+TEST(ServeTest, LegacyLingerWindowStacksConcurrentSessionsIntoSharedPasses) {
+  // The legacy run-to-completion path (pipeline = false): with a
+  // generous linger window, two sessions repairing at the same time must
+  // share scoring passes — and still produce exactly the sequential
+  // single-model decisions (batch composition never changes results).
+  // 50 ms linger: plenty for the peer to arrive.
+  ResilienceService service(TinyLegacyConfig(2, 50000));
   std::vector<SessionId> ids;
   std::vector<Episode> expected;
   for (unsigned seed : {51u, 52u}) {
