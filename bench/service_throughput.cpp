@@ -13,6 +13,7 @@
 // frontier jobs per GON kernel pass; > 1.5 at 8 sessions).
 //
 // Env overrides (bench_util.h): CAROL_BENCH_FAST=1 shrinks the sweep.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -45,13 +46,14 @@ core::CarolConfig BenchCarolConfig(unsigned seed) {
   return cfg;
 }
 
-sim::SystemSnapshot MakeFailureSnapshot(int interval) {
+sim::SystemSnapshot MakeFailureSnapshot(int interval, int hosts = kHosts,
+                                        int brokers = kBrokers) {
   sim::SystemSnapshot snap;
   snap.interval = interval;
-  snap.topology = sim::Topology::Initial(kHosts, kBrokers);
-  snap.hosts.resize(kHosts);
-  snap.alive.assign(kHosts, true);
-  for (int i = 0; i < kHosts; ++i) {
+  snap.topology = sim::Topology::Initial(hosts, brokers);
+  snap.hosts.resize(static_cast<std::size_t>(hosts));
+  snap.alive.assign(static_cast<std::size_t>(hosts), true);
+  for (int i = 0; i < hosts; ++i) {
     auto& m = snap.hosts[static_cast<std::size_t>(i)];
     m.cpu_util = 0.4 + 0.03 * ((interval + i) % 8);
     m.ram_util = 0.5;
@@ -66,6 +68,8 @@ sim::SystemSnapshot MakeFailureSnapshot(int interval) {
 struct SweepResult {
   int workers = 0;
   int sessions = 0;
+  int hosts = kHosts;
+  int attention_threads = 1;
   int requests = 0;
   int linger_us = 0;
   bool pipeline = true;
@@ -81,12 +85,15 @@ struct SweepResult {
 };
 
 SweepResult RunSweep(int workers, int sessions, int requests_per_session,
-                     bool pipeline, int linger_us = 0) {
+                     bool pipeline, int linger_us = 0, int hosts = kHosts,
+                     int attention_threads = 1) {
+  const int brokers = std::max(2, hosts / 4);
   serve::ServiceConfig cfg;
   cfg.gon = BenchCarolConfig(1).gon;
   cfg.num_workers = workers;
   cfg.pipeline = pipeline;
   cfg.batch_linger_us = linger_us;
+  cfg.attention_threads = attention_threads;
   serve::ResilienceService service(cfg);
 
   std::vector<serve::SessionId> ids;
@@ -107,7 +114,7 @@ SweepResult RunSweep(int workers, int sessions, int requests_per_session,
       lat.reserve(static_cast<std::size_t>(requests_per_session));
       for (int r = 0; r < requests_per_session; ++r) {
         serve::RepairRequest req;
-        const sim::SystemSnapshot snap = MakeFailureSnapshot(r);
+        const sim::SystemSnapshot snap = MakeFailureSnapshot(r, hosts, brokers);
         req.current = snap.topology;
         req.failed_brokers = {0};
         req.snapshot = snap;
@@ -126,6 +133,8 @@ SweepResult RunSweep(int workers, int sessions, int requests_per_session,
   SweepResult result;
   result.workers = workers;
   result.sessions = sessions;
+  result.hosts = hosts;
+  result.attention_threads = attention_threads;
   result.linger_us = linger_us;
   result.pipeline = pipeline;
   result.requests = sessions * requests_per_session;
@@ -160,10 +169,11 @@ int main() {
       "ResilienceService throughput: decisions/sec and latency vs "
       "workers x sessions (H=16 broker-failure repairs; pipeline mode "
       "stacks cross-session frontiers with zero linger)");
-  std::printf("%-9s %-9s %-9s %-9s %-9s %-14s %-9s %-9s %-8s %-8s %-8s\n",
-              "mode", "workers", "sessions", "requests", "linger",
-              "decisions/sec", "p50(ms)", "p99(ms)", "passes", "jobs",
-              "stack");
+  std::printf("%-9s %-9s %-9s %-7s %-7s %-9s %-9s %-14s %-9s %-9s %-8s "
+              "%-8s %-8s\n",
+              "mode", "workers", "sessions", "hosts", "threads", "requests",
+              "linger", "decisions/sec", "p50(ms)", "p99(ms)", "passes",
+              "jobs", "stack");
 
   const std::vector<int> worker_counts = fast ? std::vector<int>{1, 4}
                                               : std::vector<int>{1, 2, 4};
@@ -171,14 +181,18 @@ int main() {
                                                : std::vector<int>{1, 4, 8};
   std::vector<SweepResult> results;
   auto run_cell = [&](int workers, int sessions, bool pipeline,
-                      int linger_us) {
-    const SweepResult r = RunSweep(workers, sessions, requests_per_session,
-                                   pipeline, linger_us);
-    std::printf("%-9s %-9d %-9d %-9d %-9d %-14.1f %-9.2f %-9.2f %-8llu "
-                "%-8llu %-8.2f\n",
+                      int linger_us, int hosts = 16,
+                      int attention_threads = 1,
+                      int requests_override = 0) {
+    const SweepResult r = RunSweep(
+        workers, sessions,
+        requests_override > 0 ? requests_override : requests_per_session,
+        pipeline, linger_us, hosts, attention_threads);
+    std::printf("%-9s %-9d %-9d %-7d %-7d %-9d %-9d %-14.1f %-9.2f %-9.2f "
+                "%-8llu %-8llu %-8.2f\n",
                 r.pipeline ? "pipeline" : "legacy", r.workers, r.sessions,
-                r.requests, r.linger_us, r.decisions_per_sec, r.p50_ms,
-                r.p99_ms,
+                r.hosts, r.attention_threads, r.requests, r.linger_us,
+                r.decisions_per_sec, r.p50_ms, r.p99_ms,
                 static_cast<unsigned long long>(r.pipeline_passes),
                 static_cast<unsigned long long>(r.pipeline_jobs),
                 r.stacking_ratio);
@@ -194,6 +208,17 @@ int main() {
   // never stacks) and throughput-oriented (linger window).
   run_cell(4, 8, /*pipeline=*/false, /*linger_us=*/0);
   run_cell(4, 8, /*pipeline=*/false, /*linger_us=*/200);
+  // Large federations (H in {64, 128}): the O(H^2) attention dominates,
+  // so each cell is run unthreaded and with a 4-thread per-replica
+  // attention pool — same decisions, different wall clock. Fewer
+  // requests per cell: one H=128 repair costs ~64x an H=16 one.
+  const int large_requests = std::max(2, requests_per_session / 4);
+  for (int hosts : {64, 128}) {
+    for (int attention_threads : {1, 4}) {
+      run_cell(/*workers=*/2, /*sessions=*/4, /*pipeline=*/true,
+               /*linger_us=*/0, hosts, attention_threads, large_requests);
+    }
+  }
 
   // Headline scaling: 8-session pipeline throughput, 1 worker -> max
   // workers; plus the zero-linger cross-session stacking ratio.
@@ -232,13 +257,15 @@ int main() {
     std::fprintf(
         out,
         "  {\"workers\": %d, \"sessions\": %d, \"hosts\": %d, "
+        "\"attention_threads\": %d, "
         "\"requests\": %d, \"linger_us\": %d, \"pipeline\": %s, "
         "\"decisions_per_sec\": %.3f, "
         "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"score_batches\": %llu, \"stacked_jobs\": %llu, "
         "\"pipeline_passes\": %llu, \"pipeline_jobs\": %llu, "
         "\"pipeline_states\": %llu, \"stacking_ratio\": %.3f}%s\n",
-        r.workers, r.sessions, kHosts, r.requests, r.linger_us,
+        r.workers, r.sessions, r.hosts, r.attention_threads, r.requests,
+        r.linger_us,
         r.pipeline ? "true" : "false", r.decisions_per_sec, r.p50_ms,
         r.p99_ms, static_cast<unsigned long long>(r.score_batches),
         static_cast<unsigned long long>(r.stacked_jobs),

@@ -34,6 +34,7 @@
 #include "nn/autograd.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
+#include "nn/threading.h"
 
 namespace carol::core {
 
@@ -65,6 +66,15 @@ struct GonConfig {
   // unfused three-node dense layers, per-sample training graphs). The
   // two paths compute the same values; benches measure the gap.
   bool use_fast_path = true;
+  // Threads for the tape-free batched scoring path (DiscriminateBatch /
+  // the final GenerateBatch confidence pass): the K stacked states fan
+  // out across a small reusable worker pool — per-state GAT attention
+  // (the O(H^2) block that dominates H>=64), encoder rows and pooling.
+  // Results are bit-identical to the sequential path for any value
+  // (pinned by tests/attention_threading_test.cpp). 1 = sequential, no
+  // pool is created. The tape-based generation ascent stays sequential
+  // (tape node construction shares one arena).
+  int attention_threads = 1;
 };
 
 struct GenerationResult {
@@ -168,6 +178,10 @@ class GonModel {
   // Arena tape recycled across scoring/generation/training calls.
   nn::Tape tape_;
   std::unique_ptr<InferenceWorkspace> inference_;
+  // Worker pool for the threaded scoring path (attention_threads > 1).
+  // Owned per model: GonModel stays single-driver, the pool only fans
+  // out within one ForwardInferenceBatch call.
+  std::unique_ptr<nn::WorkerPool> pool_;
 };
 
 }  // namespace carol::core

@@ -70,7 +70,10 @@ std::vector<LocalMove> LocalMoves(const sim::Topology& g,
                                   const NodeShiftOptions& options = {});
 
 // Materializes one move: `out` becomes `base` with the move applied
-// (out's buffer is reused; out must not alias base).
+// (out's buffer is reused; out must not alias base). The copied
+// topology carries base's incrementally maintained hash, so the
+// mutation updates it in O(changed entries) and the tabu filter's
+// subsequent Hash() costs O(1) — no per-candidate rehash.
 void ApplyLocalMove(const sim::Topology& base, const LocalMove& move,
                     sim::Topology& out);
 

@@ -63,7 +63,10 @@ void TabuSearchState::BuildNextFrontier() {
   // Over-budget candidates are never built; candidates before the cutoff
   // materialize once into the reused scratch (its buffer survives across
   // iterations, so a tabu-filtered candidate costs no allocation) and
-  // only the eligible ones are copied out for scoring.
+  // only the eligible ones are copied out for scoring. The Hash() lookup
+  // itself is O(1): Topology maintains a Zobrist hash incrementally
+  // under every mutation, so filtering a candidate never rehashes the
+  // full assignment (the H>=64 enumeration cost the ROADMAP flagged).
   const std::size_t budget =
       static_cast<std::size_t>(config_.max_evaluations - evaluations_);
   sim::Topology scratch;

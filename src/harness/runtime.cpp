@@ -76,9 +76,9 @@ std::vector<double> RunResult::PerAppP90(std::size_t num_apps) const {
 
 RunResult FederationRuntime::Run(core::ResilienceModel& model) {
   common::Rng master(config_.seed);
-  auto specs = sim::DefaultTestbedSpecs();
-  specs.resize(static_cast<std::size_t>(config_.num_nodes),
-               sim::RaspberryPi4B4GB());
+  // Tiled sites for any fleet size (H >= 64 federations keep the
+  // testbed's per-site heterogeneity instead of a flat 4 GB tail).
+  auto specs = sim::ScaledTestbedSpecs(config_.num_nodes);
   sim::Federation fed(specs,
                       sim::Topology::Initial(config_.num_nodes,
                                              config_.num_brokers),
@@ -174,9 +174,7 @@ RunResult FederationRuntime::Run(core::ResilienceModel& model) {
 workload::Trace CollectTrainingTrace(const RunConfig& config,
                                      int shuffle_every) {
   common::Rng master(config.seed);
-  auto specs = sim::DefaultTestbedSpecs();
-  specs.resize(static_cast<std::size_t>(config.num_nodes),
-               sim::RaspberryPi4B4GB());
+  auto specs = sim::ScaledTestbedSpecs(config.num_nodes);
   sim::Federation fed(specs,
                       sim::Topology::Initial(config.num_nodes,
                                              config.num_brokers),

@@ -15,6 +15,7 @@
 #include "nn/autograd.h"
 #include "nn/kernels.h"
 #include "nn/matrix.h"
+#include "nn/threading.h"
 
 namespace carol::nn {
 
@@ -170,16 +171,32 @@ class GraphAttention : public Module {
   std::vector<Parameter*> Parameters() override;
   void set_fused(bool fused) { fused_ = fused; }
 
-  // Recycled buffers for ForwardInferenceBatch.
+  // Recycled buffers for ForwardInferenceBatch. One Slot per pool thread
+  // (slot 0 doubles as the sequential path's scratch); a Slot is only
+  // ever touched by the thread whose index it carries, which is what
+  // keeps the threaded path race-free without any per-state locking.
   struct InferenceScratch {
-    Matrix hidden, query, hid_s, ht_s, q_s, scores, mask, attn, e_s;
+    struct Slot {
+      Matrix u_s, hidden, query, hid_s, ht_s, q_s, scores, mask, attn, e_s;
+    };
+    std::vector<Slot> slots;
+    // Grows (never shrinks) to at least `count` slots; existing slots
+    // keep their buffers. Call before a parallel region — growing the
+    // vector inside one would race.
+    void EnsureSlots(std::size_t count) {
+      if (slots.size() < count) slots.resize(count);
+    }
   };
   // Tape-free batched forward mirroring ForwardBatch; writes the stacked
   // embeddings [K*H x out] into `out`. Kernel-for-kernel identical to the
-  // tape path.
+  // tape path. With a `pool`, the K per-state attention blocks (and the
+  // shared projections, row-partitioned by state block) fan out across
+  // the pool's threads; results are bit-identical to the sequential path
+  // for any thread count (see src/nn/README.md).
   void ForwardInferenceBatch(const Matrix& u,
                              std::span<const Matrix* const> adjacencies,
-                             InferenceScratch& ws, Matrix& out) const;
+                             InferenceScratch& ws, Matrix& out,
+                             WorkerPool* pool = nullptr) const;
 
  private:
   std::size_t in_;

@@ -1,0 +1,101 @@
+#include "nn/threading.h"
+
+#include <algorithm>
+
+namespace carol::nn {
+
+WorkerPool::WorkerPool(int threads) {
+  const int helpers = std::max(0, threads - 1);
+  helpers_.reserve(static_cast<std::size_t>(helpers));
+  for (int t = 0; t < helpers; ++t) {
+    // Helper t serves block t + 1 (block 0 runs on the caller).
+    helpers_.emplace_back([this, t] { HelperLoop(t + 1); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& helper : helpers_) {
+    if (helper.joinable()) helper.join();
+  }
+}
+
+void WorkerPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, int)>& fn) {
+  if (n == 0) return;
+  const int threads = thread_count();
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(threads) - 1) /
+      static_cast<std::size_t>(threads);
+  if (threads == 1 || n == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    job_chunk_ = chunk;
+    pending_ = threads - 1;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is thread 0 and runs the first block itself.
+  try {
+    fn(0, std::min(n, chunk), 0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void WorkerPool::HelperLoop(int thread_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, int)>* job = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+      chunk = job_chunk_;
+    }
+    const std::size_t begin =
+        chunk * static_cast<std::size_t>(thread_index);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) {
+      try {
+        (*job)(begin, end, thread_index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace carol::nn

@@ -1,0 +1,78 @@
+// A small reusable fork-join worker pool for data-parallel loops over
+// independent work items (the H>=64 GAT attention hot path: K stacked
+// per-state attention blocks share no state, so they fan out across
+// threads without changing a single bit of the result).
+//
+// Design rules (see src/nn/README.md "Threaded batched inference"):
+//   * ParallelFor partitions [0, n) into thread_count() contiguous
+//     blocks; block t runs on thread index t (block 0 on the caller).
+//     The partition depends only on (n, thread_count()), so a run is
+//     deterministic for a fixed pool size.
+//   * The pool adds NO synchronization around items: the callback must
+//     only write state that is disjoint per item (e.g. distinct output
+//     rows) or owned by its thread index (per-thread scratch slots).
+//   * Bit-identity: every item is computed by exactly one thread with
+//     the same kernels and the same per-item inputs as the sequential
+//     loop, so results are independent of the thread count by
+//     construction — the pool never splits or reorders the arithmetic
+//     *within* an item.
+//   * Exceptions thrown by the callback are captured and the FIRST one
+//     is rethrown on the calling thread after every block finished.
+#ifndef CAROL_NN_THREADING_H_
+#define CAROL_NN_THREADING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carol::nn {
+
+class WorkerPool {
+ public:
+  // `threads` is the TOTAL parallelism (caller thread included);
+  // `threads - 1` helper threads are spawned. Values <= 1 create no
+  // helpers and ParallelFor runs inline.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(helpers_.size()) + 1; }
+
+  // Runs fn(begin, end, thread_index) for the contiguous block of items
+  // assigned to each thread (block t is [t*chunk, min(n, (t+1)*chunk))
+  // with chunk = ceil(n / thread_count())). Blocks until every item
+  // completed; rethrows the first callback exception. NOT reentrant: a
+  // pool must only ever be driven from one thread at a time, and fn must
+  // not call back into the same pool.
+  void ParallelFor(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, int)>& fn);
+
+ private:
+  void HelperLoop(int thread_index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current job (guarded by mu_): helpers pick it up when generation_
+  // advances; pending_ counts helpers that have not finished their block.
+  const std::function<void(std::size_t, std::size_t, int)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> helpers_;
+};
+
+}  // namespace carol::nn
+
+#endif  // CAROL_NN_THREADING_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -65,6 +66,12 @@ struct ResilienceService::Worker {
 // are only ever touched by the single step currently executing for this
 // pipeline — step hand-offs synchronize through queue_mu_.
 struct ResilienceService::RepairPipeline {
+  // Which scoring the parked pipeline is waiting for: its candidate
+  // frontier (GenerateBatch) or — once the search finished — the final
+  // per-decision confidence (DiscriminateBatch). Both ride the same
+  // flush pass, so the confidence gate stacks across sessions too.
+  enum class Stage { kSearch, kConfidence };
+
   std::shared_ptr<Session> session;
   const sim::Topology* current = nullptr;
   const std::vector<sim::NodeId>* failed = nullptr;
@@ -72,8 +79,13 @@ struct ResilienceService::RepairPipeline {
   std::promise<RepairResponse>* promise = nullptr;
   Clock::time_point t0{};
   std::optional<core::RepairJob> job;
+  Stage stage = Stage::kSearch;
   // The encoded pending frontier, parked in the pending-score pool.
   std::vector<core::EncodedState> contexts;
+  // kConfidence: the decided topology's encoding + the response being
+  // assembled (confidence filled by the flush).
+  core::EncodedState final_state;
+  RepairResponse response;
 };
 
 // LEGACY cross-session bucketing queue (pipeline == false): candidate-
@@ -227,7 +239,16 @@ ResilienceService::ResilienceService(const ServiceConfig& config)
   if (config_.num_workers < 1) {
     throw std::invalid_argument("ResilienceService: num_workers must be >= 1");
   }
-  master_ = std::make_unique<core::GonModel>(config_.gon);
+  // Per-replica attention threading. The master never runs the
+  // tape-free threaded scoring path (it only trains/fine-tunes/saves),
+  // so it gets no pool — only the replicas do. Thread count never
+  // changes values, so the mixed sizing is invisible to results.
+  if (config_.attention_threads > 1) {
+    config_.gon.attention_threads = config_.attention_threads;
+  }
+  core::GonConfig master_cfg = config_.gon;
+  master_cfg.attention_threads = 1;
+  master_ = std::make_unique<core::GonModel>(master_cfg);
   batcher_ = std::make_unique<ScoreBatcher>(
       std::max<std::size_t>(1, config_.max_batch_jobs),
       config_.batch_linger_us);
@@ -325,6 +346,14 @@ void ResilienceService::Enqueue(std::shared_ptr<Session> session,
     if (stopping_) {
       throw std::runtime_error("ResilienceService: shut down");
     }
+    // Admission control: every admitted request is either still queued
+    // or in flight (inflight_ covers all of a pipeline's steps), so
+    // their sum is the service's total outstanding work. Rejecting here
+    // — before the queue grows — is what bounds it.
+    if (config_.max_pending_requests > 0 &&
+        inflight_ + queue_.size() >= config_.max_pending_requests) {
+      throw ServiceOverloadedError(config_.max_pending_requests);
+    }
     queue_.push_back(QueuedJob{std::move(session), std::move(run)});
   }
   queue_cv_.notify_all();
@@ -408,8 +437,7 @@ RepairResponse ResilienceService::Repair(
     pipe->failed = &failed_brokers;
     pipe->snapshot = &snapshot;
     pipe->promise = &promise;
-    Enqueue(session,
-            [this, pipe](Worker& worker) { StartRepairPipeline(pipe, worker); });
+    Enqueue(session, [this, pipe](Worker&) { StartRepairPipeline(pipe); });
   } else {
     Enqueue(session, [this, session, &current, &failed_brokers, &snapshot,
                       &promise](Worker& worker) {
@@ -451,14 +479,15 @@ ObserveResponse ResilienceService::Observe(
 // --- the repair pipeline (event-driven steps) ---------------------------
 
 void ResilienceService::StartRepairPipeline(
-    const std::shared_ptr<RepairPipeline>& pipe, Worker& worker) {
+    const std::shared_ptr<RepairPipeline>& pipe) {
   pipe->t0 = Clock::now();
   try {
     pipe->job.emplace(*pipe->current, *pipe->failed, *pipe->snapshot,
                       pipe->session->cfg, &pipe->session->rng);
     if (pipe->job->done()) {
-      // Nothing failed and nothing to optimize: answer on this worker.
-      FinishRepairPipeline(*pipe, worker);
+      // Nothing failed and nothing to optimize: only the confidence
+      // score remains — park it for the next stacked flush.
+      SubmitConfidence(pipe);
       return;
     }
     SubmitFrontier(pipe);
@@ -475,11 +504,11 @@ void ResilienceService::StartRepairPipeline(
 
 void ResilienceService::AdvanceRepairPipeline(
     const std::shared_ptr<RepairPipeline>& pipe,
-    const std::vector<double>& scores, Worker& worker) {
+    const std::vector<double>& scores) {
   try {
     pipe->job->Advance(scores);
     if (pipe->job->done()) {
-      FinishRepairPipeline(*pipe, worker);
+      SubmitConfidence(pipe);
       return;
     }
     SubmitFrontier(pipe);
@@ -496,9 +525,30 @@ void ResilienceService::SubmitFrontier(
     const std::shared_ptr<RepairPipeline>& pipe) {
   // Encoding runs on the compute step (outside any lock); only the park
   // itself synchronizes. The next idle worker flushes the pool.
+  pipe->stage = RepairPipeline::Stage::kSearch;
   pipe->contexts =
       core::EncodeFrontier(pipe->session->encoder, *pipe->snapshot,
                            pipe->job->ProposeFrontier());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_scores_.push_back(pipe);
+  }
+  queue_cv_.notify_all();
+}
+
+void ResilienceService::SubmitConfidence(
+    const std::shared_ptr<RepairPipeline>& pipe) {
+  // The search is over: record the decision and park the pipeline for
+  // its confidence score. Encoding runs here (a compute step); the
+  // Discriminate itself is stacked with every other pending decision in
+  // the next flush, so finished repairs never issue lone kernel calls.
+  pipe->stage = RepairPipeline::Stage::kConfidence;
+  pipe->response.topology = pipe->job->result();
+  if (pipe->job->proactive_acted()) {
+    proactives_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pipe->final_state = pipe->session->encoder.EncodeForTopology(
+      *pipe->snapshot, pipe->response.topology);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     pending_scores_.push_back(pipe);
@@ -513,84 +563,113 @@ void ResilienceService::FlushPendingScores(
   pending_scores_.clear();
   lock.unlock();
   SyncReplica(worker);
-  std::vector<std::vector<double>> all_scores(batch.size());
+  // Partition the pool: frontiers awaiting a generation pass, finished
+  // decisions awaiting their confidence score. Both kinds stack across
+  // sessions inside this one flush.
+  std::vector<std::shared_ptr<RepairPipeline>> searching;
+  std::vector<std::shared_ptr<RepairPipeline>> finishing;
+  for (std::shared_ptr<RepairPipeline>& pipe : batch) {
+    if (pipe->stage == RepairPipeline::Stage::kSearch) {
+      searching.push_back(std::move(pipe));
+    } else {
+      finishing.push_back(std::move(pipe));
+    }
+  }
+  std::vector<std::vector<double>> all_scores(searching.size());
   bool flush_failed = false;
   std::exception_ptr error;
   try {
-    // One stacked generation pass over every parked frontier; the GON
-    // buckets mixed host counts internally (one kernel pass per H).
-    std::vector<const nn::Matrix*> inits;
-    std::vector<const core::EncodedState*> ctxs;
-    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
-      for (const core::EncodedState& ctx : pipe->contexts) {
-        inits.push_back(&ctx.m);
-        ctxs.push_back(&ctx);
+    if (!searching.empty()) {
+      // One stacked generation pass over every parked frontier; the GON
+      // buckets mixed host counts internally (one kernel pass per H).
+      std::vector<const nn::Matrix*> inits;
+      std::vector<const core::EncodedState*> ctxs;
+      for (const std::shared_ptr<RepairPipeline>& pipe : searching) {
+        for (const core::EncodedState& ctx : pipe->contexts) {
+          inits.push_back(&ctx.m);
+          ctxs.push_back(&ctx);
+        }
       }
-    }
-    const std::vector<core::GenerationResult> gens =
-        worker.replica->GenerateBatch(inits, ctxs);
-    std::size_t pos = 0;
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-      const RepairPipeline& pipe = *batch[j];
-      all_scores[j].reserve(pipe.contexts.size());
-      for (std::size_t c = 0; c < pipe.contexts.size(); ++c) {
-        all_scores[j].push_back(core::QosObjective(
-            gens[pos++].metrics, pipe.session->cfg.alpha,
-            pipe.session->cfg.beta));
+      const std::vector<core::GenerationResult> gens =
+          worker.replica->GenerateBatch(inits, ctxs);
+      std::size_t pos = 0;
+      for (std::size_t j = 0; j < searching.size(); ++j) {
+        const RepairPipeline& pipe = *searching[j];
+        all_scores[j].reserve(pipe.contexts.size());
+        for (std::size_t c = 0; c < pipe.contexts.size(); ++c) {
+          all_scores[j].push_back(core::QosObjective(
+              gens[pos++].metrics, pipe.session->cfg.alpha,
+              pipe.session->cfg.beta));
+        }
       }
+      // Stacking accounting: jobs of one host count share one kernel
+      // pass.
+      std::unordered_set<std::size_t> host_counts;
+      std::uint64_t states = 0;
+      for (const std::shared_ptr<RepairPipeline>& pipe : searching) {
+        host_counts.insert(pipe->contexts.front().num_hosts());
+        states += pipe->contexts.size();
+      }
+      pipeline_passes_.fetch_add(host_counts.size(),
+                                 std::memory_order_relaxed);
+      pipeline_jobs_.fetch_add(searching.size(), std::memory_order_relaxed);
+      pipeline_states_.fetch_add(states, std::memory_order_relaxed);
     }
-    // Stacking accounting: jobs of one host count share one kernel pass.
-    std::unordered_set<std::size_t> host_counts;
-    std::uint64_t states = 0;
-    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
-      host_counts.insert(pipe->contexts.front().num_hosts());
-      states += pipe->contexts.size();
+    if (!finishing.empty()) {
+      // One stacked confidence pass over every finished decision
+      // (bucketed by H inside DiscriminateBatch — exactly equal to the
+      // lone Discriminate calls it replaces).
+      std::vector<const core::EncodedState*> finals;
+      std::unordered_set<std::size_t> host_counts;
+      finals.reserve(finishing.size());
+      for (const std::shared_ptr<RepairPipeline>& pipe : finishing) {
+        finals.push_back(&pipe->final_state);
+        host_counts.insert(pipe->final_state.num_hosts());
+      }
+      const std::vector<double> confidences =
+          worker.replica->DiscriminateBatch(
+              std::span<const core::EncodedState* const>(finals));
+      for (std::size_t j = 0; j < finishing.size(); ++j) {
+        finishing[j]->response.confidence = confidences[j];
+      }
+      confidence_passes_.fetch_add(host_counts.size(),
+                                   std::memory_order_relaxed);
+      confidence_jobs_.fetch_add(finishing.size(),
+                                 std::memory_order_relaxed);
     }
-    pipeline_passes_.fetch_add(host_counts.size(),
-                               std::memory_order_relaxed);
-    pipeline_jobs_.fetch_add(batch.size(), std::memory_order_relaxed);
-    pipeline_states_.fetch_add(states, std::memory_order_relaxed);
   } catch (...) {
     flush_failed = true;
     error = std::current_exception();
   }
   if (flush_failed) {
-    for (const std::shared_ptr<RepairPipeline>& pipe : batch) {
-      try {
-        pipe->promise->set_exception(error);
-      } catch (...) {
+    for (const auto* group : {&searching, &finishing}) {
+      for (const std::shared_ptr<RepairPipeline>& pipe : *group) {
+        try {
+          pipe->promise->set_exception(error);
+        } catch (...) {
+        }
+        FinishRequest(*pipe->session);
       }
-      FinishRequest(*pipe->session);
     }
     lock.lock();
     return;
   }
+  // Completed decisions answer right here; searching pipelines get their
+  // next step scheduled.
+  for (const std::shared_ptr<RepairPipeline>& pipe : finishing) {
+    pipe->response.decision_ns = NsSince(pipe->t0);
+    repairs_.fetch_add(1, std::memory_order_relaxed);
+    pipe->promise->set_value(std::move(pipe->response));
+    FinishRequest(*pipe->session);
+  }
   lock.lock();
-  for (std::size_t j = 0; j < batch.size(); ++j) {
-    ready_.push_back([this, pipe = batch[j],
-                      scores = std::move(all_scores[j])](Worker& w) {
-      AdvanceRepairPipeline(pipe, scores, w);
+  for (std::size_t j = 0; j < searching.size(); ++j) {
+    ready_.push_back([this, pipe = searching[j],
+                      scores = std::move(all_scores[j])](Worker&) {
+      AdvanceRepairPipeline(pipe, scores);
     });
   }
   queue_cv_.notify_all();
-}
-
-void ResilienceService::FinishRepairPipeline(RepairPipeline& pipe,
-                                             Worker& worker) {
-  SyncReplica(worker);
-  Session& session = *pipe.session;
-  RepairResponse response;
-  response.topology = pipe.job->result();
-  if (pipe.job->proactive_acted()) {
-    proactives_.fetch_add(1, std::memory_order_relaxed);
-  }
-  const core::EncodedState encoded =
-      session.encoder.EncodeForTopology(*pipe.snapshot, response.topology);
-  response.confidence = worker.replica->Discriminate(encoded);
-  response.decision_ns = NsSince(pipe.t0);
-  repairs_.fetch_add(1, std::memory_order_relaxed);
-  pipe.promise->set_value(std::move(response));
-  FinishRequest(session);
 }
 
 // --- legacy run-to-completion path --------------------------------------
@@ -710,6 +789,8 @@ ServiceStats ResilienceService::stats() const {
   s.pipeline_passes = pipeline_passes_.load();
   s.pipeline_jobs = pipeline_jobs_.load();
   s.pipeline_states = pipeline_states_.load();
+  s.confidence_passes = confidence_passes_.load();
+  s.confidence_jobs = confidence_jobs_.load();
   s.weight_epoch = weight_epoch_.load();
   return s;
 }

@@ -48,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -59,6 +60,23 @@
 namespace carol::serve {
 
 using SessionId = std::uint64_t;
+
+// Typed admission-control rejection: thrown by Repair/Observe when the
+// service already holds ServiceConfig::max_pending_requests admitted
+// (queued or in-flight) requests. Callers distinguish overload from the
+// generic shutdown std::runtime_error and may retry with backoff.
+class ServiceOverloadedError : public std::runtime_error {
+ public:
+  explicit ServiceOverloadedError(std::size_t limit)
+      : std::runtime_error(
+            "ResilienceService: request rejected, " +
+            std::to_string(limit) + " requests already pending"),
+        limit_(limit) {}
+  std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t limit_;
+};
 
 // Per-federation serving contract. The nested `carol.gon` sub-config is
 // ignored: sessions share the service's surrogate (ServiceConfig::gon).
@@ -100,6 +118,22 @@ struct ServiceConfig {
   // comes from scheduling, not from waiting — and is the supported way
   // to get cross-session batching without a latency trade.
   int batch_linger_us = 0;
+  // Per-replica attention threading for large federations (H >= 64):
+  // every worker's GON replica fans the per-state GAT attention of its
+  // batched scoring passes across this many threads. Overrides
+  // gon.attention_threads when > 1. The master gets NO pool — it only
+  // trains/fine-tunes/saves, which never runs the tape-free threaded
+  // path. Total compute threads is roughly num_workers *
+  // attention_threads — size the product to the machine. Decisions stay
+  // bit-identical for any value (threading partitions work, never
+  // arithmetic; see src/nn/README.md).
+  int attention_threads = 1;
+  // Admission control (backpressure): maximum number of admitted-but-
+  // unfinished requests — queued plus in flight, across all sessions.
+  // 0 = unbounded (the historical behavior). When the bound is hit,
+  // Repair/Observe reject immediately with ServiceOverloadedError
+  // instead of growing the queue without limit.
+  std::size_t max_pending_requests = 0;
 };
 
 struct RepairRequest {
@@ -148,6 +182,13 @@ struct ServiceStats {
   std::uint64_t pipeline_passes = 0;
   std::uint64_t pipeline_jobs = 0;
   std::uint64_t pipeline_states = 0;
+  // Final per-decision confidence scoring, stacked into the same flush
+  // pass: Discriminate kernel passes run (one per H bucket per flush)
+  // and the decisions they scored. confidence_jobs > confidence_passes
+  // means concurrent decisions shared confidence kernels — the
+  // confidence gate no longer issues lone per-decision kernel calls.
+  std::uint64_t confidence_passes = 0;
+  std::uint64_t confidence_jobs = 0;
   std::uint64_t weight_epoch = 0;
 };
 
@@ -231,25 +272,33 @@ class ResilienceService {
   void SyncReplica(Worker& worker);
 
   // --- pipeline steps (see WorkerLoop for the scheduling policy) -------
-  // First step of a repair: builds the RepairJob and either finishes
-  // immediately (nothing to search) or deposits the first frontier.
-  void StartRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe,
-                           Worker& worker);
+  // Every kernel call of a pipelined repair now happens inside a flush,
+  // so the start/advance steps are pure controller transitions and take
+  // no worker: they only build/advance the job and park encoded work.
+  // First step of a repair: builds the RepairJob and deposits the first
+  // frontier (or, when there is nothing to search, the final-confidence
+  // request).
+  void StartRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe);
   // Resumed step: feeds returned scores into the job, then deposits the
-  // next frontier or finishes.
+  // next frontier or the final-confidence request.
   void AdvanceRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe,
-                             const std::vector<double>& scores,
-                             Worker& worker);
+                             const std::vector<double>& scores);
   // Encodes the job's pending frontier and parks it in the pending-score
   // pool for the next flush.
   void SubmitFrontier(const std::shared_ptr<RepairPipeline>& pipe);
-  // Scores EVERYTHING in the pending pool as stacked GenerateBatch
-  // passes on this worker's replica and schedules the continuations.
-  // Called with `lock` held; unlocks while running kernels.
+  // Final pipeline step: encodes the decided topology and parks the
+  // pipeline in the pending pool for its confidence score — the
+  // per-decision Discriminate calls ride the SAME flush pass as the
+  // frontier scoring, stacked across sessions, instead of issuing lone
+  // kernel calls.
+  void SubmitConfidence(const std::shared_ptr<RepairPipeline>& pipe);
+  // Scores EVERYTHING in the pending pool on this worker's replica —
+  // frontier jobs as stacked GenerateBatch passes, finished decisions as
+  // stacked DiscriminateBatch passes — then schedules continuations and
+  // completes responses. Called with `lock` held; unlocks while running
+  // kernels.
   void FlushPendingScores(std::unique_lock<std::mutex>& lock,
                           Worker& worker);
-  // Confidence + response + promise for a completed job.
-  void FinishRepairPipeline(RepairPipeline& pipe, Worker& worker);
   // Marks the session idle again and wakes the scheduler.
   void FinishRequest(Session& session);
 
@@ -304,6 +353,8 @@ class ResilienceService {
   std::atomic<std::uint64_t> pipeline_passes_{0};
   std::atomic<std::uint64_t> pipeline_jobs_{0};
   std::atomic<std::uint64_t> pipeline_states_{0};
+  std::atomic<std::uint64_t> confidence_passes_{0};
+  std::atomic<std::uint64_t> confidence_jobs_{0};
 };
 
 // Adapter: presents one service session as a core::ResilienceModel, so

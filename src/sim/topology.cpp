@@ -1,6 +1,7 @@
 #include "sim/topology.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@ Topology::Topology(int num_nodes) {
   }
   assignment_.assign(static_cast<std::size_t>(num_nodes), 0);
   assignment_[0] = 0;  // node 0 is the sole broker
+  hash_ = RecomputeHash();
 }
 
 Topology Topology::Initial(int num_nodes, int num_brokers) {
@@ -24,7 +26,7 @@ Topology Topology::Initial(int num_nodes, int num_brokers) {
   const int stride = num_nodes / num_brokers;
   std::vector<NodeId> brokers;
   for (int b = 0; b < num_brokers; ++b) brokers.push_back(b * stride);
-  for (NodeId b : brokers) t.assignment_[static_cast<std::size_t>(b)] = b;
+  for (NodeId b : brokers) t.SetAssignment(static_cast<std::size_t>(b), b);
   int next = 0;
   for (NodeId i = 0; i < num_nodes; ++i) {
     if (std::find(brokers.begin(), brokers.end(), i) != brokers.end()) {
@@ -35,10 +37,10 @@ Topology Topology::Initial(int num_nodes, int num_brokers) {
     const NodeId site_broker = (i / stride) * stride;
     if (std::find(brokers.begin(), brokers.end(), site_broker) !=
         brokers.end()) {
-      t.assignment_[static_cast<std::size_t>(i)] = site_broker;
+      t.SetAssignment(static_cast<std::size_t>(i), site_broker);
     } else {
-      t.assignment_[static_cast<std::size_t>(i)] =
-          brokers[static_cast<std::size_t>(next++ % num_brokers)];
+      t.SetAssignment(static_cast<std::size_t>(i),
+                      brokers[static_cast<std::size_t>(next++ % num_brokers)]);
     }
   }
   return t;
@@ -50,6 +52,7 @@ Topology Topology::FromAssignment(const std::vector<NodeId>& assignment) {
   }
   Topology t;
   t.assignment_ = assignment;
+  t.hash_ = t.RecomputeHash();
   if (!t.IsValid()) {
     throw std::invalid_argument("FromAssignment: invalid encoding");
   }
@@ -117,7 +120,7 @@ int Topology::lei_of(NodeId node) const {
 
 void Topology::Promote(NodeId worker) {
   CheckNode(worker, "Promote");
-  assignment_[static_cast<std::size_t>(worker)] = worker;
+  SetAssignment(static_cast<std::size_t>(worker), worker);
 }
 
 void Topology::Demote(NodeId broker, NodeId new_broker) {
@@ -130,9 +133,9 @@ void Topology::Demote(NodeId broker, NodeId new_broker) {
     throw std::invalid_argument("Demote: new_broker must be another broker");
   }
   for (NodeId w : workers_of(broker)) {
-    assignment_[static_cast<std::size_t>(w)] = new_broker;
+    SetAssignment(static_cast<std::size_t>(w), new_broker);
   }
-  assignment_[static_cast<std::size_t>(broker)] = new_broker;
+  SetAssignment(static_cast<std::size_t>(broker), new_broker);
 }
 
 void Topology::Assign(NodeId worker, NodeId broker) {
@@ -145,7 +148,7 @@ void Topology::Assign(NodeId worker, NodeId broker) {
     throw std::invalid_argument(
         "Assign: node is a broker (demote it instead)");
   }
-  assignment_[static_cast<std::size_t>(worker)] = broker;
+  SetAssignment(static_cast<std::size_t>(worker), broker);
 }
 
 bool Topology::IsValid() const {
@@ -187,11 +190,34 @@ std::vector<double> Topology::AdjacencyFlat() const {
   return adj;
 }
 
-std::size_t Topology::Hash() const {
-  std::size_t hash = 1469598103934665603ull;  // FNV offset basis
-  for (NodeId v : assignment_) {
-    hash ^= static_cast<std::size_t>(v) + 0x9e3779b9;
-    hash *= 1099511628211ull;  // FNV prime
+std::size_t Topology::HashKey(std::size_t index, NodeId value) {
+  // splitmix64 finalizer over the packed (index, value) pair: cheap,
+  // stateless, and well-mixed enough that XOR-combining per-entry keys
+  // behaves like a random Zobrist table for arbitrary host counts.
+  std::uint64_t x = (static_cast<std::uint64_t>(index) << 32) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        static_cast<std::int64_t>(value)));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+void Topology::SetAssignment(std::size_t index, NodeId value) {
+  NodeId& slot = assignment_[index];
+  if (slot == value) return;
+  // XOR is its own inverse: out with the old entry's key, in with the
+  // new one. A full undo (re-applying the old value) restores the exact
+  // previous hash, which is what makes tabu scratch rebuilds O(moved
+  // entries) instead of O(H).
+  hash_ ^= HashKey(index, slot) ^ HashKey(index, value);
+  slot = value;
+}
+
+std::size_t Topology::RecomputeHash() const {
+  std::size_t hash = 0;
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    hash ^= HashKey(i, assignment_[i]);
   }
   return hash;
 }

@@ -63,8 +63,19 @@ class Topology {
   // row-major HxH with 0/1 entries. No self loops.
   std::vector<double> AdjacencyFlat() const;
 
-  // FNV-1a over the assignment vector; used by the tabu list.
-  std::size_t Hash() const;
+  // Zobrist-style hash over the assignment vector, maintained
+  // INCREMENTALLY: every mutation XORs out the touched entries' old keys
+  // and XORs in the new ones, so Hash() is O(1) — the tabu list filters
+  // candidates without ever rehashing a full topology (the ROADMAP's
+  // enumeration-side cost at H >= 64). Pinned bit-for-bit against
+  // RecomputeHash() by tests/topology_hash_test.cpp.
+  std::size_t Hash() const { return hash_; }
+  // From-scratch reference rehash (O(H)); equals Hash() always.
+  std::size_t RecomputeHash() const;
+
+  // Read-only view of the broker_of encoding (assignment()[i] == i marks
+  // a broker); FromAssignment(assignment()) round-trips.
+  const std::vector<NodeId>& assignment() const { return assignment_; }
 
   bool operator==(const Topology& other) const = default;
 
@@ -73,10 +84,17 @@ class Topology {
 
  private:
   void CheckNode(NodeId node, const char* op) const;
+  // Per-(index, value) 64-bit Zobrist key (splitmix64 mix, computed on
+  // the fly so no table has to cover arbitrary host counts).
+  static std::size_t HashKey(std::size_t index, NodeId value);
+  // The only writer of assignment_ entries: updates hash_ in O(1).
+  void SetAssignment(std::size_t index, NodeId value);
 
   // assignment_[i] == i  -> node i is a broker;
   // assignment_[i] == b  -> node i is a worker of broker b.
   std::vector<NodeId> assignment_;
+  // XOR over HashKey(i, assignment_[i]); kept in sync by SetAssignment.
+  std::size_t hash_ = 0;
 };
 
 }  // namespace carol::sim

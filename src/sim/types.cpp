@@ -1,5 +1,7 @@
 #include "sim/types.h"
 
+#include <algorithm>
+
 namespace carol::sim {
 
 NodeSpec RaspberryPi4B4GB() {
@@ -30,13 +32,18 @@ std::vector<NodeSpec> DefaultTestbedSpecs() {
   // 4 sites x 4 nodes. Node (site*4 + 0) is the 8 GB initial broker of the
   // site; each site also holds one additional 8 GB node (so 8 of each part
   // federation-wide, matching the paper's testbed).
+  return ScaledTestbedSpecs(16);
+}
+
+std::vector<NodeSpec> ScaledTestbedSpecs(int num_nodes) {
+  // Tile the testbed's site pattern: every complete 4-node site holds
+  // two 8 GB parts (the site broker first) and two 4 GB parts. A
+  // trailing partial site keeps the same prefix, so any size stays
+  // broker-candidate-first.
   std::vector<NodeSpec> specs;
-  specs.reserve(16);
-  for (int site = 0; site < 4; ++site) {
-    specs.push_back(RaspberryPi4B8GB());
-    specs.push_back(RaspberryPi4B8GB());
-    specs.push_back(RaspberryPi4B4GB());
-    specs.push_back(RaspberryPi4B4GB());
+  specs.reserve(static_cast<std::size_t>(std::max(0, num_nodes)));
+  for (int i = 0; i < num_nodes; ++i) {
+    specs.push_back((i % 4) < 2 ? RaspberryPi4B8GB() : RaspberryPi4B4GB());
   }
   return specs;
 }

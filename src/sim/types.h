@@ -36,6 +36,15 @@ NodeSpec RaspberryPi4B8GB();
 // first node of each site is an 8 GB part (initial broker candidates).
 std::vector<NodeSpec> DefaultTestbedSpecs();
 
+// Large-federation generator: tiles the testbed's 4-node site pattern
+// (8 GB, 8 GB, 4 GB, 4 GB) up to `num_nodes` hosts, so fleets of any
+// size keep the paper's per-site heterogeneity — node (site*4 + 0)
+// stays the natural initial broker of its site (Topology::Initial picks
+// exactly those for num_brokers = num_nodes/4). ScaledTestbedSpecs(16)
+// == DefaultTestbedSpecs(); the H in {64, 128} sweeps in bench/ and
+// examples/large_federation build their fleets through this.
+std::vector<NodeSpec> ScaledTestbedSpecs(int num_nodes);
+
 // One unit of work (a containerized application instance, bag-of-tasks
 // model). All resource demands are per-task while active.
 struct Task {

@@ -321,6 +321,13 @@ TEST(ServeTest, PipelineStacksConcurrentSessionsWithZeroLinger) {
   // passes carried multiple sessions' frontiers, with zero linger.
   EXPECT_GT(stats.pipeline_jobs, stats.pipeline_passes);
   EXPECT_GT(stats.pipeline_states, stats.pipeline_jobs);
+  // The final per-decision confidence calls ride the flush too: every
+  // repair was scored through a stacked pass (no lone kernel calls),
+  // and with 5 eager sessions on 1 worker at least some confidence
+  // passes carried multiple decisions.
+  EXPECT_EQ(stats.confidence_jobs, stats.repairs);
+  ASSERT_GT(stats.confidence_passes, 0u);
+  EXPECT_GT(stats.confidence_jobs, stats.confidence_passes);
 }
 
 TEST(ServeTest, LegacyLingerWindowStacksConcurrentSessionsIntoSharedPasses) {
@@ -437,6 +444,121 @@ TEST(ServeTest, BusySessionDoesNotStarveOtherTenants) {
   t1.join();
   t2.join();
   t3.join();
+  EXPECT_EQ(completed.load(), 18);
+}
+
+TEST(ServeTest, ThreadedAttentionKeepsSessionsBitIdentical) {
+  // attention_threads > 1 threads every replica's scoring kernels; the
+  // session's decisions and confidences must STILL match the sequential
+  // single-model reference exactly.
+  core::CarolConfig cfg = TinyCarolConfig(77);
+  cfg.policy = core::FineTunePolicy::kNever;
+  core::CarolModel reference(cfg);
+  const Episode expected = DriveCarol(reference, 12, 3, 5);
+
+  ServiceConfig service_cfg = TinyServiceConfig(2);
+  service_cfg.attention_threads = 3;
+  ResilienceService service(service_cfg);
+  FederationSpec spec;
+  spec.carol = cfg;
+  const SessionId id = service.OpenSession(spec);
+  const Episode actual = DriveSession(service, id, 12, 3, 5);
+  ExpectEpisodesIdentical(expected, actual);
+}
+
+// --- admission control ---------------------------------------------------
+
+TEST(ServeTest, BoundedQueueRejectsWithTypedError) {
+  // One worker, a one-request bound, and a deliberately slow repair
+  // (64 hosts, deep tabu budget) occupying it: the next request must be
+  // rejected with the typed overload error while the first is in
+  // flight, and the first must still complete normally.
+  ServiceConfig cfg = TinyServiceConfig(1);
+  cfg.max_pending_requests = 1;
+  ResilienceService service(cfg);
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig();
+  spec.carol.policy = core::FineTunePolicy::kNever;
+  spec.carol.tabu.max_iterations = 30;
+  spec.carol.tabu.max_evaluations = 2000;
+  const SessionId slow = service.OpenSession(spec);
+  spec.carol.seed = 88;
+  const SessionId probe = service.OpenSession(spec);
+
+  std::atomic<bool> slow_done{false};
+  std::thread slow_client([&] {
+    RepairRequest req;
+    const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 64, 16);
+    req.current = snap.topology;
+    req.failed_brokers = {0};
+    req.snapshot = snap;
+    for (;;) {  // the probe below may hold the only admission slot
+      try {
+        EXPECT_TRUE(service.Repair(slow, req).topology.IsValid());
+        break;
+      } catch (const ServiceOverloadedError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    slow_done.store(true);
+  });
+
+  // While the (multi-hundred-ms) slow repair occupies the single
+  // admission slot, probes must be turned away with the typed error.
+  RepairRequest req;
+  const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2);
+  req.current = snap.topology;
+  req.failed_brokers = {0};
+  req.snapshot = snap;
+  int rejections = 0;
+  while (!slow_done.load()) {
+    try {
+      service.Repair(probe, req);
+    } catch (const ServiceOverloadedError& e) {
+      EXPECT_EQ(e.limit(), 1u);
+      ++rejections;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  slow_client.join();
+  // The slow request held the only admission slot for a macroscopic
+  // window, so the probe loop must have been turned away at least once.
+  EXPECT_GT(rejections, 0);
+  // After the queue drained, requests are admitted again.
+  EXPECT_TRUE(service.Repair(probe, req).topology.IsValid());
+}
+
+TEST(ServeTest, UnboundedQueueNeverRejects) {
+  // max_pending_requests = 0 keeps the historical behavior: everything
+  // is admitted, even a burst far wider than the worker pool.
+  ResilienceService service(TinyServiceConfig(1));
+  ASSERT_EQ(service.config().max_pending_requests, 0u);
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig();
+  spec.carol.policy = core::FineTunePolicy::kNever;
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 6; ++i) {
+    spec.carol.seed = 200 + static_cast<unsigned>(i);
+    ids.push_back(service.OpenSession(spec));
+  }
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 3; ++r) {
+        RepairRequest req;
+        const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2, r);
+        req.current = snap.topology;
+        req.failed_brokers = {0};
+        req.snapshot = snap;
+        EXPECT_TRUE(
+            service.Repair(ids[static_cast<std::size_t>(c)], req)
+                .topology.IsValid());
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
   EXPECT_EQ(completed.load(), 18);
 }
 

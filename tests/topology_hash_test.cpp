@@ -1,0 +1,181 @@
+// Pins the incremental Zobrist Topology::Hash to a from-scratch rehash,
+// bit for bit, across thousands of randomized mutation sequences: chains
+// of ApplyLocalMove over the node-shift neighborhood, raw mutation
+// primitives, undo/redo chains (XOR reversibility) and mixed host
+// counts. If the incremental update ever drifts from RecomputeHash, the
+// tabu list would silently stop recognizing visited topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/node_shift.h"
+#include "sim/topology.h"
+
+namespace carol {
+namespace {
+
+// A random valid topology: random broker set, workers assigned randomly.
+sim::Topology RandomTopology(int hosts, common::Rng& rng) {
+  const int brokers = 1 + static_cast<int>(rng.Choice(
+                              static_cast<std::size_t>(hosts / 2)));
+  std::vector<sim::NodeId> broker_ids;
+  const auto perm = rng.Permutation(static_cast<std::size_t>(hosts));
+  for (int b = 0; b < brokers; ++b) {
+    broker_ids.push_back(static_cast<sim::NodeId>(perm[b]));
+  }
+  std::vector<sim::NodeId> assignment(static_cast<std::size_t>(hosts));
+  for (sim::NodeId b : broker_ids) {
+    assignment[static_cast<std::size_t>(b)] = b;
+  }
+  for (int i = 0; i < hosts; ++i) {
+    if (std::find(broker_ids.begin(), broker_ids.end(), i) ==
+        broker_ids.end()) {
+      assignment[static_cast<std::size_t>(i)] =
+          broker_ids[rng.Choice(broker_ids.size())];
+    }
+  }
+  return sim::Topology::FromAssignment(assignment);
+}
+
+void ExpectHashConsistent(const sim::Topology& t, const char* where) {
+  EXPECT_EQ(t.Hash(), t.RecomputeHash()) << where;
+  // Round-trip through the raw encoding: a freshly constructed equal
+  // topology hashes identically (hash is a pure function of the
+  // assignment, never of the mutation history).
+  const sim::Topology rebuilt = sim::Topology::FromAssignment(t.assignment());
+  EXPECT_EQ(t.Hash(), rebuilt.Hash()) << where;
+  EXPECT_TRUE(t == rebuilt) << where;
+}
+
+TEST(TopologyHashTest, ConstructorsMatchRecompute) {
+  ExpectHashConsistent(sim::Topology(5), "Topology(5)");
+  ExpectHashConsistent(sim::Topology::Initial(16, 4), "Initial(16,4)");
+  ExpectHashConsistent(sim::Topology::Initial(64, 16), "Initial(64,16)");
+  ExpectHashConsistent(sim::Topology::Initial(128, 32), "Initial(128,32)");
+  common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ExpectHashConsistent(RandomTopology(12, rng), "RandomTopology(12)");
+  }
+}
+
+TEST(TopologyHashTest, FuzzedApplyLocalMoveChains) {
+  // Thousands of randomized move applications across host counts: after
+  // EVERY ApplyLocalMove the incremental hash must equal a full rehash.
+  common::Rng rng(17);
+  for (int hosts : {5, 8, 16, 33, 64, 128}) {
+    sim::Topology current = sim::Topology::Initial(
+        hosts, std::max(2, hosts / 4));
+    std::vector<bool> alive(static_cast<std::size_t>(hosts), true);
+    if (hosts > 4) alive[static_cast<std::size_t>(hosts - 1)] = false;
+    sim::Topology scratch;  // reused across steps, like the tabu search
+    const int steps = hosts >= 64 ? 150 : 400;
+    for (int step = 0; step < steps; ++step) {
+      const std::vector<core::LocalMove> moves =
+          core::LocalMoves(current, alive);
+      if (moves.empty()) break;
+      const core::LocalMove& move = moves[rng.Choice(moves.size())];
+      core::ApplyLocalMove(current, move, scratch);
+      ASSERT_EQ(scratch.Hash(), scratch.RecomputeHash())
+          << "hosts=" << hosts << " step=" << step;
+      std::swap(current, scratch);
+    }
+    ExpectHashConsistent(current, "end of chain");
+  }
+}
+
+TEST(TopologyHashTest, UndoRedoChainsRestoreExactHash) {
+  // XOR reversibility: applying a move and then restoring the previous
+  // assignment (via primitives, not via copy) must restore the EXACT
+  // previous hash, repeatedly, in long undo/redo chains.
+  common::Rng rng(23);
+  for (int hosts : {8, 16, 64}) {
+    sim::Topology topo = sim::Topology::Initial(hosts, hosts / 4);
+    const std::vector<bool> alive(static_cast<std::size_t>(hosts), true);
+    for (int round = 0; round < 200; ++round) {
+      const std::size_t hash_before = topo.Hash();
+      const std::vector<sim::NodeId> assignment_before = topo.assignment();
+
+      // Pick a random worker reassignment (always primitively undoable).
+      const std::vector<sim::NodeId> workers = topo.workers();
+      if (workers.empty()) break;
+      const sim::NodeId w = workers[rng.Choice(workers.size())];
+      const sim::NodeId old_broker = topo.broker_of(w);
+      const std::vector<sim::NodeId> brokers = topo.brokers();
+      const sim::NodeId b = brokers[rng.Choice(brokers.size())];
+      if (b == old_broker) continue;
+
+      topo.Assign(w, b);  // redo
+      ASSERT_EQ(topo.Hash(), topo.RecomputeHash()) << round;
+      ASSERT_NE(topo.Hash(), hash_before) << round;  // state changed
+
+      topo.Assign(w, old_broker);  // undo
+      ASSERT_EQ(topo.Hash(), hash_before) << round;
+      ASSERT_EQ(topo.assignment(), assignment_before) << round;
+    }
+  }
+}
+
+TEST(TopologyHashTest, PromoteDemoteChainsMatchRecompute) {
+  // Demote moves a whole LEI (many entries at once); Promote single
+  // entries. Randomized chains of both must track the full rehash.
+  common::Rng rng(29);
+  for (int hosts : {12, 16, 64}) {
+    sim::Topology topo = sim::Topology::Initial(hosts, hosts / 4);
+    for (int round = 0; round < 300; ++round) {
+      const std::vector<sim::NodeId> brokers = topo.brokers();
+      if (rng.Uniform(0.0, 1.0) < 0.5 && brokers.size() >= 2) {
+        const sim::NodeId from = brokers[rng.Choice(brokers.size())];
+        const sim::NodeId to = brokers[rng.Choice(brokers.size())];
+        if (to == from) continue;
+        topo.Demote(from, to);
+      } else {
+        const std::vector<sim::NodeId> workers = topo.workers();
+        if (workers.empty()) continue;
+        topo.Promote(workers[rng.Choice(workers.size())]);
+      }
+      ASSERT_EQ(topo.Hash(), topo.RecomputeHash())
+          << "hosts=" << hosts << " round=" << round;
+    }
+    ExpectHashConsistent(topo, "promote/demote chain end");
+  }
+}
+
+TEST(TopologyHashTest, MixedHostCountsDoNotCollideTrivially) {
+  // Different host counts and different assignments should (with
+  // overwhelming probability) hash differently; equal topologies must
+  // hash equally. This guards against degenerate HashKey mixing.
+  common::Rng rng(31);
+  std::unordered_map<std::size_t, sim::Topology> seen;
+  int collisions = 0;
+  int samples = 0;
+  for (int hosts : {5, 8, 12, 16, 24, 33, 64}) {
+    for (int i = 0; i < 60; ++i) {
+      const sim::Topology t = RandomTopology(hosts, rng);
+      ASSERT_EQ(t.Hash(), t.RecomputeHash());
+      auto [it, inserted] = seen.emplace(t.Hash(), t);
+      if (!inserted && !(it->second == t)) ++collisions;
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 400);
+  EXPECT_EQ(collisions, 0);  // 64-bit hashes over a few hundred samples
+}
+
+TEST(TopologyHashTest, CopiesCarryTheHash) {
+  // Copy/assign must carry the cached hash (the tabu scratch pattern:
+  // `out = base` then mutate updates only the touched entries' keys).
+  const sim::Topology base = sim::Topology::Initial(64, 16);
+  sim::Topology copy = base;
+  EXPECT_EQ(copy.Hash(), base.Hash());
+  copy.Assign(1, 16);
+  EXPECT_EQ(copy.Hash(), copy.RecomputeHash());
+  EXPECT_NE(copy.Hash(), base.Hash());
+  copy = base;
+  EXPECT_EQ(copy.Hash(), base.Hash());
+}
+
+}  // namespace
+}  // namespace carol
