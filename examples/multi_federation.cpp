@@ -64,15 +64,19 @@ int main() {
       harness::RunFederationsViaServiceReport(service, specs, configs);
   const std::vector<harness::RunResult>& results = report.results;
 
-  std::printf("%-14s %-8s %-12s %-12s %-10s %-12s\n", "federation",
-              "hosts", "energy(kWh)", "response(s)", "slo_rate",
-              "decision(s)");
+  std::printf("%-14s %-8s %-12s %-12s %-10s %-10s %-10s %-9s\n",
+              "federation", "hosts", "energy(kWh)", "response(s)",
+              "slo_rate", "p50(ms)", "p99(ms)", "finetunes");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("%-14s %-8d %-12.4f %-12.1f %-10.4f %-12.4f\n",
+    // Per-session QoS/latency breakdown (harness::SessionQos): the
+    // service-side decision percentiles, not just the fleet aggregate.
+    const harness::SessionQos& qos = report.sessions[i];
+    std::printf("%-14s %-8d %-12.4f %-12.1f %-10.4f %-10.2f %-10.2f "
+                "%-9d\n",
                 specs[i].name.c_str(), fleets[i].first,
                 results[i].total_energy_kwh, results[i].avg_response_s,
-                results[i].slo_violation_rate,
-                results[i].avg_decision_time_s);
+                results[i].slo_violation_rate, qos.decision_p50_ms,
+                qos.decision_p99_ms, qos.finetunes);
   }
 
   const serve::ServiceStats stats = service.stats();

@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,9 @@ CsvWriter::CsvWriter(const std::string& path,
   if (!out_) {
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
+  // Full round-trip precision: schedules and traces written here must
+  // read back bit-exactly (max_digits10 guarantees that for doubles).
+  out_.precision(std::numeric_limits<double>::max_digits10);
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << header[i];
     if (i + 1 < header.size()) out_ << ',';

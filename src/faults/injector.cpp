@@ -1,6 +1,7 @@
 #include "faults/injector.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/log.h"
 
@@ -22,6 +23,11 @@ std::string ToString(FaultType type) {
 
 FaultInjector::FaultInjector(FaultInjectorConfig config, common::Rng rng)
     : config_(config), rng_(rng) {}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : rng_(0), scripted_(true), schedule_(std::move(schedule)) {
+  schedule_.Sort();
+}
 
 sim::NodeId FaultInjector::PickTarget(const sim::Federation& federation) {
   const auto& topo = federation.topology();
@@ -66,6 +72,24 @@ void FaultInjector::ApplyContention(sim::Federation& federation,
       {e.target, e.escalates ? e.hang_at_s : e.onset_s + e.duration_s});
 }
 
+void FaultInjector::ApplyEvent(sim::Federation& federation,
+                               const FaultEvent& e,
+                               std::vector<FaultEvent>* events) {
+  if (e.escalates) {
+    federation.SetFailed(e.target, e.hang_at_s, e.recover_at_s);
+    ++failures_;
+  }
+  // Organic overload hangs carry no injected load: the overload came from
+  // the workload itself, which a replay reproduces on its own.
+  if (!e.organic) ApplyContention(federation, e);
+  common::LogInfo() << "fault: " << ToString(e.type) << " on node "
+                    << e.target << " at t=" << e.onset_s
+                    << (e.escalates ? " (escalates)" : "")
+                    << (e.organic ? " (organic)" : "");
+  events->push_back(e);
+  history_.push_back(e);
+}
+
 std::vector<FaultEvent> FaultInjector::Step(sim::Federation& federation) {
   const double t0 = federation.now_s();
   const double dt = federation.config().interval_seconds;
@@ -81,6 +105,26 @@ std::vector<FaultEvent> FaultInjector::Step(sim::Federation& federation) {
   }
 
   std::vector<FaultEvent> events;
+
+  if (scripted_) {
+    // Replay every scheduled event due this interval (or earlier, so a
+    // schedule starting before the caller's first Step is not lost).
+    while (schedule_pos_ < schedule_.events.size() &&
+           schedule_.events[schedule_pos_].interval <=
+               federation.interval_index()) {
+      const FaultEvent& e = schedule_.events[schedule_pos_++];
+      if (e.target < 0 || e.target >= federation.num_nodes()) {
+        // Silently skipping would turn the bit-exact-replay guarantee
+        // into quiet divergence; a schedule/fleet mismatch fails fast.
+        throw std::invalid_argument(
+            "FaultInjector: scheduled target " +
+            std::to_string(e.target) + " out of range for a " +
+            std::to_string(federation.num_nodes()) + "-node federation");
+      }
+      ApplyEvent(federation, e, &events);
+    }
+    return events;
+  }
 
   // Injected attacks: Poisson(lambda_f), uniform type.
   const int attacks = rng_.Poisson(config_.lambda_per_interval);
@@ -100,15 +144,8 @@ std::vector<FaultEvent> FaultInjector::Step(sim::Federation& federation) {
       e.recover_at_s =
           e.hang_at_s +
           rng_.Uniform(config_.reboot_min_s, config_.reboot_max_s);
-      federation.SetFailed(e.target, e.hang_at_s, e.recover_at_s);
-      ++failures_;
     }
-    ApplyContention(federation, e);
-    common::LogInfo() << "fault: " << ToString(e.type) << " on node "
-                      << e.target << " at t=" << e.onset_s
-                      << (e.escalates ? " (escalates)" : "");
-    events.push_back(e);
-    history_.push_back(e);
+    ApplyEvent(federation, e, &events);
   }
 
   // Organic overload failures from last interval's measured CPU ratios.
@@ -128,11 +165,8 @@ std::vector<FaultEvent> FaultInjector::Step(sim::Federation& federation) {
     e.hang_at_s = e.onset_s;
     e.recover_at_s = e.hang_at_s + rng_.Uniform(config_.reboot_min_s,
                                                 config_.reboot_max_s);
-    federation.SetFailed(e.target, e.hang_at_s, e.recover_at_s);
-    ++failures_;
-    common::LogInfo() << "organic overload failure on node " << node;
-    events.push_back(e);
-    history_.push_back(e);
+    e.organic = true;
+    ApplyEvent(federation, e, &events);
   }
   return events;
 }

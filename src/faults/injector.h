@@ -8,6 +8,11 @@
 // In addition to injected attacks, sustained organic CPU overload can
 // also hang a node: this closes the QoS feedback loop (bad topology ->
 // contention -> more failures) that resilience models are evaluated on.
+//
+// Besides the stochastic Poisson mode, the injector can replay a
+// FaultSchedule verbatim (scripted mode): the scenario engine compiles
+// declarative failure scenarios into schedules, and a stochastic run's
+// history() round-trips through CSV back into an identical replay.
 #ifndef CAROL_FAULTS_INJECTOR_H_
 #define CAROL_FAULTS_INJECTOR_H_
 
@@ -33,6 +38,32 @@ struct FaultEvent {
   bool escalates = false;     // becomes a byzantine failure
   double hang_at_s = 0.0;     // failure window start (if escalates)
   double recover_at_s = 0.0;  // failure window end
+  // Organic overload hangs carry no injected contention load; replays
+  // must apply SetFailed only (the overload that caused them is already
+  // produced by the workload itself).
+  bool organic = false;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+// A fully materialized fault timeline: what a stochastic injector run
+// produced (history()), or what the scenario compiler emits. Replaying a
+// schedule against an identically-seeded federation reproduces the
+// original run bit for bit (pinned by faults_test).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  // Stable-sorts events by interval. Intra-interval order is preserved:
+  // it is the application order, which is observable (a later contention
+  // load on the same node overwrites an earlier one).
+  void Sort();
+  // CSV persistence via common/csv. Save writes full double precision so
+  // Load round-trips bit-exactly. Load throws std::runtime_error on a
+  // missing file or unexpected header.
+  void Save(const std::string& path) const;
+  static FaultSchedule Load(const std::string& path);
+
+  bool operator==(const FaultSchedule&) const = default;
 };
 
 struct FaultInjectorConfig {
@@ -59,22 +90,36 @@ struct FaultInjectorConfig {
 
 class FaultInjector {
  public:
+  // Stochastic mode: Poisson attacks + organic overload failures.
   FaultInjector(FaultInjectorConfig config, common::Rng rng);
+  // Scripted mode: replays `schedule` verbatim (events applied on their
+  // recorded interval, preserving intra-interval order). No rng is
+  // consumed and organic overload sampling is OFF — a recorded schedule
+  // already contains the organic events of the run that produced it.
+  explicit FaultInjector(FaultSchedule schedule);
 
   // Call once per interval after Federation::BeginInterval and before
-  // RunInterval: injects this interval's attacks and organic failures.
+  // RunInterval: injects this interval's attacks and organic failures
+  // (stochastic mode) or replays the scheduled events (scripted mode).
   // Returns the events created this step.
   std::vector<FaultEvent> Step(sim::Federation& federation);
 
+  bool scripted() const { return scripted_; }
   const std::vector<FaultEvent>& history() const { return history_; }
   int total_failures_caused() const { return failures_; }
 
  private:
   void ApplyContention(sim::Federation& federation, const FaultEvent& e);
+  // Applies one event (failure window + contention load) and records it.
+  void ApplyEvent(sim::Federation& federation, const FaultEvent& e,
+                  std::vector<FaultEvent>* events);
   sim::NodeId PickTarget(const sim::Federation& federation);
 
   FaultInjectorConfig config_;
   common::Rng rng_;
+  bool scripted_ = false;
+  FaultSchedule schedule_;      // scripted mode only, sorted
+  std::size_t schedule_pos_ = 0;
   std::vector<FaultEvent> history_;
   // Active contention windows to clear when they lapse.
   struct ActiveLoad {

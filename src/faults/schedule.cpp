@@ -1,0 +1,73 @@
+// FaultSchedule persistence: fault timelines round-trip through the
+// common CSV substrate bit-exactly (CsvWriter emits max_digits10
+// precision), so a saved stochastic run replays identically.
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "faults/injector.h"
+
+namespace carol::faults {
+
+namespace {
+
+const std::vector<std::string>& ScheduleHeader() {
+  static const std::vector<std::string> header = {
+      "interval",  "type",       "target",    "onset_s", "magnitude",
+      "duration_s", "escalates", "hang_at_s", "recover_at_s", "organic"};
+  return header;
+}
+
+}  // namespace
+
+void FaultSchedule::Sort() {
+  // Stable, by interval ONLY: within an interval the stored order is the
+  // application order, and application order is observable (a second
+  // contention load on the same node overwrites the first), so replays
+  // must preserve it exactly as recorded/compiled.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.interval < b.interval;
+                   });
+}
+
+void FaultSchedule::Save(const std::string& path) const {
+  common::CsvWriter writer(path, ScheduleHeader());
+  for (const FaultEvent& e : events) {
+    writer.WriteRow({static_cast<double>(e.interval),
+                     static_cast<double>(e.type),
+                     static_cast<double>(e.target), e.onset_s, e.magnitude,
+                     e.duration_s, e.escalates ? 1.0 : 0.0, e.hang_at_s,
+                     e.recover_at_s, e.organic ? 1.0 : 0.0});
+  }
+}
+
+FaultSchedule FaultSchedule::Load(const std::string& path) {
+  const common::CsvTable table = common::ReadCsv(path);
+  if (table.header != ScheduleHeader()) {
+    throw std::runtime_error("FaultSchedule::Load: unexpected header in " +
+                             path);
+  }
+  FaultSchedule schedule;
+  schedule.events.reserve(table.rows.size());
+  for (const std::vector<double>& row : table.rows) {
+    if (row.size() != ScheduleHeader().size()) {
+      throw std::runtime_error("FaultSchedule::Load: short row in " + path);
+    }
+    FaultEvent e;
+    e.interval = static_cast<int>(row[0]);
+    e.type = static_cast<FaultType>(static_cast<int>(row[1]));
+    e.target = static_cast<sim::NodeId>(row[2]);
+    e.onset_s = row[3];
+    e.magnitude = row[4];
+    e.duration_s = row[5];
+    e.escalates = row[6] != 0.0;
+    e.hang_at_s = row[7];
+    e.recover_at_s = row[8];
+    e.organic = row[9] != 0.0;
+    schedule.events.push_back(e);
+  }
+  return schedule;
+}
+
+}  // namespace carol::faults

@@ -23,12 +23,11 @@ std::vector<workload::AppProfile> ProfilesFor(const RunConfig& cfg) {
                       : workload::DeFogProfiles();
 }
 
-// Fallback repair when a model returns an invalid topology or leaves a
-// failed broker managing alive workers: promote the least-utilized alive
-// orphan (the DYVERSE default), or hand the LEI to another alive broker.
-sim::Topology DefaultRepair(const sim::Topology& topo,
-                            const std::vector<sim::NodeId>& failed_brokers,
-                            const sim::Federation& fed) {
+}  // namespace
+
+sim::Topology FallbackRepair(const sim::Topology& topo,
+                             const std::vector<sim::NodeId>& failed_brokers,
+                             const sim::Federation& fed) {
   sim::Topology fixed = topo;
   for (sim::NodeId b : failed_brokers) {
     if (!fixed.is_broker(b)) continue;
@@ -58,8 +57,6 @@ sim::Topology DefaultRepair(const sim::Topology& topo,
   }
   return fixed;
 }
-
-}  // namespace
 
 std::vector<double> RunResult::PerAppP90(std::size_t num_apps) const {
   std::vector<std::vector<double>> per_app(num_apps);
@@ -122,7 +119,7 @@ RunResult FederationRuntime::Run(core::ResilienceModel& model) {
       common::LogWarn() << model.name()
                         << ": invalid repair topology, using default";
       repaired =
-          DefaultRepair(fed.topology(), report.failed_brokers, fed);
+          FallbackRepair(fed.topology(), report.failed_brokers, fed);
     }
     fed.SetTopology(repaired);
 

@@ -1,10 +1,41 @@
 #include "harness/serve_experiment.h"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
+#include "common/stats.h"
+
 namespace carol::harness {
+
+SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
+                          const std::vector<std::int64_t>& decision_ns,
+                          int finetunes) {
+  SessionQos qos;
+  qos.name = name;
+  qos.energy_kwh = result.total_energy_kwh;
+  qos.avg_response_s = result.avg_response_s;
+  qos.slo_violation_rate = result.slo_violation_rate;
+  qos.completed = result.completed;
+  qos.violated = result.violated;
+  qos.total_tasks = result.total_tasks;
+  qos.failures_injected = result.failures_injected;
+  qos.broker_failures_detected = result.broker_failures_detected;
+  qos.decisions = static_cast<int>(decision_ns.size());
+  qos.finetunes = finetunes;
+  if (!decision_ns.empty()) {
+    std::vector<double> ms;
+    ms.reserve(decision_ns.size());
+    for (std::int64_t ns : decision_ns) {
+      ms.push_back(static_cast<double>(ns) / 1e6);
+    }
+    qos.decision_mean_ms = common::Mean(ms);
+    qos.decision_p50_ms = common::Percentile(ms, 50.0);
+    qos.decision_p99_ms = common::Percentile(ms, 99.0);
+  }
+  return qos;
+}
 
 ServiceRunReport RunFederationsViaServiceReport(
     serve::ResilienceService& service,
@@ -17,6 +48,7 @@ ServiceRunReport RunFederationsViaServiceReport(
   const serve::ServiceStats before = service.stats();
   ServiceRunReport report;
   report.results.resize(specs.size());
+  report.sessions.resize(specs.size());
   std::vector<std::exception_ptr> errors(specs.size());
   std::vector<std::thread> drivers;
   drivers.reserve(specs.size());
@@ -26,6 +58,10 @@ ServiceRunReport RunFederationsViaServiceReport(
         serve::SessionModel model(service, specs[i]);
         FederationRuntime runtime(configs[i]);
         report.results[i] = runtime.Run(model);
+        report.sessions[i] =
+            MakeSessionQos(specs[i].name, report.results[i],
+                           model.decision_ns_history(),
+                           model.finetune_count());
       } catch (...) {
         errors[i] = std::current_exception();
       }

@@ -6,6 +6,7 @@
 #define CAROL_HARNESS_SERVE_EXPERIMENT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/runtime.h"
@@ -13,12 +14,38 @@
 
 namespace carol::harness {
 
+// Per-session QoS/latency breakdown of one serving run. The first block
+// is simulation-derived and bit-deterministic for a fixed seed (these
+// fields feed scenario::Scorecard fingerprints); the second block is
+// wall-clock measurement and varies run to run.
+struct SessionQos {
+  std::string name;
+  // --- deterministic QoS (simulation-derived) --------------------------
+  double energy_kwh = 0.0;
+  double avg_response_s = 0.0;
+  double slo_violation_rate = 0.0;
+  int completed = 0;
+  int violated = 0;
+  int total_tasks = 0;
+  int failures_injected = 0;
+  int broker_failures_detected = 0;
+  // --- wall-clock latency breakdown (nondeterministic) -----------------
+  int decisions = 0;  // Repair calls issued by this session
+  double decision_mean_ms = 0.0;
+  double decision_p50_ms = 0.0;
+  double decision_p99_ms = 0.0;
+  int finetunes = 0;
+};
+
 // Per-run serving report: the federation results plus the service-side
 // stacking counters accumulated over exactly this run (deltas of the
 // service stats, so back-to-back runs on one service don't bleed into
 // each other).
 struct ServiceRunReport {
   std::vector<RunResult> results;  // one per (spec, config), input order
+  // Per-session QoS/latency breakdown, input order (consumed by
+  // scenario::Scorecard; previously only fleet aggregates existed).
+  std::vector<SessionQos> sessions;
   // Pipeline-mode cross-session stacking over this run: frontier jobs
   // per GON kernel pass. 1.0 = every pass carried one session's
   // frontier; >1 = sessions shared passes (see src/serve/README.md for
@@ -29,6 +56,13 @@ struct ServiceRunReport {
   std::uint64_t pipeline_jobs = 0;
   std::uint64_t pipeline_states = 0;
 };
+
+// Builds the per-session breakdown from a finished run's results and the
+// session-side decision-latency history (exposed so the scenario driver
+// can assemble the identical breakdown from its own loop).
+SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
+                          const std::vector<std::int64_t>& decision_ns,
+                          int finetunes);
 
 // Drives one full federation experiment per (spec, config) pair through
 // the shared multi-tenant service, each federation on its own driver

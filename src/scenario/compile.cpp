@@ -1,0 +1,303 @@
+#include "scenario/compile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace carol::scenario {
+
+namespace {
+
+std::vector<sim::NodeId> SiteNodes(int num_nodes, int num_sites, int site) {
+  std::vector<sim::NodeId> nodes;
+  for (sim::NodeId n = 0; n < num_nodes; ++n) {
+    if (sim::NodeSiteOf(n, num_nodes, num_sites) == site) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+void ValidatePhase(const ScenarioSpec& spec, const ScenarioPhase& phase) {
+  const int num_sites = spec.sim.network.num_sites;
+  if (phase.start < 0 || phase.start >= spec.intervals) {
+    throw std::invalid_argument("CompileScenario: phase start out of range");
+  }
+  if (phase.duration < 1) {
+    throw std::invalid_argument("CompileScenario: phase duration < 1");
+  }
+  if (phase.site >= num_sites || phase.peer_site >= num_sites) {
+    throw std::invalid_argument("CompileScenario: phase site out of range");
+  }
+  if (phase.fleet >= static_cast<int>(spec.fleets.size())) {
+    throw std::invalid_argument("CompileScenario: phase fleet out of range");
+  }
+}
+
+// One compiled phase against one fleet. `rng` is the phase's private
+// stream: each (fleet, phase) pair forks its own, so adding draws to one
+// phase never perturbs another.
+void CompilePhase(const ScenarioSpec& spec, const FleetSpec& fleet,
+                  const ScenarioPhase& phase, common::Rng& rng,
+                  CompiledFleet* out) {
+  const int num_sites = spec.sim.network.num_sites;
+  const double dt = spec.sim.interval_seconds;
+  const faults::FaultInjectorConfig& fd = spec.fault_defaults;
+  const int end =
+      std::min(spec.intervals, phase.start + phase.duration);
+
+  const auto pick_site = [&](common::Rng& r) {
+    return phase.site >= 0 ? phase.site : r.UniformInt(0, num_sites - 1);
+  };
+  const auto pick_node_of_site = [&](int site, common::Rng& r) {
+    const auto nodes = SiteNodes(fleet.num_nodes, num_sites, site);
+    return nodes.empty() ? sim::kNoNode : nodes[r.Choice(nodes.size())];
+  };
+
+  switch (phase.kind) {
+    case PhaseKind::kQuiet:
+      break;
+
+    case PhaseKind::kFaultStorm: {
+      // One correlated attack vector per storm: every event in the phase
+      // shares the type drawn here.
+      const auto type = static_cast<faults::FaultType>(rng.UniformInt(0, 3));
+      for (int i = phase.start; i < end; ++i) {
+        const int attacks = rng.Poisson(phase.intensity);
+        for (int a = 0; a < attacks; ++a) {
+          faults::FaultEvent e;
+          e.interval = i;
+          e.type = type;
+          e.target = pick_node_of_site(pick_site(rng), rng);
+          if (e.target == sim::kNoNode) continue;
+          e.onset_s = i * dt + rng.Uniform(0.0, dt * 0.8);
+          e.magnitude = phase.magnitude * rng.Uniform(0.8, 1.2);
+          e.duration_s = fd.attack_duration_s;
+          e.escalates = rng.Bernoulli(phase.escalation_prob);
+          if (e.escalates) {
+            e.hang_at_s = e.onset_s +
+                          rng.Uniform(fd.min_hang_delay_s,
+                                      fd.max_hang_delay_s);
+            e.recover_at_s =
+                e.hang_at_s + rng.Uniform(fd.reboot_min_s, fd.reboot_max_s);
+          }
+          out->schedule.events.push_back(e);
+        }
+      }
+      break;
+    }
+
+    case PhaseKind::kCascade: {
+      // The fleet's initial brokers hang one after another — the failure
+      // shape CAROL's per-broker repair chain exists for.
+      const auto brokers =
+          sim::Topology::Initial(fleet.num_nodes, fleet.num_brokers)
+              .brokers();
+      for (std::size_t k = 0; k < brokers.size(); ++k) {
+        const int interval =
+            phase.start +
+            static_cast<int>(std::floor(static_cast<double>(k) *
+                                        phase.spacing));
+        if (interval >= end) break;  // cascade truncates at the window
+        faults::FaultEvent e;
+        e.interval = interval;
+        e.type = faults::FaultType::kDdos;
+        e.target = brokers[k];
+        e.onset_s = interval * dt + rng.Uniform(0.0, dt * 0.2);
+        e.magnitude = phase.magnitude * rng.Uniform(0.9, 1.1);
+        e.duration_s = fd.attack_duration_s;
+        e.escalates = true;
+        e.hang_at_s = e.onset_s + rng.Uniform(fd.min_hang_delay_s,
+                                              fd.max_hang_delay_s);
+        e.recover_at_s =
+            e.hang_at_s + rng.Uniform(fd.reboot_min_s, fd.reboot_max_s);
+        out->schedule.events.push_back(e);
+      }
+      break;
+    }
+
+    case PhaseKind::kPartition: {
+      const int site = pick_site(rng);
+      NetworkEvent sever;
+      sever.interval = phase.start;
+      sever.op = NetworkEvent::Op::kSever;
+      sever.site_a = site;
+      sever.site_b = phase.peer_site;
+      out->network_events.push_back(sever);
+      if (phase.start + phase.duration < spec.intervals) {
+        NetworkEvent heal = sever;
+        heal.interval = phase.start + phase.duration;
+        heal.op = NetworkEvent::Op::kHeal;
+        out->network_events.push_back(heal);
+      }
+      break;
+    }
+
+    case PhaseKind::kDegrade: {
+      const int site = pick_site(rng);
+      NetworkEvent degrade;
+      degrade.interval = phase.start;
+      degrade.op = NetworkEvent::Op::kDegrade;
+      degrade.site_a = site;
+      degrade.site_b = phase.peer_site;
+      degrade.latency_multiplier = phase.latency_multiplier;
+      out->network_events.push_back(degrade);
+      if (phase.start + phase.duration < spec.intervals) {
+        NetworkEvent restore = degrade;
+        restore.interval = phase.start + phase.duration;
+        // Inverse factor, not 1.0: unwinds THIS window only, so an
+        // overlapping brownout stays in force.
+        restore.latency_multiplier = 1.0 / phase.latency_multiplier;
+        out->network_events.push_back(restore);
+      }
+      break;
+    }
+
+    case PhaseKind::kFlashCrowd:
+      for (int i = phase.start; i < end; ++i) {
+        for (int s = 0; s < num_sites; ++s) {
+          if (phase.site >= 0 && s != phase.site) continue;
+          out->site_rate[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(s)] *=
+              phase.rate_multiplier;
+        }
+      }
+      break;
+
+    case PhaseKind::kDiurnal:
+      for (int i = phase.start; i < end; ++i) {
+        const double angle = 2.0 * std::numbers::pi *
+                             static_cast<double>(i - phase.start) /
+                             std::max(1.0, phase.period);
+        const double mult =
+            std::max(0.05, 1.0 + phase.amplitude * std::sin(angle));
+        for (int s = 0; s < num_sites; ++s) {
+          if (phase.site >= 0 && s != phase.site) continue;
+          out->site_rate[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(s)] *= mult;
+        }
+      }
+      break;
+
+    case PhaseKind::kRollingOutage:
+      for (int s = 0; s < num_sites; ++s) {
+        const int from = phase.start + static_cast<int>(std::floor(
+                                           s * phase.outage_intervals));
+        if (from >= end) break;  // the wave truncates at the window
+        const double hang_at = from * dt + 0.05 * dt;
+        const double recover_at =
+            hang_at + phase.outage_intervals * dt;
+        for (sim::NodeId n :
+             SiteNodes(fleet.num_nodes, num_sites, s)) {
+          faults::FaultEvent e;
+          e.interval = from;
+          e.type = faults::FaultType::kCpuOverload;
+          e.target = n;
+          e.onset_s = hang_at;
+          e.escalates = true;
+          e.hang_at_s = hang_at;
+          e.recover_at_s = recover_at;
+          e.organic = true;  // pure outage: no injected contention load
+          out->schedule.events.push_back(e);
+        }
+      }
+      break;
+
+    case PhaseKind::kChurn:
+      for (int i = phase.start; i < end; ++i) {
+        const int hangs = rng.Poisson(phase.intensity);
+        for (int h = 0; h < hangs; ++h) {
+          faults::FaultEvent e;
+          e.interval = i;
+          e.type = faults::FaultType::kCpuOverload;
+          e.target = phase.site >= 0
+                         ? pick_node_of_site(phase.site, rng)
+                         : rng.UniformInt(0, fleet.num_nodes - 1);
+          if (e.target == sim::kNoNode) continue;
+          e.onset_s = i * dt + rng.Uniform(0.0, dt * 0.5);
+          e.escalates = true;
+          e.hang_at_s = e.onset_s;
+          e.recover_at_s =
+              e.hang_at_s + rng.Uniform(fd.reboot_min_s, fd.reboot_max_s);
+          e.organic = true;  // churn models reboots, not attacks
+          out->schedule.events.push_back(e);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToString(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kQuiet:
+      return "quiet";
+    case PhaseKind::kFaultStorm:
+      return "fault-storm";
+    case PhaseKind::kCascade:
+      return "cascade";
+    case PhaseKind::kPartition:
+      return "partition";
+    case PhaseKind::kDegrade:
+      return "degrade";
+    case PhaseKind::kFlashCrowd:
+      return "flash-crowd";
+    case PhaseKind::kDiurnal:
+      return "diurnal";
+    case PhaseKind::kRollingOutage:
+      return "rolling-outage";
+    case PhaseKind::kChurn:
+      return "churn";
+  }
+  return "?";
+}
+
+CompiledScenario CompileScenario(const ScenarioSpec& spec) {
+  if (spec.intervals <= 0) {
+    throw std::invalid_argument("CompileScenario: intervals must be > 0");
+  }
+  if (spec.fleets.empty()) {
+    throw std::invalid_argument("CompileScenario: no fleets");
+  }
+  for (const ScenarioPhase& phase : spec.phases) {
+    ValidatePhase(spec, phase);
+  }
+
+  CompiledScenario compiled;
+  compiled.name = spec.name;
+  compiled.seed = spec.seed;
+  compiled.intervals = spec.intervals;
+
+  common::Rng root(spec.seed);
+  for (std::size_t f = 0; f < spec.fleets.size(); ++f) {
+    const FleetSpec& fleet = spec.fleets[f];
+    common::Rng fleet_rng = root.Fork();
+    CompiledFleet out;
+    out.site_rate.assign(
+        static_cast<std::size_t>(spec.intervals),
+        std::vector<double>(
+            static_cast<std::size_t>(spec.sim.network.num_sites), 1.0));
+    for (const ScenarioPhase& phase : spec.phases) {
+      // Fork unconditionally so fleet-targeted phases never shift the
+      // rng streams of the phases that follow them.
+      common::Rng phase_rng = fleet_rng.Fork();
+      if (phase.fleet >= 0 && phase.fleet != static_cast<int>(f)) {
+        continue;
+      }
+      CompilePhase(spec, fleet, phase, phase_rng, &out);
+    }
+    out.schedule.Sort();
+    std::stable_sort(out.network_events.begin(), out.network_events.end(),
+                     [](const NetworkEvent& a, const NetworkEvent& b) {
+                       return a.interval < b.interval;
+                     });
+    compiled.fleets.push_back(std::move(out));
+  }
+  return compiled;
+}
+
+}  // namespace carol::scenario

@@ -1,0 +1,69 @@
+// Scenario compilation: ScenarioSpec -> CompiledScenario.
+//
+// Compilation materializes every stochastic choice of a scenario (attack
+// targets, onsets, magnitudes, hang windows) into explicit per-fleet
+// event streams using ONLY the spec's seed, before any session runs.
+// The driver then replays those streams verbatim, so the simulated
+// trajectory of each federation is a pure function of (spec, seed) — the
+// backbone of the scorecard bit-reproducibility guarantee across service
+// worker counts.
+#ifndef CAROL_SCENARIO_COMPILE_H_
+#define CAROL_SCENARIO_COMPILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/injector.h"
+#include "scenario/spec.h"
+
+namespace carol::scenario {
+
+// A timed inter-site link mutation, applied by the driver at the START
+// of `interval` (before routing and detection).
+struct NetworkEvent {
+  enum class Op { kSever, kHeal, kDegrade };
+  int interval = 0;
+  Op op = Op::kSever;
+  int site_a = 0;
+  // -1 = every other site (whole-site cut / heal); for kDegrade, -1
+  // applies the factor to every pair touching site_a.
+  int site_b = -1;
+  // kDegrade only: MULTIPLICATIVE factor on the pair's current
+  // degradation (a window opens with m and closes with 1/m, so
+  // overlapping brownouts compose and unwind like refcounted cuts).
+  double latency_multiplier = 1.0;
+
+  bool operator==(const NetworkEvent&) const = default;
+};
+
+struct CompiledFleet {
+  // Scripted fault timeline, sorted by (interval, onset); feeds a
+  // scripted faults::FaultInjector.
+  faults::FaultSchedule schedule;
+  // Link mutations, sorted by interval.
+  std::vector<NetworkEvent> network_events;
+  // Per-interval per-site arrival-rate multipliers,
+  // [interval][site] (surges/diurnal composed multiplicatively).
+  std::vector<std::vector<double>> site_rate;
+
+  bool operator==(const CompiledFleet&) const = default;
+};
+
+struct CompiledScenario {
+  std::string name;
+  std::uint64_t seed = 0;
+  int intervals = 0;
+  std::vector<CompiledFleet> fleets;  // one per ScenarioSpec::fleets
+
+  bool operator==(const CompiledScenario&) const = default;
+};
+
+// Deterministic: two calls with equal specs return equal results.
+// Throws std::invalid_argument on malformed specs (no fleets, non-
+// positive intervals, phases out of range).
+CompiledScenario CompileScenario(const ScenarioSpec& spec);
+
+}  // namespace carol::scenario
+
+#endif  // CAROL_SCENARIO_COMPILE_H_

@@ -1,0 +1,303 @@
+#include "scenario/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.h"
+#include "faults/detector.h"
+#include "faults/recovery.h"
+#include "harness/runtime.h"
+#include "sim/scheduler.h"
+#include "workload/profiles.h"
+
+namespace carol::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void ApplyNetworkEvent(sim::Network& net, const NetworkEvent& e) {
+  switch (e.op) {
+    case NetworkEvent::Op::kSever:
+      if (e.site_b < 0) {
+        net.SeverSite(e.site_a);
+      } else {
+        net.SeverLink(e.site_a, e.site_b);
+      }
+      break;
+    case NetworkEvent::Op::kHeal:
+      if (e.site_b < 0) {
+        net.HealSite(e.site_a);
+      } else {
+        net.HealLink(e.site_a, e.site_b);
+      }
+      break;
+    case NetworkEvent::Op::kDegrade:
+      if (e.site_b < 0) {
+        for (int s = 0; s < net.num_sites(); ++s) {
+          if (s != e.site_a) {
+            net.ScaleLinkDegradation(e.site_a, s, e.latency_multiplier);
+          }
+        }
+      } else {
+        net.ScaleLinkDegradation(e.site_a, e.site_b,
+                                 e.latency_multiplier);
+      }
+      break;
+  }
+}
+
+// Closes the fleet's service session on every exit path (a throwing
+// Repair/Observe must not leak the session into the shared service).
+class SessionGuard {
+ public:
+  SessionGuard(serve::ResilienceService& service, serve::SessionId id)
+      : service_(&service), id_(id) {}
+  SessionGuard(const SessionGuard&) = delete;
+  SessionGuard& operator=(const SessionGuard&) = delete;
+  ~SessionGuard() {
+    try {
+      service_->CloseSession(id_);
+    } catch (...) {
+      // Unwinding from the real error; a close failure is secondary.
+    }
+  }
+
+ private:
+  serve::ResilienceService* service_;
+  serve::SessionId id_;
+};
+
+}  // namespace
+
+ScenarioDriver::ScenarioDriver(serve::ResilienceService& service,
+                               ScenarioDriverOptions options)
+    : service_(&service), options_(std::move(options)) {}
+
+Scorecard ScenarioDriver::Run(const ScenarioSpec& spec) {
+  return Play(spec, CompileScenario(spec));
+}
+
+Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
+                               const CompiledScenario& compiled) {
+  if (compiled.fleets.size() != spec.fleets.size()) {
+    throw std::invalid_argument(
+        "ScenarioDriver: compiled fleet count does not match spec");
+  }
+  if (compiled.intervals != spec.intervals) {
+    throw std::invalid_argument(
+        "ScenarioDriver: compiled interval count does not match spec");
+  }
+  const std::size_t n = spec.fleets.size();
+
+  // Per-fleet sim/workload seeds, derived deterministically from the
+  // scenario seed BEFORE any thread starts. The seeder is salted so the
+  // driver-side streams are domain-separated from CompileScenario's
+  // root(spec.seed) forks — an unsalted seeder's first draw IS the
+  // compile-side fleet-0 fork seed, which would correlate the sim rng
+  // with the compiled event rng.
+  std::vector<std::uint64_t> fleet_seeds(n);
+  common::Rng seeder(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t f = 0; f < n; ++f) fleet_seeds[f] = seeder.engine()();
+
+  Scorecard card;
+  card.scenario = spec.name;
+  card.seed = spec.seed;
+  card.intervals = spec.intervals;
+  card.sessions.resize(n);
+
+  const serve::ServiceStats before = service_->stats();
+  const auto wall_start = Clock::now();
+
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::vector<std::int64_t>> decision_ns(n);
+  std::vector<std::thread> drivers;
+  drivers.reserve(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    drivers.emplace_back([&, f] {
+      try {
+        const FleetSpec& fleet = spec.fleets[f];
+        const CompiledFleet& events = compiled.fleets[f];
+        common::Rng master(fleet_seeds[f]);
+        sim::Federation fed(
+            sim::ScaledTestbedSpecs(fleet.num_nodes),
+            sim::Topology::Initial(fleet.num_nodes, fleet.num_brokers),
+            spec.sim, master.Fork());
+
+        workload::WorkloadConfig wl_cfg;
+        wl_cfg.lambda_per_site = spec.lambda_per_site * fleet.lambda_scale;
+        wl_cfg.num_sites = spec.sim.network.num_sites;
+        // The compiled schedule is the only source of non-stationarity:
+        // surge phases are deterministic, regime shifts would not be.
+        wl_cfg.non_stationary = false;
+        workload::WorkloadGenerator workload(
+            workload::AIoTBenchProfiles(), wl_cfg, master.Fork());
+
+        faults::FaultInjector injector(events.schedule);
+        faults::FailureDetector detector;
+        faults::RecoveryManager recovery;
+        sim::LeastUtilizationScheduler scheduler;
+
+        serve::FederationSpec session_spec;
+        session_spec.name = fleet.name;
+        session_spec.carol = options_.session;
+        session_spec.carol.seed =
+            static_cast<unsigned>(spec.seed + 101 * (f + 1));
+        if (options_.force_never_finetune) {
+          session_spec.carol.policy = core::FineTunePolicy::kNever;
+        }
+        const serve::SessionId session =
+            service_->OpenSession(session_spec);
+        SessionGuard session_guard(*service_, session);
+
+        SessionScore& score = card.sessions[f];
+        score.intervals = spec.intervals;
+        harness::RunResult result;
+        std::size_t net_pos = 0;
+        bool in_episode = false;
+        int episode_start = 0;
+        int finetunes = 0;
+        std::vector<double> all_responses;
+
+        for (int interval = 0; interval < spec.intervals; ++interval) {
+          // Scheduled link mutations fire at the interval boundary,
+          // before detection and routing.
+          while (net_pos < events.network_events.size() &&
+                 events.network_events[net_pos].interval == interval) {
+            ApplyNetworkEvent(fed.mutable_network(),
+                              events.network_events[net_pos]);
+            ++net_pos;
+          }
+
+          const sim::StepInfo step = fed.BeginInterval();
+          if (!step.recovered.empty()) {
+            fed.SetTopology(recovery.ApplyRecoveries(fed.topology(),
+                                                     step.recovered, fed));
+          }
+
+          const faults::DetectionReport report = detector.Detect(fed);
+          const bool failure_detected = !report.failed_brokers.empty();
+          result.broker_failures_detected +=
+              static_cast<int>(report.failed_brokers.size());
+
+          const serve::RepairResponse resp = service_->Repair(
+              session, fed.topology(), report.failed_brokers,
+              fed.last_snapshot());
+          decision_ns[f].push_back(resp.decision_ns);
+          sim::Topology repaired = resp.topology;
+          if (repaired.num_nodes() != fed.num_nodes() ||
+              !repaired.IsValid()) {
+            repaired = harness::FallbackRepair(
+                fed.topology(), report.failed_brokers, fed);
+          }
+          fed.SetTopology(repaired);
+
+          injector.Step(fed);
+
+          fed.Submit(workload.Generate(
+              interval, fed.now_s(),
+              events.site_rate[static_cast<std::size_t>(interval)]));
+          fed.RouteQueuedTasks();
+          const sim::IntervalResult r =
+              fed.RunInterval(scheduler.Schedule(fed));
+
+          const serve::ObserveResponse obs =
+              service_->Observe(session, r.snapshot);
+          if (obs.fine_tuned) ++finetunes;
+
+          // --- scenario accounting ---
+          result.completed += r.completed;
+          result.violated += r.violated;
+          all_responses.insert(all_responses.end(),
+                               r.response_times.begin(),
+                               r.response_times.end());
+          score.stranded_task_intervals += r.stranded;
+
+          // Broker-failure episodes -> recovery-time distribution.
+          if (failure_detected && !in_episode) {
+            in_episode = true;
+            episode_start = interval;
+            ++score.failure_episodes;
+          } else if (!failure_detected && in_episode) {
+            in_episode = false;
+            score.recovery_times_s.push_back(
+                (interval - episode_start) * spec.sim.interval_seconds);
+          }
+
+          // Confidence-gate confusion: did the POT breach line up with
+          // actual distress this interval?
+          const bool fired = obs.confidence < obs.threshold;
+          const bool distress =
+              failure_detected ||
+              r.snapshot.slo_rate > spec.distress_slo_threshold;
+          score.gate.fired += fired ? 1 : 0;
+          score.gate.distress += distress ? 1 : 0;
+          if (fired && distress) ++score.gate.true_pos;
+          if (fired && !distress) ++score.gate.false_pos;
+          if (!fired && distress) ++score.gate.false_neg;
+          if (!fired && !distress) ++score.gate.true_neg;
+        }
+        if (in_episode) {
+          // Censored episode: still open at scenario end.
+          score.recovery_times_s.push_back(
+              (spec.intervals - episode_start) *
+              spec.sim.interval_seconds);
+        }
+        score.recovery_mean_s = common::Mean(score.recovery_times_s);
+        score.recovery_p95_s =
+            common::Percentile(score.recovery_times_s, 95.0);
+        score.recovery_max_s = score.recovery_times_s.empty()
+                                   ? 0.0
+                                   : *std::max_element(
+                                         score.recovery_times_s.begin(),
+                                         score.recovery_times_s.end());
+
+        result.total_energy_kwh = fed.total_energy_kwh();
+        result.avg_response_s = common::Mean(all_responses);
+        result.slo_violation_rate =
+            result.completed > 0
+                ? static_cast<double>(result.violated) / result.completed
+                : 0.0;
+        result.total_tasks = workload.total_generated();
+        result.failures_injected = injector.total_failures_caused();
+        score.qos = harness::MakeSessionQos(fleet.name, result,
+                                            decision_ns[f], finetunes);
+      } catch (...) {
+        errors[f] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  card.wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  // Runtime section: service-side latency + stacking over this run.
+  std::vector<double> all_ms;
+  for (const auto& ns : decision_ns) {
+    for (std::int64_t v : ns) all_ms.push_back(static_cast<double>(v) / 1e6);
+  }
+  card.decision_p50_ms = common::Percentile(all_ms, 50.0);
+  card.decision_p99_ms = common::Percentile(all_ms, 99.0);
+  card.decisions_per_sec =
+      card.wall_s > 0.0 ? static_cast<double>(all_ms.size()) / card.wall_s
+                        : 0.0;
+  const serve::ServiceStats after = service_->stats();
+  card.pipeline_passes = after.pipeline_passes - before.pipeline_passes;
+  card.pipeline_jobs = after.pipeline_jobs - before.pipeline_jobs;
+  if (card.pipeline_passes > 0) {
+    card.stacking_ratio = static_cast<double>(card.pipeline_jobs) /
+                          static_cast<double>(card.pipeline_passes);
+  }
+
+  card.Finalize();
+  return card;
+}
+
+}  // namespace carol::scenario

@@ -1,0 +1,65 @@
+// ScenarioDriver: plays a compiled scenario against live sessions of a
+// shared serve::ResilienceService.
+//
+// One driver thread per fleet entry: each builds its own federation
+// (sim::ScaledTestbedSpecs), scripted fault injector (the compiled
+// FaultSchedule), workload generator (compiled per-interval surge
+// multipliers) and network-event cursor, opens one service session, and
+// runs the paper's per-interval protocol for spec.intervals intervals.
+// All sessions decide through the SAME service — concurrently repairing
+// fleets stack into shared GON kernel passes exactly as production
+// traffic would.
+//
+// Determinism: every stochastic scenario choice is materialized at
+// compile time, session decisions are bit-identical for any worker
+// count (see src/serve/service.h), and the driver forces
+// FineTunePolicy::kNever on its sessions by default so no session can
+// mutate the shared surrogate mid-scenario. Under those conditions the
+// scorecard's deterministic section is a pure function of (spec, seed) —
+// pinned across {1,2,4} workers by tests/scenario_test.cpp.
+#ifndef CAROL_SCENARIO_DRIVER_H_
+#define CAROL_SCENARIO_DRIVER_H_
+
+#include "core/carol.h"
+#include "scenario/compile.h"
+#include "scenario/scorecard.h"
+#include "scenario/spec.h"
+#include "serve/service.h"
+
+namespace carol::scenario {
+
+struct ScenarioDriverOptions {
+  // Template for per-fleet session configs (tabu budget, Eq.-7 weights,
+  // proactive flag...). The nested gon sub-config is ignored — sessions
+  // share the service's surrogate — and per-session seeds are derived
+  // from the scenario seed.
+  core::CarolConfig session;
+  // Forces FineTunePolicy::kNever on sessions. Fine-tunes from
+  // concurrent sessions interleave nondeterministically on the shared
+  // master (see src/serve/README.md), so turning this off forfeits the
+  // scorecard reproducibility guarantee.
+  bool force_never_finetune = true;
+};
+
+class ScenarioDriver {
+ public:
+  explicit ScenarioDriver(serve::ResilienceService& service,
+                          ScenarioDriverOptions options = {});
+
+  // Compiles and plays `spec`, blocking until every fleet finished.
+  // Opens (and closes) one service session per fleet. Throws whatever a
+  // fleet thread threw (first error wins) after joining all threads.
+  Scorecard Run(const ScenarioSpec& spec);
+  // As above but replays an existing compiled scenario (tests replay
+  // saved schedules; `compiled` must match the spec's fleet count).
+  Scorecard Play(const ScenarioSpec& spec,
+                 const CompiledScenario& compiled);
+
+ private:
+  serve::ResilienceService* service_;
+  ScenarioDriverOptions options_;
+};
+
+}  // namespace carol::scenario
+
+#endif  // CAROL_SCENARIO_DRIVER_H_

@@ -1,0 +1,115 @@
+#include "scenario/scorecard.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace carol::scenario {
+
+namespace {
+
+// FNV-1a 64-bit, fed field by field. Doubles hash by bit pattern, so the
+// fingerprint is equal exactly when every field is bit-identical.
+class Fnv {
+ public:
+  void Byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ull;
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) Byte((v >> (8 * i)) & 0xff);
+  }
+  void Int(int v) { U64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void Double(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    for (char c : s) Byte(static_cast<unsigned char>(c));
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+void Scorecard::Finalize() {
+  total_energy_kwh = 0.0;
+  completed = 0;
+  violated = 0;
+  failures_injected = 0;
+  broker_failures_detected = 0;
+  double response_weighted = 0.0;
+  std::vector<double> all_recoveries;
+  int gate_correct = 0, gate_total = 0;
+  for (const SessionScore& s : sessions) {
+    total_energy_kwh += s.qos.energy_kwh;
+    completed += s.qos.completed;
+    violated += s.qos.violated;
+    failures_injected += s.qos.failures_injected;
+    broker_failures_detected += s.qos.broker_failures_detected;
+    response_weighted += s.qos.avg_response_s * s.qos.completed;
+    all_recoveries.insert(all_recoveries.end(), s.recovery_times_s.begin(),
+                          s.recovery_times_s.end());
+    gate_correct += s.gate.true_pos + s.gate.true_neg;
+    gate_total += s.gate.total();
+  }
+  mean_response_s = completed > 0 ? response_weighted / completed : 0.0;
+  slo_violation_rate =
+      completed > 0 ? static_cast<double>(violated) / completed : 0.0;
+  recovery_mean_s = common::Mean(all_recoveries);
+  recovery_p95_s = common::Percentile(all_recoveries, 95.0);
+  gate_accuracy =
+      gate_total > 0 ? static_cast<double>(gate_correct) / gate_total : 0.0;
+}
+
+std::uint64_t Scorecard::DeterministicFingerprint() const {
+  Fnv fnv;
+  fnv.Str(scenario);
+  fnv.U64(seed);
+  fnv.Int(intervals);
+  fnv.U64(sessions.size());
+  for (const SessionScore& s : sessions) {
+    fnv.Str(s.qos.name);
+    fnv.Double(s.qos.energy_kwh);
+    fnv.Double(s.qos.avg_response_s);
+    fnv.Double(s.qos.slo_violation_rate);
+    fnv.Int(s.qos.completed);
+    fnv.Int(s.qos.violated);
+    fnv.Int(s.qos.total_tasks);
+    fnv.Int(s.qos.failures_injected);
+    fnv.Int(s.qos.broker_failures_detected);
+    fnv.Int(s.intervals);
+    fnv.Int(s.failure_episodes);
+    fnv.U64(s.recovery_times_s.size());
+    for (double r : s.recovery_times_s) fnv.Double(r);
+    fnv.Int(s.stranded_task_intervals);
+    fnv.Int(s.gate.fired);
+    fnv.Int(s.gate.distress);
+    fnv.Int(s.gate.true_pos);
+    fnv.Int(s.gate.false_pos);
+    fnv.Int(s.gate.false_neg);
+    fnv.Int(s.gate.true_neg);
+  }
+  fnv.Double(total_energy_kwh);
+  fnv.Double(mean_response_s);
+  fnv.Double(slo_violation_rate);
+  fnv.Int(completed);
+  fnv.Int(violated);
+  fnv.Int(failures_injected);
+  fnv.Int(broker_failures_detected);
+  fnv.Double(recovery_mean_s);
+  fnv.Double(recovery_p95_s);
+  fnv.Double(gate_accuracy);
+  return fnv.hash();
+}
+
+std::string Scorecard::FingerprintHex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(DeterministicFingerprint()));
+  return buf;
+}
+
+}  // namespace carol::scenario

@@ -1,0 +1,118 @@
+// Per-scenario resilience scorecard.
+//
+// A Scorecard aggregates what happened when a compiled scenario was
+// played against live sessions: QoS (energy, response, SLO), the
+// recovery-time distribution of broker-failure episodes, confidence-gate
+// trigger accuracy, and the serving-side efficiency counters.
+//
+// Two strictly separated sections:
+//   * the DETERMINISTIC section is simulation-derived and is a pure
+//     function of (ScenarioSpec, seed) — DeterministicFingerprint()
+//     hashes exactly these fields bit-for-bit, and the suite gates the
+//     fingerprint's equality across service worker counts;
+//   * the RUNTIME section (wall-clock latencies, stacking counters)
+//     varies run to run and is excluded from the fingerprint.
+#ifndef CAROL_SCENARIO_SCORECARD_H_
+#define CAROL_SCENARIO_SCORECARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/serve_experiment.h"
+
+namespace carol::scenario {
+
+// Confusion counts of the POT confidence gate against per-interval
+// distress (SLO breach or detected broker failure). "Fired" = the
+// surrogate's confidence fell below the POT threshold that interval.
+struct GateStats {
+  int fired = 0;
+  int distress = 0;
+  int true_pos = 0;
+  int false_pos = 0;
+  int false_neg = 0;
+  int true_neg = 0;
+
+  int total() const {
+    return true_pos + false_pos + false_neg + true_neg;
+  }
+  double accuracy() const {
+    return total() == 0
+               ? 0.0
+               : static_cast<double>(true_pos + true_neg) / total();
+  }
+  double precision() const {
+    return true_pos + false_pos == 0
+               ? 0.0
+               : static_cast<double>(true_pos) / (true_pos + false_pos);
+  }
+  double recall() const {
+    return true_pos + false_neg == 0
+               ? 0.0
+               : static_cast<double>(true_pos) / (true_pos + false_neg);
+  }
+};
+
+// One session's view of the scenario. `qos` carries the shared
+// per-session QoS/latency breakdown (harness::SessionQos); everything
+// else is scenario-side resilience accounting.
+struct SessionScore {
+  harness::SessionQos qos;
+  int intervals = 0;
+  // Broker-failure episodes: an episode opens on the first interval with
+  // a detected broker failure and closes on the first subsequent
+  // interval with none. Recovery time = episode length in seconds.
+  int failure_episodes = 0;
+  std::vector<double> recovery_times_s;
+  double recovery_mean_s = 0.0;
+  double recovery_p95_s = 0.0;
+  double recovery_max_s = 0.0;
+  // Tasks left unroutable at interval ends, summed (partition pressure).
+  int stranded_task_intervals = 0;
+  GateStats gate;
+};
+
+struct Scorecard {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  int intervals = 0;
+  std::vector<SessionScore> sessions;
+
+  // --- fleet aggregates (deterministic) --------------------------------
+  double total_energy_kwh = 0.0;
+  double mean_response_s = 0.0;       // completed-task-weighted
+  double slo_violation_rate = 0.0;    // fleet-wide violated/completed
+  int completed = 0;
+  int violated = 0;
+  int failures_injected = 0;
+  int broker_failures_detected = 0;
+  double recovery_mean_s = 0.0;
+  double recovery_p95_s = 0.0;
+  double gate_accuracy = 0.0;  // micro-averaged over sessions
+
+  // --- runtime section (NOT fingerprinted) -----------------------------
+  double wall_s = 0.0;
+  double decisions_per_sec = 0.0;
+  double decision_p50_ms = 0.0;
+  double decision_p99_ms = 0.0;
+  double stacking_ratio = 0.0;
+  std::uint64_t pipeline_passes = 0;
+  std::uint64_t pipeline_jobs = 0;
+
+  // Recomputes the fleet aggregates from `sessions` (the driver calls
+  // this after filling them).
+  void Finalize();
+
+  // FNV-1a over the raw bit patterns of every deterministic field, in a
+  // fixed order. Equal inputs hash equal on any platform with IEEE-754
+  // doubles; the {1,2,4}-worker reproducibility gate compares exactly
+  // this value.
+  std::uint64_t DeterministicFingerprint() const;
+  // Fingerprint as a fixed-width lowercase hex string (JSON-friendly).
+  std::string FingerprintHex() const;
+};
+
+}  // namespace carol::scenario
+
+#endif  // CAROL_SCENARIO_SCORECARD_H_

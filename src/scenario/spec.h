@@ -1,0 +1,125 @@
+// Declarative failure/workload scenarios (the ROADMAP's "as many
+// scenarios as you can imagine" axis).
+//
+// A ScenarioSpec is a named, seedable description of WHAT happens to a
+// fleet of federations over a run: a list of timed phases (fault storms,
+// cascading broker failures, network partitions/degradation, workload
+// surges, rolling site outages, fleet churn), each targeting sites or
+// the whole fleet. Specs contain no behavior — they compile
+// (scenario/compile.h) into a fully materialized, deterministic event
+// schedule that the ScenarioDriver plays against live sessions of
+// serve::ResilienceService. Same spec + same seed => the same schedule,
+// bit for bit, regardless of how many service workers later execute it.
+#ifndef CAROL_SCENARIO_SPEC_H_
+#define CAROL_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/injector.h"
+#include "sim/federation.h"
+
+namespace carol::scenario {
+
+// What a phase does. Parameter meanings per kind are documented on
+// ScenarioPhase's fields and in src/scenario/README.md.
+enum class PhaseKind {
+  kQuiet,          // nothing (baseline window)
+  kFaultStorm,     // correlated attack burst, spatially targeted by site
+  kCascade,        // the fleet's brokers hang one after another
+  kPartition,      // sever a site (or site pair) from the WAN, then heal
+  kDegrade,        // WAN latency multiplier window
+  kFlashCrowd,     // arrival-rate surge at one site (or fleet-wide)
+  kDiurnal,        // sinusoidal arrival-rate modulation
+  kRollingOutage,  // each site goes fully dark in sequence
+  kChurn           // background node hangs/reboots across the fleet
+};
+
+std::string ToString(PhaseKind kind);
+
+// One timed phase. Only the fields relevant to `kind` are read; the rest
+// keep their defaults. Intervals are scenario-relative (0 = first).
+struct ScenarioPhase {
+  PhaseKind kind = PhaseKind::kQuiet;
+  int start = 0;     // first interval of the phase
+  int duration = 1;  // length in intervals; kCascade/kRollingOutage
+                     // sequences truncate at the window end
+
+  // Fleet targeting: index into ScenarioSpec::fleets, or -1 for every
+  // fleet (each fleet still samples its own event stream).
+  int fleet = -1;
+  // Spatial targeting: the affected site, or -1 for "every event picks
+  // its own site" (storm/churn) / "all sites" (surges).
+  int site = -1;
+  // kPartition: the peer side of the cut; -1 severs `site` from ALL
+  // other sites.
+  int peer_site = -1;
+
+  // kFaultStorm: expected attacks per interval (Poisson).
+  // kChurn: expected node hangs per interval (Poisson).
+  double intensity = 2.0;
+  // kFaultStorm: contention-magnitude scale of the storm's attacks.
+  double magnitude = 1.0;
+  // kFaultStorm: probability an attack escalates to a byzantine hang.
+  double escalation_prob = 0.9;
+
+  // kCascade: intervals between consecutive broker hangs.
+  double spacing = 1.0;
+
+  // kDegrade: WAN latency multiplier for the window. Applied as a
+  // multiplicative factor and unwound with its inverse at the end of
+  // the phase, so overlapping brownouts compose and nest.
+  double latency_multiplier = 4.0;
+
+  // kFlashCrowd: arrival-rate multiplier over the window.
+  double rate_multiplier = 3.0;
+  // kDiurnal: period (intervals) and amplitude of the sinusoid
+  // rate *= 1 + amplitude * sin(2*pi*(interval - start)/period),
+  // applied to `site` (or every site when -1).
+  double period = 24.0;
+  double amplitude = 0.6;
+
+  // kRollingOutage: downtime per site (intervals); sites go dark in id
+  // order, back to back, starting at `start`.
+  double outage_intervals = 2.0;
+};
+
+// One federation in the scenario's fleet. Each gets its own session on
+// the shared service and its own independently-compiled event streams.
+struct FleetSpec {
+  std::string name = "fed";
+  int num_nodes = 16;
+  int num_brokers = 4;
+  // Scales the base per-site arrival rate for this federation.
+  double lambda_scale = 1.0;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description;
+  // Seeds EVERYTHING scenario-side: event compilation, per-federation
+  // sim/workload streams and per-session repair rngs all derive from it.
+  std::uint64_t seed = 1;
+  int intervals = 32;
+  std::vector<FleetSpec> fleets = {FleetSpec{}};
+  std::vector<ScenarioPhase> phases;
+
+  // Base workload intensity (scaled per fleet by lambda_scale, then by
+  // the compiled per-interval surge multipliers).
+  double lambda_per_site = 1.2;
+  // Sim substrate configuration (interval length, network sites, ...).
+  sim::SimConfig sim;
+  // Timing defaults (hang delays, reboot windows, attack durations) for
+  // compiled fault events; the stochastic-rate fields are ignored —
+  // scenarios script every injected event.
+  faults::FaultInjectorConfig fault_defaults;
+  // An interval counts as "distress" for the confidence-gate accuracy
+  // metric when its SLO violation rate exceeds this, or a broker failure
+  // was detected in it (see scorecard.h).
+  double distress_slo_threshold = 0.25;
+};
+
+}  // namespace carol::scenario
+
+#endif  // CAROL_SCENARIO_SPEC_H_

@@ -197,10 +197,12 @@ void Federation::RouteQueuedTasks() {
   int stranded = 0;
   for (std::size_t idx : queued_) {
     Task& task = tasks_[idx];
-    // (Re-)route tasks with no broker, a demoted broker, or a dead broker.
+    // (Re-)route tasks with no broker, a demoted broker, a dead broker,
+    // or a broker across a severed link (network partition).
     const bool needs_route =
         task.broker == kNoNode || !topology_.is_broker(task.broker) ||
-        !alive[static_cast<std::size_t>(task.broker)];
+        !alive[static_cast<std::size_t>(task.broker)] ||
+        !network_.SiteReachable(task.gateway_site, task.broker);
     if (!needs_route) continue;
     const NodeId broker =
         network_.RouteToBroker(task.gateway_site, topology_, alive, rng_);
@@ -233,7 +235,9 @@ void Federation::ApplyPlacement(const SchedulingDecision& decision,
       const bool valid_target =
           target >= 0 && target < num_nodes() &&
           !topology_.is_broker(target) && IsAliveAt(target, t0) &&
-          IsAliveAt(topology_.broker_of(target), t0);
+          IsAliveAt(topology_.broker_of(target), t0) &&
+          network_.SiteReachable(network_.site_of(target),
+                                 topology_.broker_of(target));
       if (valid_target) {
         const HostRuntime& h = host(target);
         const double route_latency =
@@ -272,6 +276,13 @@ std::vector<double> Federation::ComputeRates(
     // A failed broker stalls its whole LEI (the motivating failure mode).
     const NodeId broker = topology_.broker_of(task.assigned_host);
     if (hosts_[static_cast<std::size_t>(broker)].FailedAt(t)) return false;
+    // A network partition between a worker and its broker stalls the
+    // worker's tasks the same way: the broker cannot manage containers
+    // across a severed link.
+    if (!network_.SiteReachable(network_.site_of(task.assigned_host),
+                                broker)) {
+      return false;
+    }
     return true;
   };
 

@@ -153,6 +153,13 @@ class Federation {
   // --- accessors ---
   const Topology& topology() const { return topology_; }
   const Network& network() const { return network_; }
+  // Scenario hook: partition/degradation mutations (SeverLink,
+  // SetLinkDegradation, ...) between intervals. A severed host<->broker
+  // link stalls the worker's tasks exactly like a hung broker, and
+  // gateways cannot route across severed links; degradation multiplies
+  // routing/transfer latencies. Mutate only at interval boundaries —
+  // RunInterval assumes link state is constant within an interval.
+  Network& mutable_network() { return network_; }
   const SimConfig& config() const { return config_; }
   int num_nodes() const { return static_cast<int>(hosts_.size()); }
   const HostRuntime& host(NodeId node) const;

@@ -5,17 +5,21 @@
 
 namespace carol::sim {
 
+int NodeSiteOf(NodeId node, int num_nodes, int num_sites) {
+  const int block = std::max(1, num_nodes / num_sites);
+  return std::min(node / block, num_sites - 1);
+}
+
 Network::Network(int num_nodes, const NetworkConfig& config,
                  common::Rng& rng)
     : num_nodes_(num_nodes), config_(config) {
   if (num_nodes <= 0 || config.num_sites <= 0) {
     throw std::invalid_argument("Network: bad node/site count");
   }
-  const int block = std::max(1, num_nodes / config.num_sites);
   node_site_.resize(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     node_site_[static_cast<std::size_t>(i)] =
-        std::min(i / block, config.num_sites - 1);
+        NodeSiteOf(i, num_nodes, config.num_sites);
   }
   const auto sites = static_cast<std::size_t>(config.num_sites);
   site_latency_.assign(sites * sites, config.lan_latency_s);
@@ -27,6 +31,8 @@ Network::Network(int num_nodes, const NetworkConfig& config,
       site_latency_[b * sites + a] = wan;
     }
   }
+  severed_.assign(sites * sites, 0);
+  degradation_.assign(sites * sites, 1.0);
 }
 
 int Network::site_of(NodeId node) const {
@@ -36,10 +42,20 @@ int Network::site_of(NodeId node) const {
   return node_site_[static_cast<std::size_t>(node)];
 }
 
+std::size_t Network::PairIndex(int s1, int s2) const {
+  return static_cast<std::size_t>(s1) *
+             static_cast<std::size_t>(config_.num_sites) +
+         static_cast<std::size_t>(s2);
+}
+
+void Network::CheckSite(int site, const char* op) const {
+  if (site < 0 || site >= config_.num_sites) {
+    throw std::out_of_range(std::string(op) + ": bad site");
+  }
+}
+
 double Network::SiteLatency(int s1, int s2) const {
-  return site_latency_[static_cast<std::size_t>(s1) *
-                           static_cast<std::size_t>(config_.num_sites) +
-                       static_cast<std::size_t>(s2)];
+  return site_latency_[PairIndex(s1, s2)] * degradation_[PairIndex(s1, s2)];
 }
 
 double Network::LatencyBetween(NodeId a, NodeId b) const {
@@ -47,10 +63,79 @@ double Network::LatencyBetween(NodeId a, NodeId b) const {
 }
 
 double Network::LatencyFromSite(int site, NodeId node) const {
-  if (site < 0 || site >= config_.num_sites) {
-    throw std::out_of_range("Network::LatencyFromSite: bad site");
-  }
+  CheckSite(site, "Network::LatencyFromSite");
   return SiteLatency(site, site_of(node));
+}
+
+void Network::SeverLink(int site_a, int site_b) {
+  CheckSite(site_a, "Network::SeverLink");
+  CheckSite(site_b, "Network::SeverLink");
+  if (site_a == site_b) return;
+  ++severed_[PairIndex(site_a, site_b)];
+  ++severed_[PairIndex(site_b, site_a)];
+}
+
+void Network::HealLink(int site_a, int site_b) {
+  CheckSite(site_a, "Network::HealLink");
+  CheckSite(site_b, "Network::HealLink");
+  // Refcounted: an overlapping partition's cut survives this heal; a
+  // surplus heal is a no-op.
+  auto& ab = severed_[PairIndex(site_a, site_b)];
+  auto& ba = severed_[PairIndex(site_b, site_a)];
+  if (ab > 0) --ab;
+  if (ba > 0) --ba;
+}
+
+void Network::SeverSite(int site) {
+  for (int other = 0; other < config_.num_sites; ++other) {
+    if (other != site) SeverLink(site, other);
+  }
+}
+
+void Network::HealSite(int site) {
+  for (int other = 0; other < config_.num_sites; ++other) {
+    if (other != site) HealLink(site, other);
+  }
+}
+
+void Network::SetLinkDegradation(int site_a, int site_b, double multiplier) {
+  CheckSite(site_a, "Network::SetLinkDegradation");
+  CheckSite(site_b, "Network::SetLinkDegradation");
+  if (multiplier <= 0.0) {
+    throw std::invalid_argument(
+        "Network::SetLinkDegradation: multiplier must be positive");
+  }
+  if (site_a == site_b) return;
+  degradation_[PairIndex(site_a, site_b)] = multiplier;
+  degradation_[PairIndex(site_b, site_a)] = multiplier;
+}
+
+void Network::ScaleLinkDegradation(int site_a, int site_b, double factor) {
+  CheckSite(site_a, "Network::ScaleLinkDegradation");
+  CheckSite(site_b, "Network::ScaleLinkDegradation");
+  if (factor <= 0.0) {
+    throw std::invalid_argument(
+        "Network::ScaleLinkDegradation: factor must be positive");
+  }
+  if (site_a == site_b) return;
+  degradation_[PairIndex(site_a, site_b)] *= factor;
+  degradation_[PairIndex(site_b, site_a)] *= factor;
+}
+
+void Network::ResetLinkState() {
+  std::fill(severed_.begin(), severed_.end(), 0);
+  std::fill(degradation_.begin(), degradation_.end(), 1.0);
+}
+
+bool Network::IsSevered(int site_a, int site_b) const {
+  CheckSite(site_a, "Network::IsSevered");
+  CheckSite(site_b, "Network::IsSevered");
+  return severed_[PairIndex(site_a, site_b)] != 0;
+}
+
+bool Network::SiteReachable(int from_site, NodeId node) const {
+  CheckSite(from_site, "Network::SiteReachable");
+  return !IsSevered(from_site, site_of(node));
 }
 
 NodeId Network::RouteToBroker(int site, const Topology& topology,
@@ -60,6 +145,7 @@ NodeId Network::RouteToBroker(int site, const Topology& topology,
   std::vector<NodeId> candidates;
   for (NodeId b : topology.brokers()) {
     if (!alive[static_cast<std::size_t>(b)]) continue;
+    if (!SiteReachable(site, b)) continue;
     const double lat = LatencyFromSite(site, b);
     if (lat < best - 1e-12) {
       best = lat;

@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -69,21 +70,37 @@ sim::Task WorkloadGenerator::MakeTask(int app_index, int site,
 
 std::vector<sim::Task> WorkloadGenerator::Generate(int interval,
                                                    double now_s) {
+  return Generate(interval, now_s, {});
+}
+
+std::vector<sim::Task> WorkloadGenerator::Generate(
+    int interval, double now_s,
+    const std::vector<double>& site_rate_multiplier) {
+  const auto site_mult = [&](int site) {
+    const auto s = static_cast<std::size_t>(site);
+    return s < site_rate_multiplier.size() ? site_rate_multiplier[s] : 1.0;
+  };
   MaybeRegimeShift();
   if (mobility_.has_value()) mobility_->Step();
   const double rate = config_.lambda_per_site * RateMultiplier(interval);
   std::vector<sim::Task> tasks;
   if (mobility_.has_value()) {
     // With mobility, the federation-wide rate is fixed but its spatial
-    // distribution follows the drifting gateway population.
-    const int n = rng_.Poisson(rate * config_.num_sites);
+    // distribution follows the drifting gateway population; a surge
+    // scales the total rate by the mean site multiplier.
+    double mean_mult = 0.0;
+    for (int site = 0; site < config_.num_sites; ++site) {
+      mean_mult += site_mult(site);
+    }
+    mean_mult /= std::max(1, config_.num_sites);
+    const int n = rng_.Poisson(rate * config_.num_sites * mean_mult);
     for (int i = 0; i < n; ++i) {
       const int app = static_cast<int>(rng_.WeightedChoice(mix_weights_));
       tasks.push_back(MakeTask(app, mobility_->SampleSite(rng_), now_s));
     }
   } else {
     for (int site = 0; site < config_.num_sites; ++site) {
-      const int n = rng_.Poisson(rate);
+      const int n = rng_.Poisson(rate * site_mult(site));
       for (int i = 0; i < n; ++i) {
         const int app =
             static_cast<int>(rng_.WeightedChoice(mix_weights_));

@@ -44,6 +44,18 @@ class WorkloadGenerator {
   // Creates the new tasks arriving at `now_s` (start of `interval`).
   std::vector<sim::Task> Generate(int interval, double now_s);
 
+  // Scenario hook: per-site arrival-rate multipliers for this interval
+  // (flash crowds, diurnal surges). `site_rate_multiplier` has one entry
+  // per site (empty = all 1.0) and composes with the generator's own
+  // non-stationary modulation; scenario drivers typically disable the
+  // latter (non_stationary = false) so the compiled schedule is the only
+  // source of surge. With gateway mobility, the mean multiplier scales
+  // the federation-wide rate instead (arrival sites follow the mobility
+  // model).
+  std::vector<sim::Task> Generate(
+      int interval, double now_s,
+      const std::vector<double>& site_rate_multiplier);
+
   // Replaces the per-app SLO deadlines (relative-SLO calibration, §V-B).
   // `deadlines` must have one entry per app profile.
   void OverrideDeadlines(const std::vector<double>& deadlines);

@@ -1,11 +1,19 @@
-// Unit tests for fault injection, failure detection and recovery.
+// Unit tests for fault injection, failure detection, recovery and the
+// scripted FaultSchedule replay mode.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.h"
 #include "common/rng.h"
 #include "faults/detector.h"
 #include "faults/injector.h"
 #include "faults/recovery.h"
 #include "sim/federation.h"
+#include "sim/scheduler.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
 
 namespace carol::faults {
 namespace {
@@ -118,6 +126,168 @@ TEST(InjectorTest, FaultTypeNames) {
   EXPECT_EQ(ToString(FaultType::kRamContention), "ram-contention");
   EXPECT_EQ(ToString(FaultType::kDiskAttack), "disk-attack");
   EXPECT_EQ(ToString(FaultType::kDdos), "ddos");
+}
+
+// --- FaultSchedule + scripted replay --------------------------------------
+
+TEST(FaultScheduleTest, CsvRoundTripIsExact) {
+  FaultSchedule schedule;
+  FaultEvent a;
+  a.interval = 3;
+  a.type = FaultType::kDdos;
+  a.target = 7;
+  a.onset_s = 912.3456789012345;
+  a.magnitude = 1.0 / 3.0;
+  a.duration_s = 240.0;
+  a.escalates = true;
+  a.hang_at_s = 955.5550000000001;
+  a.recover_at_s = 1201.25;
+  schedule.events.push_back(a);
+  FaultEvent b;
+  b.interval = 1;
+  b.type = FaultType::kRamContention;
+  b.target = 2;
+  b.onset_s = 301.5;
+  b.organic = true;
+  schedule.events.push_back(b);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "carol_schedule_rt.csv")
+          .string();
+  schedule.Save(path);
+  const FaultSchedule loaded = FaultSchedule::Load(path);
+  EXPECT_EQ(loaded, schedule);  // bit-exact, incl. the 1/3 magnitude
+  std::remove(path.c_str());
+}
+
+TEST(FaultScheduleTest, LoadRejectsForeignCsv) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "carol_schedule_bad.csv")
+          .string();
+  {
+    common::CsvWriter w(path, {"not", "a", "schedule"});
+    w.WriteRow({1.0, 2.0, 3.0});
+  }
+  EXPECT_THROW(FaultSchedule::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ScriptedInjectorTest, ReplaysEscalationsWithoutRng) {
+  sim::Federation fed = MakeFederation();
+  FaultSchedule schedule;
+  FaultEvent e;
+  e.interval = 0;
+  e.type = FaultType::kCpuOverload;
+  e.target = 3;
+  e.onset_s = 50.0;
+  e.magnitude = 1.2;
+  e.duration_s = 240.0;
+  e.escalates = true;
+  e.hang_at_s = 80.0;
+  e.recover_at_s = 200.0;
+  schedule.events.push_back(e);
+  FaultInjector injector(schedule);
+  EXPECT_TRUE(injector.scripted());
+  const auto events = injector.Step(fed);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(fed.host(3).FailedAt(100.0));
+  EXPECT_GT(fed.host(3).fault_cpu_mips, 0.0);  // attack contention applied
+  EXPECT_EQ(injector.total_failures_caused(), 1);
+  // Nothing else scheduled: further steps are no-ops.
+  fed.BeginInterval();
+  fed.RouteQueuedTasks();
+  fed.RunInterval(sim::SchedulingDecision{});
+  EXPECT_TRUE(injector.Step(fed).empty());
+}
+
+TEST(ScriptedInjectorTest, OrganicEventsCarryNoContention) {
+  sim::Federation fed = MakeFederation();
+  FaultSchedule schedule;
+  FaultEvent e;
+  e.interval = 0;
+  e.target = 5;
+  e.onset_s = 10.0;
+  e.escalates = true;
+  e.hang_at_s = 10.0;
+  e.recover_at_s = 400.0;
+  e.organic = true;
+  schedule.events.push_back(e);
+  FaultInjector injector(schedule);
+  injector.Step(fed);
+  EXPECT_TRUE(fed.host(5).FailedAt(20.0));
+  EXPECT_DOUBLE_EQ(fed.host(5).fault_cpu_mips, 0.0);
+}
+
+// The satellite determinism guarantee: same seed => identical schedule
+// => identical sim outcome. A stochastic run's history, round-tripped
+// through CSV and replayed in scripted mode against an identically
+// seeded federation + workload, reproduces the run bit for bit.
+TEST(ScriptedInjectorTest, ReplayReproducesStochasticRunExactly) {
+  struct Outcome {
+    double total_energy = 0.0;
+    int completed = 0;
+    int failures = 0;
+    std::vector<std::vector<bool>> alive;
+
+    bool operator==(const Outcome&) const = default;
+  };
+  constexpr int kIntervals = 25;
+
+  const auto run = [&](const FaultSchedule* replay,
+                       FaultSchedule* out_history) {
+    common::Rng master(99);
+    sim::Federation fed(sim::DefaultTestbedSpecs(),
+                        sim::Topology::Initial(16, 4), sim::SimConfig{},
+                        master.Fork());
+    workload::WorkloadGenerator workload(workload::AIoTBenchProfiles(),
+                                         workload::WorkloadConfig{},
+                                         master.Fork());
+    FaultInjectorConfig cfg;
+    cfg.lambda_per_interval = 1.0;
+    // Low bar so organic overload failures occur too and are replayed.
+    cfg.overload_fail_threshold = 1.05;
+    cfg.overload_fail_prob = 0.5;
+    FaultInjector injector =
+        replay != nullptr ? FaultInjector(*replay)
+                          : FaultInjector(cfg, master.Fork());
+    sim::LeastUtilizationScheduler scheduler;
+    Outcome outcome;
+    for (int i = 0; i < kIntervals; ++i) {
+      fed.BeginInterval();
+      injector.Step(fed);
+      fed.Submit(workload.Generate(i, fed.now_s()));
+      fed.RouteQueuedTasks();
+      const sim::IntervalResult r =
+          fed.RunInterval(scheduler.Schedule(fed));
+      outcome.completed += r.completed;
+      outcome.alive.push_back(r.snapshot.alive);
+    }
+    outcome.total_energy = fed.total_energy_kwh();
+    outcome.failures = injector.total_failures_caused();
+    if (out_history != nullptr) {
+      out_history->events = injector.history();
+    }
+    return outcome;
+  };
+
+  FaultSchedule history;
+  const Outcome stochastic = run(nullptr, &history);
+  ASSERT_GT(stochastic.failures, 0);
+  ASSERT_FALSE(history.events.empty());
+  bool saw_organic = false;
+  for (const FaultEvent& e : history.events) saw_organic |= e.organic;
+  EXPECT_TRUE(saw_organic);  // the replay covers the organic path too
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "carol_replay.csv")
+          .string();
+  history.Save(path);
+  const FaultSchedule loaded = FaultSchedule::Load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded, history);
+
+  const Outcome replayed = run(&loaded, nullptr);
+  EXPECT_EQ(replayed, stochastic);  // exact: energy, liveness, counts
 }
 
 TEST(DetectorTest, DetectsEstablishedFailures) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/carol.h"
+#include "harness/serve_experiment.h"
 #include "nn/serialize.h"
 #include "serve/service.h"
 #include "sim/federation.h"
@@ -563,6 +564,42 @@ TEST(ServeTest, UnboundedQueueNeverRejects) {
 }
 
 // --- lifecycle -----------------------------------------------------------
+
+TEST(ServeTest, ServiceReportCarriesPerSessionQosBreakdown) {
+  ResilienceService service(TinyServiceConfig(2));
+  std::vector<FederationSpec> specs;
+  std::vector<harness::RunConfig> configs;
+  for (int i = 0; i < 2; ++i) {
+    FederationSpec spec;
+    spec.name = "fed-" + std::to_string(i);
+    spec.carol = TinyCarolConfig(static_cast<unsigned>(30 + i));
+    spec.carol.policy = core::FineTunePolicy::kNever;
+    specs.push_back(spec);
+    harness::RunConfig cfg;
+    cfg.intervals = 6;
+    cfg.seed = 50 + static_cast<unsigned>(i);
+    configs.push_back(cfg);
+  }
+  const harness::ServiceRunReport report =
+      harness::RunFederationsViaServiceReport(service, specs, configs);
+  ASSERT_EQ(report.sessions.size(), 2u);
+  for (std::size_t i = 0; i < report.sessions.size(); ++i) {
+    const harness::SessionQos& qos = report.sessions[i];
+    EXPECT_EQ(qos.name, specs[i].name);
+    // The deterministic block mirrors the RunResult aggregates exactly.
+    EXPECT_EQ(qos.energy_kwh, report.results[i].total_energy_kwh);
+    EXPECT_EQ(qos.completed, report.results[i].completed);
+    EXPECT_EQ(qos.slo_violation_rate,
+              report.results[i].slo_violation_rate);
+    EXPECT_EQ(qos.broker_failures_detected,
+              report.results[i].broker_failures_detected);
+    // One service decision per interval, with measured latency.
+    EXPECT_EQ(qos.decisions, configs[i].intervals);
+    EXPECT_GT(qos.decision_p99_ms, 0.0);
+    EXPECT_GE(qos.decision_p99_ms, qos.decision_p50_ms);
+    EXPECT_EQ(qos.finetunes, 0);  // kNever policy
+  }
+}
 
 TEST(ServeTest, UnknownSessionThrows) {
   ResilienceService service(TinyServiceConfig(1));

@@ -73,6 +73,43 @@ TEST(GeneratorTest, PoissonArrivalsMatchRate) {
   EXPECT_EQ(gen.total_generated(), total);
 }
 
+TEST(GeneratorTest, SiteRateMultipliersShapeArrivals) {
+  WorkloadConfig cfg;
+  cfg.lambda_per_site = 2.0;
+  cfg.num_sites = 4;
+  cfg.non_stationary = false;
+  WorkloadGenerator gen(AIoTBenchProfiles(), cfg, common::Rng(3));
+  // Sites 0-2 silenced, site 3 surged 5x: every task arrives at site 3
+  // and the volume tracks the surge.
+  int total = 0;
+  const int intervals = 400;
+  for (int i = 0; i < intervals; ++i) {
+    for (const auto& t :
+         gen.Generate(i, i * 300.0, {0.0, 0.0, 0.0, 5.0})) {
+      EXPECT_EQ(t.gateway_site, 3);
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total) / intervals, 10.0, 1.0);
+}
+
+TEST(GeneratorTest, EmptyMultiplierListMatchesPlainGenerate) {
+  WorkloadConfig cfg;
+  cfg.non_stationary = false;
+  WorkloadGenerator a(AIoTBenchProfiles(), cfg, common::Rng(4));
+  WorkloadGenerator b(AIoTBenchProfiles(), cfg, common::Rng(4));
+  for (int i = 0; i < 20; ++i) {
+    const auto plain = a.Generate(i, i * 300.0);
+    const auto with_empty = b.Generate(i, i * 300.0, {});
+    ASSERT_EQ(plain.size(), with_empty.size());
+    for (std::size_t k = 0; k < plain.size(); ++k) {
+      EXPECT_EQ(plain[k].id, with_empty[k].id);
+      EXPECT_EQ(plain[k].gateway_site, with_empty[k].gateway_site);
+      EXPECT_DOUBLE_EQ(plain[k].total_mi, with_empty[k].total_mi);
+    }
+  }
+}
+
 TEST(GeneratorTest, TasksHaveValidFields) {
   WorkloadConfig cfg;
   WorkloadGenerator gen(DeFogProfiles(), cfg, common::Rng(2));
