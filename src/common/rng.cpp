@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 namespace carol::common {
 
@@ -69,6 +71,24 @@ std::vector<std::size_t> Rng::Permutation(std::size_t n) {
 Rng Rng::Fork() {
   std::uniform_int_distribution<std::uint64_t> dist;
   return Rng(dist(engine_));
+}
+
+std::string Rng::SaveState() const {
+  // The standard guarantees operator<< / operator>> round-trip the full
+  // engine state exactly (19937 bits + position, as decimal words).
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    throw std::invalid_argument("Rng::LoadState: malformed engine state");
+  }
+  engine_ = engine;
 }
 
 }  // namespace carol::common

@@ -11,6 +11,7 @@
 #include <random>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace carol::common {
@@ -53,6 +54,15 @@ class Rng {
   // Derives an independent child generator; use to give subsystems their
   // own streams so that adding draws in one does not perturb another.
   Rng Fork();
+
+  // Exact stream capture/restore. The engine is the generator's ONLY
+  // state (every distribution object is constructed per call), so
+  // std::mt19937_64's stream operators serialize it completely: a
+  // restored Rng produces bit-identical draws to the original from the
+  // capture point on. Used by the serving layer's session snapshots.
+  std::string SaveState() const;
+  // Throws std::invalid_argument when `state` is not a SaveState string.
+  void LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -122,6 +122,49 @@ RepairJob::RepairJob(const sim::Topology& current,
   phase_ = Phase::kProactiveSearch;
 }
 
+RepairJob::RepairJob(const std::vector<sim::NodeId>& failed_brokers,
+                     const CarolConfig& config, common::Rng* rng,
+                     const RepairJobState& state)
+    : failed_(&failed_brokers),
+      config_(&config),
+      rng_(rng),
+      alive_(state.alive),
+      topo_(sim::Topology::FromAssignment(state.topo)),
+      broker_idx_(static_cast<std::size_t>(state.broker_idx)),
+      phase_(static_cast<Phase>(state.phase)),
+      proactive_acted_(state.proactive_acted) {
+  baseline_.reserve(state.baseline.size());
+  for (const std::vector<sim::NodeId>& assignment : state.baseline) {
+    baseline_.push_back(sim::Topology::FromAssignment(assignment));
+  }
+  if (state.has_search) {
+    // The neighbor callback is a pure function of (alive mask, options):
+    // rebuilding it over the restored alive_ reproduces the original
+    // enumeration exactly. It borrows alive_, which this job owns.
+    search_.emplace(config_->tabu,
+                    LocalMoveNeighbors(alive_, config_->node_shift),
+                    state.search);
+  }
+}
+
+RepairJobState RepairJob::SaveState() const {
+  RepairJobState state;
+  state.alive = alive_;
+  state.topo = topo_.assignment();
+  state.broker_idx = static_cast<std::uint64_t>(broker_idx_);
+  state.phase = static_cast<int>(phase_);
+  state.proactive_acted = proactive_acted_;
+  state.baseline.reserve(baseline_.size());
+  for (const sim::Topology& g : baseline_) {
+    state.baseline.push_back(g.assignment());
+  }
+  if (search_.has_value()) {
+    state.has_search = true;
+    state.search = search_->Snapshot();
+  }
+  return state;
+}
+
 void RepairJob::StartNextBrokerSearch() {
   while (broker_idx_ < failed_->size()) {
     const sim::NodeId failed = (*failed_)[broker_idx_];
@@ -286,6 +329,18 @@ ConfidenceGate::Outcome ConfidenceGate::Observe(
       break;
   }
   return out;
+}
+
+ConfidenceGate::State ConfidenceGate::SaveState() const {
+  State state;
+  state.pot = pot_.state();
+  state.gamma = gamma_;
+  return state;
+}
+
+void ConfidenceGate::RestoreState(State state) {
+  pot_.Restore(state.pot);
+  gamma_ = std::move(state.gamma);
 }
 
 // --- CarolModel ---------------------------------------------------------

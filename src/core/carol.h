@@ -119,6 +119,23 @@ std::vector<double> ScoreTopologiesWith(
 // other jobs: all search state is self-contained, so a scheduler may
 // advance many federations' jobs step by step in any order and batch
 // their frontiers into shared GON passes (src/serve does exactly that).
+// Complete serializable state of a RepairJob, captured between steps
+// (frontier proposed, scores pending). Topologies are stored as
+// assignment encodings; the borrowed inputs (failed-broker list, config,
+// rng) are NOT part of the state — the restoring caller re-supplies
+// them, and the serving layer's session snapshot carries them alongside.
+// `phase` mirrors the job's private Phase enum by index.
+struct RepairJobState {
+  std::vector<bool> alive;
+  std::vector<sim::NodeId> topo;
+  std::uint64_t broker_idx = 0;
+  int phase = 3;  // 0 repair-search, 1 proactive-search, 2 baseline, 3 done
+  bool proactive_acted = false;
+  std::vector<std::vector<sim::NodeId>> baseline;
+  bool has_search = false;
+  TabuSearchSnapshot search;
+};
+
 class RepairJob {
  public:
   // Which slice of the per-interval dispatch to run; the one-shot
@@ -133,6 +150,20 @@ class RepairJob {
             const std::vector<sim::NodeId>& failed_brokers,
             const sim::SystemSnapshot& snapshot, const CarolConfig& config,
             common::Rng* rng, Mode mode = Mode::kDecision);
+
+  // Restores a job captured by SaveState(). `failed_brokers` must equal
+  // the original request's list (borrowed, as in the primary
+  // constructor) and `rng` must carry the stream state it had at
+  // capture time; driving the restored job to completion then yields
+  // bit-identical decisions to the uninterrupted run. Note the restore
+  // consumes NO rng draws: the draws of already-started searches
+  // happened before the capture.
+  RepairJob(const std::vector<sim::NodeId>& failed_brokers,
+            const CarolConfig& config, common::Rng* rng,
+            const RepairJobState& state);
+
+  // Captures the full job state between steps (see RepairJobState).
+  RepairJobState SaveState() const;
 
   // Steps capture interior pointers; keep the job pinned in place.
   RepairJob(const RepairJob&) = delete;
@@ -226,6 +257,18 @@ class ConfidenceGate {
 
   const std::vector<EncodedState>& gamma() const { return gamma_; }
   void ClearGamma() { gamma_.clear(); }
+
+  // Serializable gate state: the POT threshold window plus the running
+  // dataset Gamma. The Figure-2 history series are intentionally NOT
+  // captured (serving sessions record none; a restored single-model
+  // gate restarts its series empty). RestoreState(SaveState()) resumes
+  // the Observe sequence bit-identically.
+  struct State {
+    PotState pot;
+    std::vector<EncodedState> gamma;
+  };
+  State SaveState() const;
+  void RestoreState(State state);
   // Per-interval confidence/threshold series (Figure 2). Recording is on
   // by default for the single-model path; long-running serve sessions
   // turn it off, since the series grows unboundedly and nothing reads it

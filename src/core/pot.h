@@ -14,6 +14,7 @@
 #define CAROL_CORE_POT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -43,6 +44,17 @@ struct GpdFit {
 GpdFit FitGpdGrimshaw(const std::vector<double>& excesses);
 GpdFit FitGpdMoments(const std::vector<double>& excesses);
 
+// Complete mutable state of a PotThreshold (the config is NOT part of
+// it: a restored threshold keeps the config it was constructed with).
+// Plain data so the serving layer can serialize it into session
+// snapshots; Restore(state()) is an exact no-op.
+struct PotState {
+  std::vector<double> history;  // sliding window, oldest first
+  double threshold = 0.0;
+  bool calibrated = false;
+  std::uint64_t total_observations = 0;
+};
+
 class PotThreshold {
  public:
   explicit PotThreshold(PotConfig config = {});
@@ -64,6 +76,23 @@ class PotThreshold {
   // True if `score` breaches (falls below) the current threshold.
   bool Breach(double score) const;
   std::size_t observations() const { return total_observations_; }
+
+  // Exact state capture/restore (see PotState). A restored threshold
+  // continues the Update sequence bit-identically to the original.
+  PotState state() const {
+    PotState s;
+    s.history = history_;
+    s.threshold = threshold_;
+    s.calibrated = calibrated_;
+    s.total_observations = total_observations_;
+    return s;
+  }
+  void Restore(const PotState& s) {
+    history_ = s.history;
+    threshold_ = s.threshold;
+    calibrated_ = s.calibrated;
+    total_observations_ = static_cast<std::size_t>(s.total_observations);
+  }
 
  private:
   void Refit();

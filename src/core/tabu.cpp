@@ -35,6 +35,47 @@ TabuSearchState::TabuSearchState(const TabuConfig& config,
   frontier_.push_back(current_);
 }
 
+TabuSearchState::TabuSearchState(const TabuConfig& config,
+                                 LazyNeighborFn neighbors,
+                                 const TabuSearchSnapshot& snapshot)
+    : config_(config),
+      neighbors_(std::move(neighbors)),
+      current_(sim::Topology::FromAssignment(snapshot.current)),
+      best_(sim::Topology::FromAssignment(snapshot.best)),
+      best_score_(snapshot.best_score),
+      evaluations_(snapshot.evaluations),
+      iter_(snapshot.iter),
+      start_pending_(snapshot.start_pending),
+      done_(snapshot.done) {
+  // The lookup set is derived state: rebuild it from the ordered list.
+  for (std::uint64_t hash : snapshot.tabu) {
+    const auto h = static_cast<std::size_t>(hash);
+    tabu_order_.push_back(h);
+    tabu_set_.insert(h);
+  }
+  frontier_.reserve(snapshot.frontier.size());
+  for (const std::vector<sim::NodeId>& assignment : snapshot.frontier) {
+    frontier_.push_back(sim::Topology::FromAssignment(assignment));
+  }
+}
+
+TabuSearchSnapshot TabuSearchState::Snapshot() const {
+  TabuSearchSnapshot s;
+  s.current = current_.assignment();
+  s.best = best_.assignment();
+  s.best_score = best_score_;
+  s.tabu.assign(tabu_order_.begin(), tabu_order_.end());
+  s.frontier.reserve(frontier_.size());
+  for (const sim::Topology& g : frontier_) {
+    s.frontier.push_back(g.assignment());
+  }
+  s.evaluations = evaluations_;
+  s.iter = iter_;
+  s.start_pending = start_pending_;
+  s.done = done_;
+  return s;
+}
+
 void TabuSearchState::PushTabu(std::size_t hash) {
   if (tabu_set_.insert(hash).second) {
     tabu_order_.push_back(hash);

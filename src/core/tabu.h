@@ -21,6 +21,7 @@
 #define CAROL_CORE_TABU_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <span>
@@ -98,6 +99,28 @@ class TabuSearch {
 // materialization, so nothing is built twice).
 LazyNeighborFn LazyFromNeighbors(TabuSearch::NeighborFn neighbors);
 
+// Complete serializable state of a TabuSearchState, captured BETWEEN
+// steps (frontier proposed, scores not yet supplied — the natural park
+// point of the serving layer's pipeline). Topologies are stored as
+// their assignment encodings (Topology::FromAssignment round-trips and
+// recomputes the identical deterministic Zobrist hash, so the saved
+// tabu hashes stay comparable after a restore). The neighbor callback
+// is NOT part of the state: the restoring caller re-supplies an
+// equivalent one (it is a pure function of config + alive mask).
+struct TabuSearchSnapshot {
+  std::vector<sim::NodeId> current;
+  std::vector<sim::NodeId> best;
+  double best_score = 0.0;
+  // Tabu hashes, oldest first (the derived lookup set is rebuilt).
+  std::vector<std::uint64_t> tabu;
+  // The pending frontier awaiting scores, as assignment encodings.
+  std::vector<std::vector<sim::NodeId>> frontier;
+  int evaluations = 0;
+  int iter = 0;
+  bool start_pending = true;
+  bool done = false;
+};
+
 // The resumable search. Protocol:
 //   TabuSearchState s(config, start, neighbors);
 //   while (!s.done()) s.Advance(scores_for(s.ProposeFrontier()));
@@ -111,6 +134,17 @@ class TabuSearchState {
  public:
   TabuSearchState(const TabuConfig& config, sim::Topology start,
                   LazyNeighborFn neighbors);
+  // Restores a search captured by Snapshot(). `neighbors` must be
+  // equivalent to the original callback (same moves, same order) for
+  // the resumed search to be bit-identical — LocalMoveNeighbors over
+  // the same alive mask and options satisfies this by construction.
+  TabuSearchState(const TabuConfig& config, LazyNeighborFn neighbors,
+                  const TabuSearchSnapshot& snapshot);
+
+  // Captures the full search state between steps; resuming a restored
+  // copy evaluates exactly the candidates (in the same order) that the
+  // uninterrupted search would have.
+  TabuSearchSnapshot Snapshot() const;
 
   // Candidates awaiting scores, in evaluation order. Non-empty unless
   // done(). The reference stays valid until the next Advance call.

@@ -16,6 +16,7 @@
 #ifndef CAROL_FAULTS_INJECTOR_H_
 #define CAROL_FAULTS_INJECTOR_H_
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,21 @@ namespace carol::faults {
 enum class FaultType { kCpuOverload, kRamContention, kDiskAttack, kDdos };
 
 std::string ToString(FaultType type);
+
+// What FaultSchedule::Load throws on a malformed schedule file. Carries
+// the 1-based line number of the offending CSV line (the header is line
+// 1; line 0 means the file could not be opened at all); what() spells
+// out path, line and cause so the message is actionable as-is.
+class ScheduleParseError : public std::runtime_error {
+ public:
+  ScheduleParseError(const std::string& path, int line,
+                     const std::string& cause);
+
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
 
 struct FaultEvent {
   int interval = 0;
@@ -57,9 +73,11 @@ struct FaultSchedule {
   // it is the application order, which is observable (a later contention
   // load on the same node overwrites an earlier one).
   void Sort();
-  // CSV persistence via common/csv. Save writes full double precision so
-  // Load round-trips bit-exactly. Load throws std::runtime_error on a
-  // missing file or unexpected header.
+  // CSV persistence. Save writes full double precision so Load
+  // round-trips bit-exactly. Load validates as it parses and throws
+  // ScheduleParseError — with the offending 1-based line number — on a
+  // missing file, header mismatch, wrong column count, non-numeric cell
+  // or out-of-range fault type. It never silently coerces a bad line.
   void Save(const std::string& path) const;
   static FaultSchedule Load(const std::string& path);
 

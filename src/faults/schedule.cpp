@@ -1,8 +1,14 @@
-// FaultSchedule persistence: fault timelines round-trip through the
-// common CSV substrate bit-exactly (CsvWriter emits max_digits10
-// precision), so a saved stochastic run replays identically.
+// FaultSchedule persistence: fault timelines round-trip through CSV
+// bit-exactly (CsvWriter emits max_digits10 precision), so a saved
+// stochastic run replays identically. Loading validates line by line
+// and reports failures as ScheduleParseError with the offending line
+// number — a scenario suite pointed at a corrupted schedule should say
+// which line is bad, not silently replay garbage.
 #include <algorithm>
-#include <stdexcept>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "faults/injector.h"
@@ -18,7 +24,43 @@ const std::vector<std::string>& ScheduleHeader() {
   return header;
 }
 
+std::vector<std::string> SplitCells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+// Strict double parse: the WHOLE cell must be numeric ("1.5x" is an
+// error, not 1.5 — partial-consume is how corrupt columns slip through).
+double ParseCell(const std::string& path, int line, std::size_t column,
+                 const std::string& cell) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw ScheduleParseError(path, line,
+                             "non-numeric value '" + cell + "' in column '" +
+                                 ScheduleHeader()[column] + "'");
+  }
+  if (consumed != cell.size()) {
+    throw ScheduleParseError(path, line,
+                             "trailing garbage in value '" + cell +
+                                 "' in column '" + ScheduleHeader()[column] +
+                                 "'");
+  }
+  return value;
+}
+
 }  // namespace
+
+ScheduleParseError::ScheduleParseError(const std::string& path, int line,
+                                       const std::string& cause)
+    : std::runtime_error("FaultSchedule::Load: " + path + ":" +
+                         std::to_string(line) + ": " + cause),
+      line_(line) {}
 
 void FaultSchedule::Sort() {
   // Stable, by interval ONLY: within an interval the stored order is the
@@ -43,20 +85,47 @@ void FaultSchedule::Save(const std::string& path) const {
 }
 
 FaultSchedule FaultSchedule::Load(const std::string& path) {
-  const common::CsvTable table = common::ReadCsv(path);
-  if (table.header != ScheduleHeader()) {
-    throw std::runtime_error("FaultSchedule::Load: unexpected header in " +
-                             path);
+  std::ifstream in(path);
+  if (!in) {
+    throw ScheduleParseError(path, 0, "cannot open file");
   }
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ScheduleParseError(path, 1, "empty file (no header)");
+  }
+  if (SplitCells(line) != ScheduleHeader()) {
+    throw ScheduleParseError(
+        path, 1, "unexpected header '" + line + "' (not a fault schedule?)");
+  }
+
   FaultSchedule schedule;
-  schedule.events.reserve(table.rows.size());
-  for (const std::vector<double>& row : table.rows) {
-    if (row.size() != ScheduleHeader().size()) {
-      throw std::runtime_error("FaultSchedule::Load: short row in " + path);
+  for (int line_no = 2; std::getline(in, line); ++line_no) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCells(line);
+    if (cells.size() != ScheduleHeader().size()) {
+      throw ScheduleParseError(
+          path, line_no,
+          "expected " + std::to_string(ScheduleHeader().size()) +
+              " columns, got " + std::to_string(cells.size()));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      row.push_back(ParseCell(path, line_no, c, cells[c]));
+    }
+    const int type = static_cast<int>(row[1]);
+    if (type < 0 || type > static_cast<int>(FaultType::kDdos)) {
+      throw ScheduleParseError(
+          path, line_no, "fault type " + std::to_string(type) +
+                             " out of range [0, " +
+                             std::to_string(static_cast<int>(
+                                 FaultType::kDdos)) +
+                             "]");
     }
     FaultEvent e;
     e.interval = static_cast<int>(row[0]);
-    e.type = static_cast<FaultType>(static_cast<int>(row[1]));
+    e.type = static_cast<FaultType>(type);
     e.target = static_cast<sim::NodeId>(row[2]);
     e.onset_s = row[3];
     e.magnitude = row[4];

@@ -1,9 +1,12 @@
 #include "harness/serve_experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
+
+#include "common/rng.h"
 
 #include "common/stats.h"
 
@@ -87,6 +90,74 @@ std::vector<RunResult> RunFederationsViaService(
     const std::vector<serve::FederationSpec>& specs,
     const std::vector<RunConfig>& configs) {
   return RunFederationsViaServiceReport(service, specs, configs).results;
+}
+
+// --- client-side retry ---------------------------------------------------
+
+namespace {
+
+// Shared retry loop: `issue` performs one attempt. Retries only the
+// not-admitted rejections (overloaded / suspended); anything else
+// propagates, with timeouts counted on the way out.
+template <typename Response, typename IssueFn>
+Response RunWithRetry(const RetryPolicy& policy, RetryAccounting* accounting,
+                      const IssueFn& issue) {
+  RetryAccounting local;
+  RetryAccounting& acct = accounting != nullptr ? *accounting : local;
+  common::Rng jitter_rng(policy.seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    ++acct.attempts;
+    try {
+      Response response = issue();
+      ++acct.successes;
+      return response;
+    } catch (const serve::ServiceTimeoutError&) {
+      ++acct.timeouts;
+      throw;  // a timed-out repair is not transparently re-issuable
+    } catch (const serve::ServiceOverloadedError&) {
+      ++acct.overloaded;
+      if (attempt >= attempts) {
+        ++acct.exhausted;
+        throw;
+      }
+    } catch (const serve::ServiceSuspendedError&) {
+      ++acct.suspended;
+      if (attempt >= attempts) {
+        ++acct.exhausted;
+        throw;
+      }
+    }
+    // Jittered exponential backoff, fully determined by policy.seed:
+    // shrink (never grow) the nominal delay so the cap stays honest.
+    double delay_ms = policy.base_delay_ms;
+    for (int k = 1; k < attempt; ++k) delay_ms *= policy.multiplier;
+    delay_ms = std::min(delay_ms, policy.max_delay_ms);
+    delay_ms *= 1.0 - policy.jitter * jitter_rng.Uniform();
+    acct.delays_ms.push_back(delay_ms);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(0.0, delay_ms)));
+  }
+}
+
+}  // namespace
+
+serve::RepairResponse RepairWithRetry(serve::ResilienceService& service,
+                                      serve::SessionId id,
+                                      const serve::RepairRequest& request,
+                                      const RetryPolicy& policy,
+                                      RetryAccounting* accounting) {
+  return RunWithRetry<serve::RepairResponse>(
+      policy, accounting, [&] { return service.Repair(id, request); });
+}
+
+serve::ObserveResponse ObserveWithRetry(serve::ResilienceService& service,
+                                        serve::SessionId id,
+                                        const serve::ObserveRequest& request,
+                                        const RetryPolicy& policy,
+                                        RetryAccounting* accounting) {
+  return RunWithRetry<serve::ObserveResponse>(
+      policy, accounting, [&] { return service.Observe(id, request); });
 }
 
 }  // namespace carol::harness

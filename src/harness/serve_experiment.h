@@ -64,6 +64,53 @@ SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
                           const std::vector<std::int64_t>& decision_ns,
                           int finetunes);
 
+// --- client-side retry with seeded jittered exponential backoff ---------
+
+struct RetryPolicy {
+  // Attempts including the first (so max_attempts - 1 retries).
+  int max_attempts = 5;
+  // Backoff schedule: delay k (1-based retry index) is
+  //   min(max_delay_ms, base_delay_ms * multiplier^(k-1))
+  // shrunk by a seeded uniform jitter factor in (1 - jitter, 1].
+  double base_delay_ms = 0.2;
+  double multiplier = 2.0;
+  double max_delay_ms = 20.0;
+  double jitter = 0.5;  // in [0, 1): fraction of the delay randomized away
+  // Seed for the jitter stream. Each helper call constructs its own
+  // common::Rng from this, so retry timing is reproducible and never
+  // perturbs any simulation rng stream.
+  std::uint64_t seed = 2024;
+};
+
+// Client-side ledger of what the helper observed; totals reconcile
+// exactly with the service's ServiceStats shed/timeout counters (every
+// server-side rejection is one typed error here, never a silent drop).
+struct RetryAccounting {
+  int attempts = 0;      // calls issued, including the successful one
+  int overloaded = 0;    // ServiceOverloadedError received (retried)
+  int suspended = 0;     // ServiceSuspendedError received (retried)
+  int timeouts = 0;      // ServiceTimeoutError received (rethrown)
+  int successes = 0;     // requests that eventually succeeded
+  int exhausted = 0;     // gave up after max_attempts rejections
+  std::vector<double> delays_ms;  // backoff actually slept, per retry
+};
+
+// Issues the request, retrying on ServiceOverloadedError and
+// ServiceSuspendedError (both mean "never admitted / safe to re-issue")
+// with jittered exponential backoff. ServiceTimeoutError is counted and
+// rethrown immediately — a repair timeout may have consumed rng draws,
+// so blind re-issue is not a transparent retry (see service.h). After
+// max_attempts rejections the last error is rethrown (`exhausted`).
+serve::RepairResponse RepairWithRetry(serve::ResilienceService& service,
+                                      serve::SessionId id,
+                                      const serve::RepairRequest& request,
+                                      const RetryPolicy& policy = {},
+                                      RetryAccounting* accounting = nullptr);
+serve::ObserveResponse ObserveWithRetry(
+    serve::ResilienceService& service, serve::SessionId id,
+    const serve::ObserveRequest& request, const RetryPolicy& policy = {},
+    RetryAccounting* accounting = nullptr);
+
 // Drives one full federation experiment per (spec, config) pair through
 // the shared multi-tenant service, each federation on its own driver
 // thread over the service's worker shards. Returns results in input

@@ -1,8 +1,13 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <stdexcept>
+#include <vector>
+
+#include "common/binio.h"
 
 namespace carol::nn {
 
@@ -46,6 +51,47 @@ void LoadParameters(Module& module, const std::string& path) {
     for (double& v : p->value.flat()) in >> v;
   }
   if (!in) throw std::runtime_error("LoadParameters: truncated file");
+}
+
+void SaveParametersBinary(Module& module, std::ostream& out) {
+  common::BinaryWriter w(out);
+  const auto params = module.Parameters();
+  w.Header("carol-params-bin", 1);
+  w.U64(params.size());
+  for (const Parameter* p : params) {
+    w.String(p->name);
+    w.U64(p->value.rows());
+    w.U64(p->value.cols());
+    w.Doubles(p->value.flat());
+  }
+  w.CheckOk("SaveParametersBinary");
+}
+
+void LoadParametersBinary(Module& module, std::istream& in) {
+  common::BinaryReader r(in);
+  r.Header("carol-params-bin", 1);
+  auto params = module.Parameters();
+  const std::uint64_t count = r.U64();
+  if (count != params.size()) {
+    throw common::BinaryFormatError(
+        "LoadParametersBinary: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const std::string name = r.String();
+    const std::uint64_t rows = r.U64();
+    const std::uint64_t cols = r.U64();
+    if (name != p->name || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      throw common::BinaryFormatError("LoadParametersBinary: mismatch at " +
+                                      p->name);
+    }
+    const std::vector<double> values = r.Doubles();
+    if (values.size() != p->value.flat().size()) {
+      throw common::BinaryFormatError(
+          "LoadParametersBinary: element count mismatch at " + p->name);
+    }
+    std::copy(values.begin(), values.end(), p->value.flat().begin());
+  }
 }
 
 void CopyParameters(Module& from, Module& to) {

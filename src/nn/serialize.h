@@ -8,6 +8,7 @@
 #ifndef CAROL_NN_SERIALIZE_H_
 #define CAROL_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/layers.h"
@@ -21,6 +22,16 @@ void SaveParameters(Module& module, const std::string& path);
 // Loads parameters into `module`. Names, order and shapes must match what
 // SaveParameters wrote; throws std::runtime_error otherwise.
 void LoadParameters(Module& module, const std::string& path);
+
+// Binary parameter checkpoints ("carol-params-bin" v1): doubles are
+// written as raw IEEE-754 bit patterns, so Save -> Load round-trips are
+// bit-exact — the property the serving layer's snapshot/restore
+// bit-identity guarantee rests on (the text format above goes through
+// decimal and is only exact to 17 significant digits). Same strict
+// name/order/shape matching as the text loaders; the reader throws
+// common::BinaryFormatError on foreign or truncated input.
+void SaveParametersBinary(Module& module, std::ostream& out);
+void LoadParametersBinary(Module& module, std::istream& in);
 
 // In-memory weight clone between two architecturally identical modules
 // (same parameter names, order and shapes); throws std::runtime_error on

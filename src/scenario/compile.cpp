@@ -227,6 +227,11 @@ void CompilePhase(const ScenarioSpec& spec, const FleetSpec& fleet,
         }
       }
       break;
+
+    case PhaseKind::kServiceRestart:
+      // Service-wide; extracted by CompileScenario before the per-fleet
+      // loop, never dispatched here.
+      break;
   }
 }
 
@@ -252,6 +257,8 @@ std::string ToString(PhaseKind kind) {
       return "rolling-outage";
     case PhaseKind::kChurn:
       return "churn";
+    case PhaseKind::kServiceRestart:
+      return "service-restart";
   }
   return "?";
 }
@@ -272,6 +279,22 @@ CompiledScenario CompileScenario(const ScenarioSpec& spec) {
   compiled.seed = spec.seed;
   compiled.intervals = spec.intervals;
 
+  // Restart phases are service-wide and purely structural: they are
+  // pulled out BEFORE the per-fleet loop and skipped inside it without
+  // consuming an rng fork, so adding (or removing) a restart drill
+  // leaves every fleet's compiled event stream bit-identical.
+  for (const ScenarioPhase& phase : spec.phases) {
+    if (phase.kind == PhaseKind::kServiceRestart) {
+      compiled.service_restarts.push_back(phase.start);
+    }
+  }
+  std::sort(compiled.service_restarts.begin(),
+            compiled.service_restarts.end());
+  compiled.service_restarts.erase(
+      std::unique(compiled.service_restarts.begin(),
+                  compiled.service_restarts.end()),
+      compiled.service_restarts.end());
+
   common::Rng root(spec.seed);
   for (std::size_t f = 0; f < spec.fleets.size(); ++f) {
     const FleetSpec& fleet = spec.fleets[f];
@@ -282,6 +305,7 @@ CompiledScenario CompileScenario(const ScenarioSpec& spec) {
         std::vector<double>(
             static_cast<std::size_t>(spec.sim.network.num_sites), 1.0));
     for (const ScenarioPhase& phase : spec.phases) {
+      if (phase.kind == PhaseKind::kServiceRestart) continue;
       // Fork unconditionally so fleet-targeted phases never shift the
       // rng streams of the phases that follow them.
       common::Rng phase_rng = fleet_rng.Fork();

@@ -55,6 +55,11 @@ struct CompiledScenario {
   std::uint64_t seed = 0;
   int intervals = 0;
   std::vector<CompiledFleet> fleets;  // one per ScenarioSpec::fleets
+  // Intervals at whose START the driver snapshots, tears down and
+  // restores the whole service (kServiceRestart phases), sorted and
+  // deduplicated. Restart phases consume no compile-side rng draws, so
+  // the fleets' event streams are byte-identical with and without them.
+  std::vector<int> service_restarts;
 
   bool operator==(const CompiledScenario&) const = default;
 };

@@ -1,8 +1,12 @@
 #include "scenario/driver.h"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
+#include <cstddef>
 #include <exception>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -52,22 +56,27 @@ void ApplyNetworkEvent(sim::Network& net, const NetworkEvent& e) {
 
 // Closes the fleet's service session on every exit path (a throwing
 // Repair/Observe must not leak the session into the shared service).
+// Holds a pointer to the driver's service POINTER, not the service:
+// a kServiceRestart replaces the instance mid-scenario, and the close
+// must land on whichever instance is live at unwind time (the restored
+// service carries the same session ids).
 class SessionGuard {
  public:
-  SessionGuard(serve::ResilienceService& service, serve::SessionId id)
-      : service_(&service), id_(id) {}
+  SessionGuard(serve::ResilienceService* const* service, serve::SessionId id)
+      : service_(service), id_(id) {}
   SessionGuard(const SessionGuard&) = delete;
   SessionGuard& operator=(const SessionGuard&) = delete;
   ~SessionGuard() {
+    if (*service_ == nullptr) return;  // service lost in a failed restart
     try {
-      service_->CloseSession(id_);
+      (*service_)->CloseSession(id_);
     } catch (...) {
       // Unwinding from the real error; a close failure is secondary.
     }
   }
 
  private:
-  serve::ResilienceService* service_;
+  serve::ResilienceService* const* service_;
   serve::SessionId id_;
 };
 
@@ -76,6 +85,13 @@ class SessionGuard {
 ScenarioDriver::ScenarioDriver(serve::ResilienceService& service,
                                ScenarioDriverOptions options)
     : service_(&service), options_(std::move(options)) {}
+
+ScenarioDriver::ScenarioDriver(const serve::ServiceConfig& config,
+                               ScenarioDriverOptions options)
+    : owned_config_(config),
+      owned_(std::make_unique<serve::ResilienceService>(config)),
+      service_(owned_.get()),
+      options_(std::move(options)) {}
 
 Scorecard ScenarioDriver::Run(const ScenarioSpec& spec) {
   return Play(spec, CompileScenario(spec));
@@ -92,6 +108,13 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         "ScenarioDriver: compiled interval count does not match spec");
   }
   const std::size_t n = spec.fleets.size();
+  const std::vector<int>& restarts = compiled.service_restarts;
+  if (!restarts.empty() && owned_ == nullptr) {
+    throw std::invalid_argument(
+        "ScenarioDriver: kServiceRestart phases require the owning "
+        "constructor (the driver must be allowed to destroy and restore "
+        "the service)");
+  }
 
   // Per-fleet sim/workload seeds, derived deterministically from the
   // scenario seed BEFORE any thread starts. The seeder is salted so the
@@ -109,8 +132,43 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
   card.intervals = spec.intervals;
   card.sessions.resize(n);
 
-  const serve::ServiceStats before = service_->stats();
+  serve::ServiceStats before = service_->stats();
   const auto wall_start = Clock::now();
+
+  // Restart rendezvous: at the start of each kServiceRestart interval
+  // every fleet thread parks on the barrier; the completion step (run by
+  // exactly one thread, all others blocked — the service is quiescent by
+  // construction since Repair/Observe are synchronous) snapshots the
+  // service to memory, destroys it, restores a fresh instance from the
+  // snapshot, and repoints service_. Session ids survive the restore, so
+  // fleet threads resume oblivious. Stats deltas are banked per
+  // incarnation because the restored instance's counters start at zero.
+  std::uint64_t banked_passes = 0;
+  std::uint64_t banked_jobs = 0;
+  std::exception_ptr restart_error;
+  auto on_restart = [&]() noexcept {
+    try {
+      const serve::ServiceStats at = service_->stats();
+      banked_passes += at.pipeline_passes - before.pipeline_passes;
+      banked_jobs += at.pipeline_jobs - before.pipeline_jobs;
+      std::stringstream snapshot(std::ios::in | std::ios::out |
+                                 std::ios::binary);
+      owned_->SaveSnapshot(snapshot);
+      // Teardown before restore (the crash being drilled): service_ is
+      // nulled first so a failed restore leaves no dangling pointer for
+      // the unwinding SessionGuards.
+      service_ = nullptr;
+      owned_.reset();
+      snapshot.seekg(0);
+      owned_ = std::make_unique<serve::ResilienceService>(owned_config_,
+                                                          snapshot);
+      service_ = owned_.get();
+      before = service_->stats();
+    } catch (...) {
+      restart_error = std::current_exception();
+    }
+  };
+  std::barrier restart_barrier(static_cast<std::ptrdiff_t>(n), on_restart);
 
   std::vector<std::exception_ptr> errors(n);
   std::vector<std::vector<std::int64_t>> decision_ns(n);
@@ -118,6 +176,7 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
   drivers.reserve(n);
   for (std::size_t f = 0; f < n; ++f) {
     drivers.emplace_back([&, f] {
+      std::size_t restart_pos = 0;
       try {
         const FleetSpec& fleet = spec.fleets[f];
         const CompiledFleet& events = compiled.fleets[f];
@@ -151,7 +210,7 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         }
         const serve::SessionId session =
             service_->OpenSession(session_spec);
-        SessionGuard session_guard(*service_, session);
+        SessionGuard session_guard(&service_, session);
 
         SessionScore& score = card.sessions[f];
         score.intervals = spec.intervals;
@@ -163,6 +222,16 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         std::vector<double> all_responses;
 
         for (int interval = 0; interval < spec.intervals; ++interval) {
+          // Restart drill: rendezvous with every other fleet thread,
+          // one of which snapshots + tears down + restores the service
+          // in the barrier's completion step.
+          while (restart_pos < restarts.size() &&
+                 restarts[restart_pos] == interval) {
+            restart_barrier.arrive_and_wait();
+            ++restart_pos;
+            if (restart_error) std::rethrow_exception(restart_error);
+          }
+
           // Scheduled link mutations fire at the interval boundary,
           // before detection and routing.
           while (net_pos < events.network_events.size() &&
@@ -267,6 +336,11 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
                                             decision_ns[f], finetunes);
       } catch (...) {
         errors[f] = std::current_exception();
+        // Unblock peers parked at (or headed for) a future restart
+        // rendezvous: arrive once and stop counting toward later phases.
+        if (restart_pos < restarts.size()) {
+          restart_barrier.arrive_and_drop();
+        }
       }
     });
   }
@@ -289,8 +363,10 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
       card.wall_s > 0.0 ? static_cast<double>(all_ms.size()) / card.wall_s
                         : 0.0;
   const serve::ServiceStats after = service_->stats();
-  card.pipeline_passes = after.pipeline_passes - before.pipeline_passes;
-  card.pipeline_jobs = after.pipeline_jobs - before.pipeline_jobs;
+  card.pipeline_passes =
+      banked_passes + after.pipeline_passes - before.pipeline_passes;
+  card.pipeline_jobs =
+      banked_jobs + after.pipeline_jobs - before.pipeline_jobs;
   if (card.pipeline_passes > 0) {
     card.stacking_ratio = static_cast<double>(card.pipeline_jobs) /
                           static_cast<double>(card.pipeline_passes);

@@ -20,6 +20,8 @@
 #ifndef CAROL_SCENARIO_DRIVER_H_
 #define CAROL_SCENARIO_DRIVER_H_
 
+#include <memory>
+
 #include "core/carol.h"
 #include "scenario/compile.h"
 #include "scenario/scorecard.h"
@@ -43,7 +45,18 @@ struct ScenarioDriverOptions {
 
 class ScenarioDriver {
  public:
+  // Drives an externally owned service. Scenarios containing
+  // kServiceRestart phases cannot run through this constructor (the
+  // driver may not destroy a service it does not own) — Play throws
+  // std::invalid_argument for them.
   explicit ScenarioDriver(serve::ResilienceService& service,
+                          ScenarioDriverOptions options = {});
+  // Owning form: constructs the service from `config` and, at each
+  // kServiceRestart boundary, snapshots it to memory, destroys it, and
+  // restores a fresh instance from the snapshot (the crash/restart
+  // drill). Without restart phases it behaves exactly like the
+  // borrowing constructor over a service it made itself.
+  explicit ScenarioDriver(const serve::ServiceConfig& config,
                           ScenarioDriverOptions options = {});
 
   // Compiles and plays `spec`, blocking until every fleet finished.
@@ -56,6 +69,11 @@ class ScenarioDriver {
                  const CompiledScenario& compiled);
 
  private:
+  // Set only by the owning constructor; service_ tracks the live
+  // instance (repointed across restarts while fleet threads are parked
+  // at the restart barrier).
+  serve::ServiceConfig owned_config_;
+  std::unique_ptr<serve::ResilienceService> owned_;
   serve::ResilienceService* service_;
   ScenarioDriverOptions options_;
 };

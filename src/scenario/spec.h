@@ -33,13 +33,22 @@ enum class PhaseKind {
   kFlashCrowd,     // arrival-rate surge at one site (or fleet-wide)
   kDiurnal,        // sinusoidal arrival-rate modulation
   kRollingOutage,  // each site goes fully dark in sequence
-  kChurn           // background node hangs/reboots across the fleet
+  kChurn,          // background node hangs/reboots across the fleet
+  kServiceRestart  // snapshot + teardown + restore of the SERVICE itself
 };
 
 std::string ToString(PhaseKind kind);
 
 // One timed phase. Only the fields relevant to `kind` are read; the rest
 // keep their defaults. Intervals are scenario-relative (0 = first).
+//
+// kServiceRestart is service-wide, not per-fleet: only `start` is read.
+// At the start of that interval every fleet thread rendezvous, the
+// driver snapshots the service (sessions, weights, thresholds, any
+// parked repair state), destroys it, and restores a fresh instance from
+// the snapshot before play continues. Requires the driver's owning
+// constructor; the restart is invisible to the scorecard's
+// deterministic section (pinned by tests/scenario_test.cpp).
 struct ScenarioPhase {
   PhaseKind kind = PhaseKind::kQuiet;
   int start = 0;     // first interval of the phase

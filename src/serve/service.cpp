@@ -1,12 +1,15 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <span>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
+#include "common/binio.h"
 #include "core/bucket.h"
 #include "nn/serialize.h"
 
@@ -23,6 +26,20 @@ std::int64_t NsSince(Clock::time_point start) {
 }  // namespace
 
 // --- internal state -----------------------------------------------------
+
+// A repair suspended mid-search by a drain: the complete resumable job
+// state plus the request identity it belongs to. The original caller
+// got ServiceSuspendedError; when the SAME request (same current
+// topology, same failed-broker list — verified on resume) is re-issued
+// against the restored service, the search continues from exactly this
+// point. The snapshot itself is NOT stored: the re-issued request
+// supplies it, and the captured state already embeds everything the
+// search derived from it (alive mask, start topology, tabu state).
+struct ResilienceService::ParkedRepair {
+  std::vector<sim::NodeId> current;  // request topology, as assignment
+  std::vector<sim::NodeId> failed;
+  core::RepairJobState job;
+};
 
 // Per-federation controller state. Everything here is cheap; the GON
 // surrogate is shared by every session (see header comment).
@@ -50,6 +67,12 @@ struct ResilienceService::Session {
   // active sessions, so session work is exclusive AND in FIFO submission
   // order without a per-session lock that could park worker threads.
   bool active = false;
+  // Admitted-but-unfinished requests of this session (the
+  // max_pending_per_session quota counter). Guarded by queue_mu_.
+  std::size_t pending = 0;
+  // Mid-repair state captured by a drain, waiting for the request to be
+  // re-issued. Guarded by queue_mu_.
+  std::unique_ptr<ParkedRepair> parked;
 };
 
 // A worker shard: one thread, one GonModel replica. The replica is only
@@ -78,6 +101,9 @@ struct ResilienceService::RepairPipeline {
   const sim::SystemSnapshot* snapshot = nullptr;
   std::promise<RepairResponse>* promise = nullptr;
   Clock::time_point t0{};
+  // Absolute deadline (default-constructed = none), checked at every
+  // step boundary.
+  Clock::time_point deadline{};
   std::optional<core::RepairJob> job;
   Stage stage = Stage::kSearch;
   // The encoded pending frontier, parked in the pending-score pool.
@@ -266,6 +292,33 @@ ResilienceService::ResilienceService(const ServiceConfig& config)
   }
 }
 
+ResilienceService::ResilienceService(const ServiceConfig& config,
+                                     std::istream& snapshot)
+    : ResilienceService(config) {
+  try {
+    RestoreFromSnapshot(snapshot);
+  } catch (...) {
+    Shutdown();  // the delegated ctor started workers; stop them
+    throw;
+  }
+}
+
+ResilienceService::ResilienceService(const ServiceConfig& config,
+                                     const std::string& snapshot_path)
+    : ResilienceService(config) {
+  try {
+    std::ifstream in(snapshot_path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("ResilienceService: cannot open snapshot " +
+                               snapshot_path);
+    }
+    RestoreFromSnapshot(in);
+  } catch (...) {
+    Shutdown();
+    throw;
+  }
+}
+
 ResilienceService::~ResilienceService() { Shutdown(); }
 
 void ResilienceService::Shutdown() {
@@ -293,16 +346,20 @@ void ResilienceService::WorkerLoop(Worker& worker) {
       return stopping_ && queue_.empty() && inflight_ == 0;
     });
     // Scheduling policy, in priority order:
+    //   0. expire queued requests whose deadline passed (typed failure,
+    //      never a silent drop);
     //   1. resumed pipeline steps — they complete in-flight repairs and
     //      deposit fresh frontiers into the pending-score pool;
-    //   2. new requests (earliest whose session is idle — FIFO within a
-    //      session and across sessions, and a session already being
-    //      served never parks this worker) — their first step stacks
-    //      more frontiers;
+    //   2. new requests — the earliest queued REPAIR whose session is
+    //      idle, then the earliest such Observe: repairs restore broken
+    //      topologies and take precedence over routine confidence
+    //      bookkeeping (still FIFO within each class, and a session
+    //      already being served never parks this worker);
     //   3. a stacked scoring pass over EVERYTHING pending.
     // A worker only flushes when no compute step is runnable, so
     // frontiers pile up exactly while peers have other work — stacking
     // with zero wall-clock lingering.
+    if (ExpireQueuedDeadlines(lock)) continue;
     if (!ready_.empty()) {
       std::function<void(Worker&)> step = std::move(ready_.front());
       ready_.pop_front();
@@ -313,10 +370,12 @@ void ResilienceService::WorkerLoop(Worker& worker) {
     }
     auto runnable = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (!it->session->active) {
+      if (it->session->active) continue;
+      if (it->is_repair) {
         runnable = it;
         break;
       }
+      if (runnable == queue_.end()) runnable = it;
     }
     if (runnable != queue_.end()) {
       QueuedJob job = std::move(*runnable);
@@ -340,32 +399,128 @@ void ResilienceService::WorkerLoop(Worker& worker) {
 }
 
 void ResilienceService::Enqueue(std::shared_ptr<Session> session,
-                                std::function<void(Worker&)> run) {
+                                std::function<void(Worker&)> run,
+                                bool is_repair, Clock::time_point deadline,
+                                std::function<void(std::exception_ptr)> fail) {
+  std::function<void(std::exception_ptr)> evicted;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       throw std::runtime_error("ResilienceService: shut down");
     }
+    if (draining_) {
+      suspended_.fetch_add(1, std::memory_order_relaxed);
+      throw ServiceSuspendedError();
+    }
+    // Per-tenant quota first: one chatty session never gets to trigger
+    // global shedding against everyone else's traffic.
+    if (config_.max_pending_per_session > 0 &&
+        session->pending >= config_.max_pending_per_session) {
+      quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+      throw ServiceOverloadedError(config_.max_pending_per_session,
+                                   session->id);
+    }
     // Admission control: every admitted request is either still queued
     // or in flight (inflight_ covers all of a pipeline's steps), so
     // their sum is the service's total outstanding work. Rejecting here
-    // — before the queue grows — is what bounds it.
+    // — before the queue grows — is what bounds it. Shedding is
+    // priority-aware: Observe load sheds first, repairs shed only when
+    // the backlog holds nothing to displace.
     if (config_.max_pending_requests > 0 &&
         inflight_ + queue_.size() >= config_.max_pending_requests) {
-      throw ServiceOverloadedError(config_.max_pending_requests);
+      if (!is_repair) {
+        shed_observes_.fetch_add(1, std::memory_order_relaxed);
+        throw ServiceOverloadedError(config_.max_pending_requests);
+      }
+      // An arriving repair displaces the newest queued Observe (newest:
+      // its caller has waited least), whose caller gets the overload
+      // error instead.
+      auto victim = queue_.end();
+      for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+        if (!it->is_repair) {
+          victim = std::next(it).base();
+          break;
+        }
+      }
+      if (victim == queue_.end()) {
+        shed_repairs_.fetch_add(1, std::memory_order_relaxed);
+        throw ServiceOverloadedError(config_.max_pending_requests);
+      }
+      shed_observes_.fetch_add(1, std::memory_order_relaxed);
+      --victim->session->pending;
+      evicted = std::move(victim->fail);
+      queue_.erase(victim);
     }
-    queue_.push_back(QueuedJob{std::move(session), std::move(run)});
+    ++session->pending;
+    queue_.push_back(QueuedJob{std::move(session), std::move(run), is_repair,
+                               deadline, std::move(fail)});
   }
   queue_cv_.notify_all();
+  if (evicted) {
+    evicted(std::make_exception_ptr(
+        ServiceOverloadedError(config_.max_pending_requests)));
+  }
 }
 
 void ResilienceService::FinishRequest(Session& session) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     session.active = false;
+    --session.pending;
     --inflight_;
   }
   queue_cv_.notify_all();
+}
+
+bool ResilienceService::ExpireQueuedDeadlines(
+    std::unique_lock<std::mutex>& lock) {
+  // Only queued (not-yet-started) requests expire here; running
+  // pipelines check their own deadline at every step boundary.
+  std::vector<std::function<void(std::exception_ptr)>> expired;
+  const Clock::time_point now = Clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline != Clock::time_point{} && now >= it->deadline) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      --it->session->pending;
+      expired.push_back(std::move(it->fail));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (expired.empty()) return false;
+  lock.unlock();
+  for (auto& fail : expired) {
+    fail(std::make_exception_ptr(ServiceTimeoutError()));
+  }
+  lock.lock();
+  return true;
+}
+
+void ResilienceService::BeginDrain() {
+  std::deque<QueuedJob> dropped;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      throw std::runtime_error("ResilienceService: shut down");
+    }
+    draining_ = true;
+    dropped.swap(queue_);
+    for (QueuedJob& job : dropped) --job.session->pending;
+  }
+  queue_cv_.notify_all();
+  for (QueuedJob& job : dropped) {
+    suspended_.fetch_add(1, std::memory_order_relaxed);
+    job.fail(std::make_exception_ptr(ServiceSuspendedError()));
+  }
+}
+
+void ResilienceService::WaitDrained() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [&] {
+    return queue_.empty() && ready_.empty() && pending_scores_.empty() &&
+           inflight_ == 0;
+  });
 }
 
 SessionId ResilienceService::OpenSession(const FederationSpec& spec) {
@@ -414,17 +569,32 @@ void ResilienceService::SyncReplica(Worker& worker) {
   worker.epoch = weight_epoch_.load(std::memory_order_acquire);
 }
 
+namespace {
+
+// Absolute expiry for a relative microsecond budget (0 = no deadline).
+Clock::time_point DeadlineFor(std::int64_t deadline_us) {
+  if (deadline_us <= 0) return Clock::time_point{};
+  return Clock::now() + std::chrono::microseconds(deadline_us);
+}
+
+bool Expired(Clock::time_point deadline) {
+  return deadline != Clock::time_point{} && Clock::now() >= deadline;
+}
+
+}  // namespace
+
 RepairResponse ResilienceService::Repair(SessionId id,
                                          const RepairRequest& request) {
   return Repair(id, request.current, request.failed_brokers,
-                request.snapshot);
+                request.snapshot, request.deadline_us);
 }
 
 RepairResponse ResilienceService::Repair(
     SessionId id, const sim::Topology& current,
     const std::vector<sim::NodeId>& failed_brokers,
-    const sim::SystemSnapshot& snapshot) {
+    const sim::SystemSnapshot& snapshot, std::int64_t deadline_us) {
   const std::shared_ptr<Session> session = FindSession(id);
+  const Clock::time_point deadline = DeadlineFor(deadline_us);
   std::promise<RepairResponse> promise;
   auto future = promise.get_future();
   // The caller blocks on the future, so the request pieces and the
@@ -437,42 +607,104 @@ RepairResponse ResilienceService::Repair(
     pipe->failed = &failed_brokers;
     pipe->snapshot = &snapshot;
     pipe->promise = &promise;
-    Enqueue(session, [this, pipe](Worker&) { StartRepairPipeline(pipe); });
+    pipe->deadline = deadline;
+    Enqueue(
+        session, [this, pipe](Worker&) { StartRepairPipeline(pipe); },
+        /*is_repair=*/true, deadline, [pipe](std::exception_ptr e) {
+          try {
+            pipe->promise->set_exception(std::move(e));
+          } catch (...) {
+          }
+        });
   } else {
-    Enqueue(session, [this, session, &current, &failed_brokers, &snapshot,
-                      &promise](Worker& worker) {
-      try {
-        promise.set_value(
-            DoRepair(*session, current, failed_brokers, snapshot, worker));
-      } catch (...) {
-        promise.set_exception(std::current_exception());
+    {
+      // A parked repair embeds step-boundary state only the pipeline
+      // scheduler can resume.
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (session->parked) {
+        throw std::logic_error(
+            "ResilienceService: session holds a parked repair; resuming "
+            "requires the pipeline scheduler (ServiceConfig::pipeline)");
       }
-      FinishRequest(*session);
-    });
+    }
+    Enqueue(
+        session,
+        [this, session, &current, &failed_brokers, &snapshot, &promise,
+         deadline](Worker& worker) {
+          RepairResponse response;
+          std::exception_ptr error;
+          try {
+            if (Expired(deadline)) {
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+              throw ServiceTimeoutError();
+            }
+            response =
+                DoRepair(*session, current, failed_brokers, snapshot, worker);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          // Free the admission slot BEFORE waking the caller: a woken
+          // client may submit its next request immediately, and exact
+          // accounting requires it to see this slot already released.
+          FinishRequest(*session);
+          if (error) {
+            promise.set_exception(std::move(error));
+          } else {
+            promise.set_value(std::move(response));
+          }
+        },
+        /*is_repair=*/true, deadline, [&promise](std::exception_ptr e) {
+          try {
+            promise.set_exception(std::move(e));
+          } catch (...) {
+          }
+        });
   }
   return future.get();
 }
 
 ObserveResponse ResilienceService::Observe(SessionId id,
                                            const ObserveRequest& request) {
-  return Observe(id, request.snapshot);
+  return Observe(id, request.snapshot, request.deadline_us);
 }
 
-ObserveResponse ResilienceService::Observe(
-    SessionId id, const sim::SystemSnapshot& snapshot) {
+ObserveResponse ResilienceService::Observe(SessionId id,
+                                           const sim::SystemSnapshot& snapshot,
+                                           std::int64_t deadline_us) {
   const std::shared_ptr<Session> session = FindSession(id);
+  const Clock::time_point deadline = DeadlineFor(deadline_us);
   std::promise<ObserveResponse> promise;
   auto future = promise.get_future();
   // Observations are a single step in either mode (no frontier to
   // stack): confidence, POT update, Gamma bookkeeping, maybe fine-tune.
-  Enqueue(session, [this, session, &snapshot, &promise](Worker& worker) {
-    try {
-      promise.set_value(DoObserve(*session, snapshot, worker));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-    }
-    FinishRequest(*session);
-  });
+  Enqueue(
+      session,
+      [this, session, &snapshot, &promise, deadline](Worker& worker) {
+        ObserveResponse response;
+        std::exception_ptr error;
+        try {
+          if (Expired(deadline)) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            throw ServiceTimeoutError();
+          }
+          response = DoObserve(*session, snapshot, worker);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        // Slot released before the caller wakes — see the Repair path.
+        FinishRequest(*session);
+        if (error) {
+          promise.set_exception(std::move(error));
+        } else {
+          promise.set_value(std::move(response));
+        }
+      },
+      /*is_repair=*/false, deadline, [&promise](std::exception_ptr e) {
+        try {
+          promise.set_exception(std::move(e));
+        } catch (...) {
+        }
+      });
   return future.get();
 }
 
@@ -481,9 +713,41 @@ ObserveResponse ResilienceService::Observe(
 void ResilienceService::StartRepairPipeline(
     const std::shared_ptr<RepairPipeline>& pipe) {
   pipe->t0 = Clock::now();
+  if (Expired(pipe->deadline)) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    FinishRequest(*pipe->session);
+    try {
+      pipe->promise->set_exception(
+          std::make_exception_ptr(ServiceTimeoutError()));
+    } catch (...) {
+    }
+    return;
+  }
+  // A drain may have parked this session's previous repair mid-search;
+  // the re-issued request picks the search up where it stopped.
+  std::unique_ptr<ParkedRepair> parked;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    parked = std::move(pipe->session->parked);
+  }
   try {
-    pipe->job.emplace(*pipe->current, *pipe->failed, *pipe->snapshot,
-                      pipe->session->cfg, &pipe->session->rng);
+    if (parked) {
+      if (parked->current != pipe->current->assignment() ||
+          parked->failed != *pipe->failed) {
+        // Not the suspended request: put the state back and reject —
+        // resuming under a different request would splice two searches.
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        pipe->session->parked = std::move(parked);
+        throw std::invalid_argument(
+            "ResilienceService: session holds a parked repair for a "
+            "different request; re-issue the suspended one first");
+      }
+      pipe->job.emplace(*pipe->failed, pipe->session->cfg,
+                        &pipe->session->rng, parked->job);
+    } else {
+      pipe->job.emplace(*pipe->current, *pipe->failed, *pipe->snapshot,
+                        pipe->session->cfg, &pipe->session->rng);
+    }
     if (pipe->job->done()) {
       // Nothing failed and nothing to optimize: only the confidence
       // score remains — park it for the next stacked flush.
@@ -492,19 +756,30 @@ void ResilienceService::StartRepairPipeline(
     }
     SubmitFrontier(pipe);
   } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    FinishRequest(*pipe->session);
     try {
-      pipe->promise->set_exception(std::current_exception());
+      pipe->promise->set_exception(error);
     } catch (...) {
       // Promise already satisfied: the failure happened after the
       // response was delivered; nothing more to report.
     }
-    FinishRequest(*pipe->session);
   }
 }
 
 void ResilienceService::AdvanceRepairPipeline(
     const std::shared_ptr<RepairPipeline>& pipe,
     const std::vector<double>& scores) {
+  if (Expired(pipe->deadline)) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    FinishRequest(*pipe->session);
+    try {
+      pipe->promise->set_exception(
+          std::make_exception_ptr(ServiceTimeoutError()));
+    } catch (...) {
+    }
+    return;
+  }
   try {
     pipe->job->Advance(scores);
     if (pipe->job->done()) {
@@ -513,11 +788,46 @@ void ResilienceService::AdvanceRepairPipeline(
     }
     SubmitFrontier(pipe);
   } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    FinishRequest(*pipe->session);
     try {
-      pipe->promise->set_exception(std::current_exception());
+      pipe->promise->set_exception(error);
     } catch (...) {
     }
+  }
+}
+
+// Shared tail of SubmitFrontier/SubmitConfidence: deposit the pipeline
+// into the pending-score pool — or, when a drain started, capture the
+// job's state into the session and unwind the caller with
+// ServiceSuspendedError. The park happens at a step boundary (frontier
+// proposed, scores not yet supplied), which is exactly the state
+// core::RepairJobState round-trips bit-identically.
+void ResilienceService::ParkOrSubmit(
+    const std::shared_ptr<RepairPipeline>& pipe) {
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      auto state = std::make_unique<ParkedRepair>();
+      state->current = pipe->current->assignment();
+      state->failed = *pipe->failed;
+      state->job = pipe->job->SaveState();
+      pipe->session->parked = std::move(state);
+      parked = true;
+    } else {
+      pending_scores_.push_back(pipe);
+    }
+  }
+  queue_cv_.notify_all();
+  if (parked) {
+    suspended_.fetch_add(1, std::memory_order_relaxed);
     FinishRequest(*pipe->session);
+    try {
+      pipe->promise->set_exception(
+          std::make_exception_ptr(ServiceSuspendedError()));
+    } catch (...) {
+    }
   }
 }
 
@@ -529,11 +839,7 @@ void ResilienceService::SubmitFrontier(
   pipe->contexts =
       core::EncodeFrontier(pipe->session->encoder, *pipe->snapshot,
                            pipe->job->ProposeFrontier());
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    pending_scores_.push_back(pipe);
-  }
-  queue_cv_.notify_all();
+  ParkOrSubmit(pipe);
 }
 
 void ResilienceService::SubmitConfidence(
@@ -549,11 +855,7 @@ void ResilienceService::SubmitConfidence(
   }
   pipe->final_state = pipe->session->encoder.EncodeForTopology(
       *pipe->snapshot, pipe->response.topology);
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    pending_scores_.push_back(pipe);
-  }
-  queue_cv_.notify_all();
+  ParkOrSubmit(pipe);
 }
 
 void ResilienceService::FlushPendingScores(
@@ -644,23 +946,25 @@ void ResilienceService::FlushPendingScores(
   if (flush_failed) {
     for (const auto* group : {&searching, &finishing}) {
       for (const std::shared_ptr<RepairPipeline>& pipe : *group) {
+        FinishRequest(*pipe->session);
         try {
           pipe->promise->set_exception(error);
         } catch (...) {
         }
-        FinishRequest(*pipe->session);
       }
     }
     lock.lock();
     return;
   }
   // Completed decisions answer right here; searching pipelines get their
-  // next step scheduled.
+  // next step scheduled. The admission slot is released BEFORE the
+  // response is delivered so a woken client's immediate follow-up
+  // request never races the accounting.
   for (const std::shared_ptr<RepairPipeline>& pipe : finishing) {
     pipe->response.decision_ns = NsSince(pipe->t0);
     repairs_.fetch_add(1, std::memory_order_relaxed);
-    pipe->promise->set_value(std::move(pipe->response));
     FinishRequest(*pipe->session);
+    pipe->promise->set_value(std::move(pipe->response));
   }
   lock.lock();
   for (std::size_t j = 0; j < searching.size(); ++j) {
@@ -778,6 +1082,305 @@ void ResilienceService::SaveWeights(const std::string& path) {
   nn::SaveParameters(master_->network(), path);
 }
 
+// --- service snapshot ("carol-snap" v1) ---------------------------------
+//
+// Layout (all via common::BinaryWriter; see src/serve/README.md for the
+// versioning policy):
+//   header "carol-snap" v1
+//   u64 weight_epoch
+//   master parameters ("carol-params-bin" section)
+//   u64 next_session_id, u64 session_count
+//   per session (sorted by id): "carol-snap-session" section
+
+namespace {
+
+void WriteMatrix(common::BinaryWriter& w, const nn::Matrix& m) {
+  w.U64(m.rows());
+  w.U64(m.cols());
+  w.Doubles(m.flat());
+}
+
+nn::Matrix ReadMatrix(common::BinaryReader& r) {
+  const auto rows = static_cast<std::size_t>(r.U64());
+  const auto cols = static_cast<std::size_t>(r.U64());
+  std::vector<double> flat = r.Doubles();
+  if (flat.size() != rows * cols) {
+    throw common::BinaryFormatError("matrix element count mismatch");
+  }
+  return nn::Matrix::FromFlat(rows, cols, std::move(flat));
+}
+
+void WriteEncodedState(common::BinaryWriter& w,
+                       const core::EncodedState& state) {
+  WriteMatrix(w, state.m);
+  WriteMatrix(w, state.s);
+  WriteMatrix(w, state.roles);
+  WriteMatrix(w, state.adjacency);
+}
+
+core::EncodedState ReadEncodedState(common::BinaryReader& r) {
+  core::EncodedState state;
+  state.m = ReadMatrix(r);
+  state.s = ReadMatrix(r);
+  state.roles = ReadMatrix(r);
+  state.adjacency = ReadMatrix(r);
+  return state;
+}
+
+// The full per-session CarolConfig travels with the snapshot so a
+// restored session behaves identically even when the restoring binary's
+// defaults drifted.
+void WriteCarolConfig(common::BinaryWriter& w, const core::CarolConfig& c) {
+  w.I32(c.gon.hidden_width);
+  w.I32(c.gon.num_layers);
+  w.I32(c.gon.gat_width);
+  w.F64(c.gon.generation_lr);
+  w.I32(c.gon.generation_steps);
+  w.F64(c.gon.generation_tol);
+  w.F64(c.gon.train_lr);
+  w.F64(c.gon.weight_decay);
+  w.I32(c.gon.batch_size);
+  w.U64(c.gon.seed);
+  w.Bool(c.gon.use_fast_path);
+  w.I32(c.gon.attention_threads);
+  w.F64(c.pot.risk);
+  w.F64(c.pot.init_quantile);
+  w.U64(c.pot.min_calibration);
+  w.U64(c.pot.window);
+  w.I32(c.tabu.tabu_list_size);
+  w.I32(c.tabu.max_iterations);
+  w.I32(c.tabu.max_evaluations);
+  w.I32(c.node_shift.max_type1_pairs);
+  w.I32(c.node_shift.max_reassignments);
+  w.Bool(c.node_shift.include_demotions);
+  w.F64(c.alpha);
+  w.F64(c.beta);
+  w.I32(static_cast<std::int32_t>(c.policy));
+  w.I32(c.finetune_epochs);
+  w.U64(c.gamma_capacity);
+  w.U64(c.seed);
+  w.Bool(c.proactive);
+  w.F64(c.proactive_util_threshold);
+}
+
+core::CarolConfig ReadCarolConfig(common::BinaryReader& r) {
+  core::CarolConfig c;
+  c.gon.hidden_width = r.I32();
+  c.gon.num_layers = r.I32();
+  c.gon.gat_width = r.I32();
+  c.gon.generation_lr = r.F64();
+  c.gon.generation_steps = r.I32();
+  c.gon.generation_tol = r.F64();
+  c.gon.train_lr = r.F64();
+  c.gon.weight_decay = r.F64();
+  c.gon.batch_size = r.I32();
+  c.gon.seed = static_cast<unsigned>(r.U64());
+  c.gon.use_fast_path = r.Bool();
+  c.gon.attention_threads = r.I32();
+  c.pot.risk = r.F64();
+  c.pot.init_quantile = r.F64();
+  c.pot.min_calibration = static_cast<std::size_t>(r.U64());
+  c.pot.window = static_cast<std::size_t>(r.U64());
+  c.tabu.tabu_list_size = r.I32();
+  c.tabu.max_iterations = r.I32();
+  c.tabu.max_evaluations = r.I32();
+  c.node_shift.max_type1_pairs = r.I32();
+  c.node_shift.max_reassignments = r.I32();
+  c.node_shift.include_demotions = r.Bool();
+  c.alpha = r.F64();
+  c.beta = r.F64();
+  c.policy = static_cast<core::FineTunePolicy>(r.I32());
+  c.finetune_epochs = r.I32();
+  c.gamma_capacity = static_cast<std::size_t>(r.U64());
+  c.seed = static_cast<unsigned>(r.U64());
+  c.proactive = r.Bool();
+  c.proactive_util_threshold = r.F64();
+  return c;
+}
+
+void WriteTabuSnapshot(common::BinaryWriter& w,
+                       const core::TabuSearchSnapshot& s) {
+  w.Ints(s.current);
+  w.Ints(s.best);
+  w.F64(s.best_score);
+  w.Ints(s.tabu);
+  w.U64(s.frontier.size());
+  for (const std::vector<sim::NodeId>& candidate : s.frontier) {
+    w.Ints(candidate);
+  }
+  w.I32(s.evaluations);
+  w.I32(s.iter);
+  w.Bool(s.start_pending);
+  w.Bool(s.done);
+}
+
+core::TabuSearchSnapshot ReadTabuSnapshot(common::BinaryReader& r) {
+  core::TabuSearchSnapshot s;
+  s.current = r.Ints<sim::NodeId>();
+  s.best = r.Ints<sim::NodeId>();
+  s.best_score = r.F64();
+  s.tabu = r.Ints<std::uint64_t>();
+  const std::uint64_t frontier = r.U64();
+  for (std::uint64_t i = 0; i < frontier; ++i) {
+    s.frontier.push_back(r.Ints<sim::NodeId>());
+  }
+  s.evaluations = r.I32();
+  s.iter = r.I32();
+  s.start_pending = r.Bool();
+  s.done = r.Bool();
+  return s;
+}
+
+void WriteRepairJobState(common::BinaryWriter& w,
+                         const core::RepairJobState& s) {
+  w.Bools(s.alive);
+  w.Ints(s.topo);
+  w.U64(s.broker_idx);
+  w.I32(s.phase);
+  w.Bool(s.proactive_acted);
+  w.U64(s.baseline.size());
+  for (const std::vector<sim::NodeId>& g : s.baseline) w.Ints(g);
+  w.Bool(s.has_search);
+  if (s.has_search) WriteTabuSnapshot(w, s.search);
+}
+
+core::RepairJobState ReadRepairJobState(common::BinaryReader& r) {
+  core::RepairJobState s;
+  s.alive = r.Bools();
+  s.topo = r.Ints<sim::NodeId>();
+  s.broker_idx = r.U64();
+  s.phase = r.I32();
+  if (s.phase < 0 || s.phase > 3) {
+    throw common::BinaryFormatError("repair job phase out of range");
+  }
+  s.proactive_acted = r.Bool();
+  const std::uint64_t baseline = r.U64();
+  for (std::uint64_t i = 0; i < baseline; ++i) {
+    s.baseline.push_back(r.Ints<sim::NodeId>());
+  }
+  s.has_search = r.Bool();
+  if (s.has_search) s.search = ReadTabuSnapshot(r);
+  return s;
+}
+
+}  // namespace
+
+void ResilienceService::WriteSession(common::BinaryWriter& w,
+                                     const Session& session) {
+  w.Header("carol-snap-session", 1);
+  w.U64(session.id);
+  w.String(session.name);
+  WriteCarolConfig(w, session.cfg);
+  // The mt19937_64 engine is the rng's ONLY state, and its stream
+  // operators round-trip it exactly — the repair draws of a restored
+  // session continue the original sequence.
+  w.String(session.rng.SaveState());
+  const core::ConfidenceGate::State gate = session.gate.SaveState();
+  w.Doubles(gate.pot.history);
+  w.F64(gate.pot.threshold);
+  w.Bool(gate.pot.calibrated);
+  w.U64(gate.pot.total_observations);
+  w.U64(gate.gamma.size());
+  for (const core::EncodedState& entry : gate.gamma) {
+    WriteEncodedState(w, entry);
+  }
+  w.Bool(session.parked != nullptr);
+  if (session.parked) {
+    w.Ints(session.parked->current);
+    w.Ints(session.parked->failed);
+    WriteRepairJobState(w, session.parked->job);
+  }
+}
+
+std::shared_ptr<ResilienceService::Session> ResilienceService::ReadSession(
+    common::BinaryReader& r) {
+  r.Header("carol-snap-session", 1);
+  const SessionId id = r.U64();
+  FederationSpec spec;
+  spec.name = r.String();
+  spec.carol = ReadCarolConfig(r);
+  auto session = std::make_shared<Session>(spec);
+  session->id = id;
+  session->rng.LoadState(r.String());
+  core::ConfidenceGate::State gate;
+  gate.pot.history = r.Doubles();
+  gate.pot.threshold = r.F64();
+  gate.pot.calibrated = r.Bool();
+  gate.pot.total_observations = r.U64();
+  const std::uint64_t gamma = r.U64();
+  for (std::uint64_t i = 0; i < gamma; ++i) {
+    gate.gamma.push_back(ReadEncodedState(r));
+  }
+  session->gate.RestoreState(std::move(gate));
+  if (r.Bool()) {
+    auto parked = std::make_unique<ParkedRepair>();
+    parked->current = r.Ints<sim::NodeId>();
+    parked->failed = r.Ints<sim::NodeId>();
+    parked->job = ReadRepairJobState(r);
+    session->parked = std::move(parked);
+  }
+  return session;
+}
+
+void ResilienceService::SaveSnapshot(std::ostream& out) const {
+  std::scoped_lock lock(master_mu_, sessions_mu_, queue_mu_);
+  if (!queue_.empty() || !ready_.empty() || !pending_scores_.empty() ||
+      inflight_ != 0) {
+    throw std::logic_error(
+        "ResilienceService::SaveSnapshot: requests still pending; "
+        "BeginDrain() + WaitDrained() first");
+  }
+  common::BinaryWriter w(out);
+  w.Header("carol-snap", 1);
+  w.U64(weight_epoch_.load(std::memory_order_acquire));
+  nn::SaveParametersBinary(master_->network(), out);
+  w.U64(next_session_id_.load());
+  // Sessions sorted by id: the snapshot byte stream is itself
+  // deterministic, independent of hash-map iteration order.
+  std::vector<const Session*> ordered;
+  ordered.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    ordered.push_back(session.get());
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Session* a, const Session* b) { return a->id < b->id; });
+  w.U64(ordered.size());
+  for (const Session* session : ordered) WriteSession(w, *session);
+  w.CheckOk("ResilienceService::SaveSnapshot");
+}
+
+void ResilienceService::SaveSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("ResilienceService: cannot open " + path);
+  }
+  SaveSnapshot(out);
+}
+
+void ResilienceService::RestoreFromSnapshot(std::istream& in) {
+  common::BinaryReader r(in);
+  r.Header("carol-snap", 1);
+  const std::uint64_t epoch = r.U64();
+  {
+    std::lock_guard<std::mutex> lock(master_mu_);
+    nn::LoadParametersBinary(master_->network(), in);
+    // Replicas were just built at epoch 0 with seed-identical weights;
+    // when the snapshot carries a later epoch each replica lazily
+    // re-syncs from the restored master before serving its next step
+    // (SyncReplica) — exactly the post-fine-tune broadcast path.
+    weight_epoch_.store(epoch, std::memory_order_release);
+  }
+  const std::uint64_t next_id = r.U64();
+  const std::uint64_t count = r.U64();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::shared_ptr<Session> session = ReadSession(r);
+    const SessionId id = session->id;
+    sessions_.emplace(id, std::move(session));
+  }
+  next_session_id_.store(next_id);
+}
+
 ServiceStats ResilienceService::stats() const {
   ServiceStats s;
   s.repairs = repairs_.load();
@@ -792,6 +1395,11 @@ ServiceStats ResilienceService::stats() const {
   s.confidence_passes = confidence_passes_.load();
   s.confidence_jobs = confidence_jobs_.load();
   s.weight_epoch = weight_epoch_.load();
+  s.shed_observes = shed_observes_.load();
+  s.shed_repairs = shed_repairs_.load();
+  s.quota_rejections = quota_rejections_.load();
+  s.timeouts = timeouts_.load();
+  s.suspended = suspended_.load();
   return s;
 }
 

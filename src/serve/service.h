@@ -41,10 +41,12 @@
 #define CAROL_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,14 +59,21 @@
 #include "core/carol.h"
 #include "core/resilience.h"
 
+namespace carol::common {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace carol::common
+
 namespace carol::serve {
 
 using SessionId = std::uint64_t;
 
 // Typed admission-control rejection: thrown by Repair/Observe when the
 // service already holds ServiceConfig::max_pending_requests admitted
-// (queued or in-flight) requests. Callers distinguish overload from the
-// generic shutdown std::runtime_error and may retry with backoff.
+// (queued or in-flight) requests, or when one session exceeds its
+// ServiceConfig::max_pending_per_session quota. Callers distinguish
+// overload from the generic shutdown std::runtime_error and may retry
+// with backoff (the request was never admitted — retrying is safe).
 class ServiceOverloadedError : public std::runtime_error {
  public:
   explicit ServiceOverloadedError(std::size_t limit)
@@ -72,10 +81,42 @@ class ServiceOverloadedError : public std::runtime_error {
             "ResilienceService: request rejected, " +
             std::to_string(limit) + " requests already pending"),
         limit_(limit) {}
+  ServiceOverloadedError(std::size_t limit, SessionId session)
+      : std::runtime_error("ResilienceService: session " +
+                           std::to_string(session) + " already holds " +
+                           std::to_string(limit) + " pending requests"),
+        limit_(limit) {}
   std::size_t limit() const { return limit_; }
 
  private:
   std::size_t limit_;
+};
+
+// Typed deadline rejection: the request's deadline_us budget elapsed
+// before the service finished (or even started) it. Deadlines NEVER drop
+// requests silently — every expiry surfaces as this error and is counted
+// in ServiceStats::timeouts. NOT safe to blind-retry on the repair path:
+// a repair that timed out mid-search has consumed session rng draws, so
+// a retried run is a fresh decision, not a bit-identical replay.
+class ServiceTimeoutError : public std::runtime_error {
+ public:
+  ServiceTimeoutError()
+      : std::runtime_error(
+            "ResilienceService: request deadline exceeded before "
+            "completion") {}
+};
+
+// Typed drain rejection: the service is draining for a snapshot (see
+// BeginDrain). Requests rejected or unwound with this error were either
+// never started or parked with their full state captured — re-issuing
+// the SAME request against the restored service resumes bit-identically,
+// so retrying after restore is always safe.
+class ServiceSuspendedError : public std::runtime_error {
+ public:
+  ServiceSuspendedError()
+      : std::runtime_error(
+            "ResilienceService: draining for snapshot; re-issue the "
+            "request after restore") {}
 };
 
 // Per-federation serving contract. The nested `carol.gon` sub-config is
@@ -131,15 +172,27 @@ struct ServiceConfig {
   // Admission control (backpressure): maximum number of admitted-but-
   // unfinished requests — queued plus in flight, across all sessions.
   // 0 = unbounded (the historical behavior). When the bound is hit,
-  // Repair/Observe reject immediately with ServiceOverloadedError
-  // instead of growing the queue without limit.
+  // admission is PRIORITY-AWARE (graceful degradation): an arriving
+  // Observe is rejected with ServiceOverloadedError, while an arriving
+  // Repair first displaces the newest queued Observe (whose caller gets
+  // the overload error instead) and is only rejected when the backlog
+  // is all repairs — Observe load sheds first, repairs shed last.
   std::size_t max_pending_requests = 0;
+  // Per-tenant quota: maximum admitted-but-unfinished requests any ONE
+  // session may hold (0 = unbounded). Stops a single chatty tenant from
+  // monopolizing the global budget; rejections throw
+  // ServiceOverloadedError and count as ServiceStats::quota_rejections.
+  std::size_t max_pending_per_session = 0;
 };
 
 struct RepairRequest {
   sim::Topology current;
   std::vector<sim::NodeId> failed_brokers;
   sim::SystemSnapshot snapshot;
+  // Deadline budget in microseconds from submission (0 = none). On
+  // expiry — queued or between pipeline steps — the call fails with
+  // ServiceTimeoutError instead of silently dropping.
+  std::int64_t deadline_us = 0;
 };
 
 struct RepairResponse {
@@ -154,6 +207,8 @@ struct RepairResponse {
 
 struct ObserveRequest {
   sim::SystemSnapshot snapshot;
+  // Deadline budget in microseconds from submission (0 = none).
+  std::int64_t deadline_us = 0;
 };
 
 struct ObserveResponse {
@@ -190,11 +245,37 @@ struct ServiceStats {
   std::uint64_t confidence_passes = 0;
   std::uint64_t confidence_jobs = 0;
   std::uint64_t weight_epoch = 0;
+  // Admission / degradation accounting. Every counter below corresponds
+  // to EXACTLY ONE typed error delivered to a caller — never a silent
+  // drop — so client-side retry accounting reconciles with these.
+  // Observes rejected (or displaced by an arriving repair) at the
+  // max_pending_requests bound.
+  std::uint64_t shed_observes = 0;
+  // Repairs rejected at the bound because the backlog was all repairs.
+  std::uint64_t shed_repairs = 0;
+  // Requests rejected at the per-session max_pending_per_session quota.
+  std::uint64_t quota_rejections = 0;
+  // Requests failed with ServiceTimeoutError (deadline_us elapsed).
+  std::uint64_t timeouts = 0;
+  // Requests rejected or unwound with ServiceSuspendedError during a
+  // drain (including parked in-flight repairs).
+  std::uint64_t suspended = 0;
 };
 
 class ResilienceService {
  public:
   explicit ResilienceService(const ServiceConfig& config);
+  // Restore constructors: build a fresh service (workers, replicas) from
+  // `config`, then load a SaveSnapshot image — master weights + weight
+  // epoch, every session (config, rng stream, confidence-gate state,
+  // any parked mid-repair search) and the session-id counter. Driving
+  // the restored service with the same requests the original would have
+  // received produces bit-identical decisions (see src/serve/README.md
+  // for the format versioning policy). Throws common::BinaryFormatError
+  // on foreign/truncated input.
+  ResilienceService(const ServiceConfig& config, std::istream& snapshot);
+  ResilienceService(const ServiceConfig& config,
+                    const std::string& snapshot_path);
   ~ResilienceService();
 
   ResilienceService(const ResilienceService&) = delete;
@@ -215,9 +296,31 @@ class ResilienceService {
   // arguments are borrowed for the duration of the blocking call.
   RepairResponse Repair(SessionId id, const sim::Topology& current,
                         const std::vector<sim::NodeId>& failed_brokers,
-                        const sim::SystemSnapshot& snapshot);
-  ObserveResponse Observe(SessionId id,
-                          const sim::SystemSnapshot& snapshot);
+                        const sim::SystemSnapshot& snapshot,
+                        std::int64_t deadline_us = 0);
+  ObserveResponse Observe(SessionId id, const sim::SystemSnapshot& snapshot,
+                          std::int64_t deadline_us = 0);
+
+  // --- crash-safe serving: drain, snapshot, restore --------------------
+  // Stops admitting new requests (they fail with ServiceSuspendedError),
+  // fails every queued-but-unstarted request the same way, and parks
+  // each in-flight pipelined repair at its next step boundary: the
+  // job's complete search state (tabu lists, pending frontier, phase,
+  // rng position) is captured inside the session and the blocked caller
+  // gets ServiceSuspendedError. Re-issuing the same request after a
+  // restore resumes the search bit-identically. Legacy-mode
+  // (pipeline=false) requests cannot park and run to completion.
+  void BeginDrain();
+  // Blocks until nothing is queued, ready, awaiting scores or in flight
+  // — the quiescent state SaveSnapshot requires. Call after BeginDrain
+  // (or at any externally-guaranteed quiet point, e.g. the scenario
+  // driver's interval barrier).
+  void WaitDrained();
+  // Serializes the complete service state ("carol-snap" v1, versioned
+  // binary; see src/serve/README.md). Throws std::logic_error unless
+  // the service is quiescent.
+  void SaveSnapshot(std::ostream& out) const;
+  void SaveSnapshot(const std::string& path) const;
 
   // --- shared-surrogate management -------------------------------------
   // Offline-trains the master on the trace Lambda and broadcasts the new
@@ -254,18 +357,30 @@ class ResilienceService {
   struct Worker;
   class ScoreBatcher;
   struct RepairPipeline;
+  struct ParkedRepair;
 
   // A queued request start with its session attached, so the scheduler
   // can hold back requests of sessions that already have a request in
-  // flight (per-session FIFO without parking a worker).
+  // flight (per-session FIFO without parking a worker). The admission
+  // class (is_repair), deadline and failure path ride along so the
+  // scheduler can shed, expire and drain queued requests with typed
+  // errors without running them.
   struct QueuedJob {
     std::shared_ptr<Session> session;
     std::function<void(Worker&)> run;
+    bool is_repair = false;
+    // Absolute expiry (default-constructed = no deadline).
+    std::chrono::steady_clock::time_point deadline{};
+    // Fails the blocked caller without running the request (shed /
+    // timeout / drain). Must be callable from any thread.
+    std::function<void(std::exception_ptr)> fail;
   };
 
   std::shared_ptr<Session> FindSession(SessionId id) const;
   void Enqueue(std::shared_ptr<Session> session,
-               std::function<void(Worker&)> run);
+               std::function<void(Worker&)> run, bool is_repair,
+               std::chrono::steady_clock::time_point deadline,
+               std::function<void(std::exception_ptr)> fail);
   void WorkerLoop(Worker& worker);
   // Copies master weights into the worker's replica if its epoch is
   // stale; replicas only ever sync at step boundaries.
@@ -283,6 +398,10 @@ class ResilienceService {
   // next frontier or the final-confidence request.
   void AdvanceRepairPipeline(const std::shared_ptr<RepairPipeline>& pipe,
                              const std::vector<double>& scores);
+  // Deposits the pipeline into the pending-score pool — or, during a
+  // drain, captures its job state into the session (ParkedRepair) and
+  // unwinds the caller with ServiceSuspendedError.
+  void ParkOrSubmit(const std::shared_ptr<RepairPipeline>& pipe);
   // Encodes the job's pending frontier and parks it in the pending-score
   // pool for the next flush.
   void SubmitFrontier(const std::shared_ptr<RepairPipeline>& pipe);
@@ -301,6 +420,14 @@ class ResilienceService {
                           Worker& worker);
   // Marks the session idle again and wakes the scheduler.
   void FinishRequest(Session& session);
+  // Fails expired queued requests with ServiceTimeoutError. Called by
+  // the worker loop with `lock` held; unlocks to deliver the errors.
+  // Returns true when anything expired (the caller rescans).
+  bool ExpireQueuedDeadlines(std::unique_lock<std::mutex>& lock);
+  // Loads a SaveSnapshot image into this freshly-built service.
+  void RestoreFromSnapshot(std::istream& in);
+  static void WriteSession(common::BinaryWriter& w, const Session& session);
+  std::shared_ptr<Session> ReadSession(common::BinaryReader& r);
 
   // --- legacy run-to-completion path -----------------------------------
   RepairResponse DoRepair(Session& session, const sim::Topology& current,
@@ -336,6 +463,9 @@ class ResilienceService {
   std::vector<std::shared_ptr<RepairPipeline>> pending_scores_;
   std::size_t inflight_ = 0;
   bool stopping_ = false;
+  // Drain mode (BeginDrain): no admissions, in-flight pipelines park at
+  // their next step boundary. Guarded by queue_mu_.
+  bool draining_ = false;
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
@@ -355,6 +485,11 @@ class ResilienceService {
   std::atomic<std::uint64_t> pipeline_states_{0};
   std::atomic<std::uint64_t> confidence_passes_{0};
   std::atomic<std::uint64_t> confidence_jobs_{0};
+  std::atomic<std::uint64_t> shed_observes_{0};
+  std::atomic<std::uint64_t> shed_repairs_{0};
+  std::atomic<std::uint64_t> quota_rejections_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> suspended_{0};
 };
 
 // Adapter: presents one service session as a core::ResilienceModel, so

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "common/csv.h"
 #include "common/rng.h"
@@ -169,6 +171,97 @@ TEST(FaultScheduleTest, LoadRejectsForeignCsv) {
     w.WriteRow({1.0, 2.0, 3.0});
   }
   EXPECT_THROW(FaultSchedule::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// --- typed parse errors: every failure names the offending line --------
+
+constexpr const char* kScheduleHeaderLine =
+    "interval,type,target,onset_s,magnitude,duration_s,escalates,"
+    "hang_at_s,recover_at_s,organic";
+
+std::string WriteScheduleFile(const std::string& name,
+                              const std::string& contents) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+int LineOf(const std::string& path) {
+  try {
+    FaultSchedule::Load(path);
+  } catch (const ScheduleParseError& e) {
+    return e.line();
+  }
+  return -1;  // did not throw ScheduleParseError
+}
+
+TEST(ScheduleParseErrorTest, MissingFileIsLineZero) {
+  EXPECT_EQ(LineOf("/nonexistent/carol_no_such_schedule.csv"), 0);
+}
+
+TEST(ScheduleParseErrorTest, EmptyFileFailsOnHeaderLine) {
+  const std::string path = WriteScheduleFile("carol_sched_empty.csv", "");
+  EXPECT_EQ(LineOf(path), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, HeaderMismatchIsLineOne) {
+  const std::string path =
+      WriteScheduleFile("carol_sched_hdr.csv", "interval,type\n1,2\n");
+  EXPECT_EQ(LineOf(path), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, ShortRowNamesItsLine) {
+  const std::string path = WriteScheduleFile(
+      "carol_sched_short.csv",
+      std::string(kScheduleHeaderLine) +
+          "\n1,0,2,10,1,240,0,0,0,0\n1,0,2\n");
+  EXPECT_EQ(LineOf(path), 3);  // header=1, good row=2, short row=3
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, NonNumericCellNamesLineAndColumn) {
+  const std::string path = WriteScheduleFile(
+      "carol_sched_nan.csv",
+      std::string(kScheduleHeaderLine) + "\n1,0,oops,10,1,240,0,0,0,0\n");
+  try {
+    FaultSchedule::Load(path);
+    FAIL() << "expected ScheduleParseError";
+  } catch (const ScheduleParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("target"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, PartiallyNumericCellRejected) {
+  // std::stod would happily parse "1.5x" as 1.5; the loader must not.
+  const std::string path = WriteScheduleFile(
+      "carol_sched_trail.csv",
+      std::string(kScheduleHeaderLine) + "\n1,0,2,1.5x,1,240,0,0,0,0\n");
+  EXPECT_EQ(LineOf(path), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, FaultTypeOutOfRangeRejected) {
+  const std::string path = WriteScheduleFile(
+      "carol_sched_type.csv",
+      std::string(kScheduleHeaderLine) + "\n1,9,2,10,1,240,0,0,0,0\n");
+  EXPECT_EQ(LineOf(path), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleParseErrorTest, BlankLinesAreSkippedNotErrors) {
+  const std::string path = WriteScheduleFile(
+      "carol_sched_blank.csv",
+      std::string(kScheduleHeaderLine) + "\n\n1,0,2,10,1,240,0,0,0,0\n\n");
+  const FaultSchedule schedule = FaultSchedule::Load(path);
+  EXPECT_EQ(schedule.events.size(), 1u);
   std::remove(path.c_str());
 }
 

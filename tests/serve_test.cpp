@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -561,6 +563,247 @@ TEST(ServeTest, UnboundedQueueNeverRejects) {
   }
   for (auto& c : clients) c.join();
   EXPECT_EQ(completed.load(), 18);
+}
+
+// A deliberately slow repair request: 64 hosts with a deep tabu budget
+// occupies a worker for a macroscopic (multi-hundred-ms) window.
+FederationSpec SlowFederationSpec(unsigned seed = 7) {
+  FederationSpec spec;
+  spec.carol = TinyCarolConfig(seed);
+  spec.carol.policy = core::FineTunePolicy::kNever;
+  spec.carol.tabu.max_iterations = 30;
+  spec.carol.tabu.max_evaluations = 2000;
+  return spec;
+}
+
+RepairRequest SlowRepairRequest() {
+  RepairRequest req;
+  const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 64, 16);
+  req.current = snap.topology;
+  req.failed_brokers = {0};
+  req.snapshot = snap;
+  return req;
+}
+
+TEST(ServeTest, CloseSessionDuringInFlightRepairIsSafe) {
+  // Closing a session while its repair is mid-flight must not deadlock
+  // or crash: the client gets an answer (the completed repair or a typed
+  // rejection), and the session is gone afterwards.
+  ResilienceService service(TinyServiceConfig(1));
+  const SessionId id = service.OpenSession(SlowFederationSpec());
+
+  std::atomic<bool> started{false};
+  std::atomic<int> outcome{0};  // 1 = repair completed, 2 = typed error
+  std::thread client([&] {
+    const RepairRequest req = SlowRepairRequest();
+    started.store(true);
+    try {
+      EXPECT_TRUE(service.Repair(id, req).topology.IsValid());
+      outcome.store(1);
+    } catch (const std::exception&) {
+      outcome.store(2);
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.CloseSession(id);
+  client.join();
+  EXPECT_NE(outcome.load(), 0);
+  EXPECT_EQ(service.session_count(), 0u);
+}
+
+TEST(ServeTest, ConcurrentAdmissionAccountingIsExact) {
+  // Under a tight bound and concurrent clients, every request resolves
+  // to exactly one of {completed, typed overload} and the server-side
+  // counters reconcile exactly with the client-side tallies — no double
+  // counting, no silent drops.
+  ServiceConfig cfg = TinyServiceConfig(1);
+  cfg.max_pending_requests = 4;
+  ResilienceService service(cfg);
+  const int clients = 6, rounds = 5;
+  std::vector<SessionId> ids;
+  for (int c = 0; c < clients; ++c) {
+    FederationSpec spec;
+    spec.carol = TinyCarolConfig(300 + static_cast<unsigned>(c));
+    spec.carol.policy = core::FineTunePolicy::kNever;
+    ids.push_back(service.OpenSession(spec));
+  }
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < rounds; ++r) {
+        ObserveRequest req;
+        req.snapshot = MakeSnapshot(0.4, 10, 2, r);
+        try {
+          service.Observe(ids[static_cast<std::size_t>(c)], req);
+          ok.fetch_add(1);
+        } catch (const ServiceOverloadedError& e) {
+          EXPECT_EQ(e.limit(), 4u);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok.load() + shed.load(), clients * rounds);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.observes, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(stats.shed_observes, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_EQ(stats.shed_repairs, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.quota_rejections, 0u);
+}
+
+TEST(ServeTest, RepairsDisplaceQueuedObservesUnderOverload) {
+  // Priority-aware shedding: with the bound full — an in-flight repair
+  // plus a queued observe — an arriving repair evicts the observe
+  // (which gets the typed overload error) instead of being turned away
+  // itself. Observe load sheds first; repairs shed last.
+  ServiceConfig cfg = TinyServiceConfig(1);
+  cfg.max_pending_requests = 2;
+  ResilienceService service(cfg);
+  const SessionId slow = service.OpenSession(SlowFederationSpec());
+  FederationSpec other;
+  other.carol = TinyCarolConfig(88);
+  other.carol.policy = core::FineTunePolicy::kNever;
+  const SessionId fast = service.OpenSession(other);
+
+  std::thread slow_client([&] {
+    EXPECT_TRUE(service.Repair(slow, SlowRepairRequest()).topology.IsValid());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Queued behind the busy session (one pipeline per session at a time),
+  // this observe holds the second admission slot without running.
+  std::atomic<bool> observe_shed{false};
+  std::thread observe_client([&] {
+    ObserveRequest req;
+    req.snapshot = MakeSnapshot(0.4, 64, 16);
+    try {
+      service.Observe(slow, req);
+    } catch (const ServiceOverloadedError& e) {
+      EXPECT_EQ(e.limit(), 2u);
+      observe_shed.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  RepairRequest req;
+  const sim::SystemSnapshot snap = MakeFailureSnapshot(0.5, 10, 2);
+  req.current = snap.topology;
+  req.failed_brokers = {0};
+  req.snapshot = snap;
+  EXPECT_TRUE(service.Repair(fast, req).topology.IsValid());
+
+  slow_client.join();
+  observe_client.join();
+  EXPECT_TRUE(observe_shed.load());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_observes, 1u);
+  EXPECT_EQ(stats.shed_repairs, 0u);
+  EXPECT_EQ(stats.repairs, 2u);
+}
+
+TEST(ServeTest, DeadlineExpiryDeliversTypedTimeout) {
+  // A queued request whose deadline lapses before execution fails with
+  // ServiceTimeoutError (counted), never a silent drop or a late run.
+  ResilienceService service(TinyServiceConfig(1));
+  const SessionId slow = service.OpenSession(SlowFederationSpec());
+
+  std::thread slow_client([&] {
+    EXPECT_TRUE(service.Repair(slow, SlowRepairRequest()).topology.IsValid());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ObserveRequest req;
+  req.snapshot = MakeSnapshot(0.4, 10, 2);
+  req.deadline_us = 1000;  // 1 ms: lapses while parked behind the repair
+  EXPECT_THROW(service.Observe(slow, req), ServiceTimeoutError);
+  EXPECT_GE(service.stats().timeouts, 1u);
+  slow_client.join();
+}
+
+TEST(ServeTest, PerSessionQuotaRejectsWithTypedError) {
+  // One session may not monopolize admission: with a per-session quota
+  // of 1, a second request on the busy session is rejected (counted as
+  // a quota rejection) while other tenants stay unaffected.
+  ServiceConfig cfg = TinyServiceConfig(1);
+  cfg.max_pending_per_session = 1;
+  ResilienceService service(cfg);
+  const SessionId slow = service.OpenSession(SlowFederationSpec());
+  FederationSpec other;
+  other.carol = TinyCarolConfig(88);
+  other.carol.policy = core::FineTunePolicy::kNever;
+  const SessionId fast = service.OpenSession(other);
+
+  std::thread slow_client([&] {
+    EXPECT_TRUE(service.Repair(slow, SlowRepairRequest()).topology.IsValid());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ObserveRequest req;
+  req.snapshot = MakeSnapshot(0.4, 10, 2);
+  try {
+    service.Observe(slow, req);
+    FAIL() << "expected ServiceOverloadedError (quota)";
+  } catch (const ServiceOverloadedError& e) {
+    EXPECT_EQ(e.limit(), 1u);
+  }
+  EXPECT_EQ(service.stats().quota_rejections, 1u);
+
+  // The other tenant's quota is its own: its observe is admitted.
+  EXPECT_GT(service.Observe(fast, req).confidence, 0.0);
+  slow_client.join();
+}
+
+TEST(ServeTest, ClientRetryLedgerReconcilesWithServerCounters) {
+  // The harness retry helper's accounting must reconcile exactly with
+  // the service's shed counters: every server-side rejection is one
+  // typed error observed by exactly one client attempt.
+  ServiceConfig cfg = TinyServiceConfig(1);
+  cfg.max_pending_requests = 1;
+  ResilienceService service(cfg);
+  const SessionId slow = service.OpenSession(SlowFederationSpec());
+  FederationSpec other;
+  other.carol = TinyCarolConfig(88);
+  other.carol.policy = core::FineTunePolicy::kNever;
+  const SessionId probe = service.OpenSession(other);
+
+  std::thread slow_client([&] {
+    EXPECT_TRUE(service.Repair(slow, SlowRepairRequest()).topology.IsValid());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  harness::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_ms = 0.1;
+  policy.max_delay_ms = 0.5;  // total backoff << the slow repair window
+  harness::RetryAccounting acct;
+  ObserveRequest req;
+  req.snapshot = MakeSnapshot(0.4, 10, 2);
+  EXPECT_THROW(harness::ObserveWithRetry(service, probe, req, policy, &acct),
+               ServiceOverloadedError);
+  EXPECT_EQ(acct.attempts, 3);
+  EXPECT_EQ(acct.overloaded, 3);
+  EXPECT_EQ(acct.exhausted, 1);
+  EXPECT_EQ(acct.successes, 0);
+  EXPECT_EQ(acct.delays_ms.size(), 2u);  // a delay between attempts only
+  EXPECT_EQ(service.stats().shed_observes,
+            static_cast<std::uint64_t>(acct.overloaded));
+
+  slow_client.join();
+  // Once the bound frees up the same request succeeds first try, and the
+  // success ledger reconciles with the completion counters.
+  harness::RetryAccounting after;
+  harness::ObserveWithRetry(service, probe, req, policy, &after);
+  EXPECT_EQ(after.attempts, 1);
+  EXPECT_EQ(after.successes, 1);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.observes, 1u);
+  EXPECT_EQ(stats.shed_observes, 3u);
 }
 
 // --- lifecycle -----------------------------------------------------------
