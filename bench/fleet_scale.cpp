@@ -1,0 +1,273 @@
+// Fleet-scale stepping benchmark: ns/interval of the shared
+// simkern::IntervalStepper protocol as the federation grows from the
+// paper's H=16..128 testbeds to the H=512/4096 large-fleet tier.
+//
+// Three families of rows land in BENCH_fleet.json:
+//   * fleet_step_legacy  — H=128, dense engine + per-interval snapshot,
+//     eager WorkloadGenerator: the shape of the pre-simkern serving path.
+//     This is the CI tripwire baseline.
+//   * fleet_step_sparse  — H in {128, 512, 4096}, event-driven engine,
+//     open-loop ArrivalProcess at the SAME total arrival rate, no
+//     snapshot. `baseline` is the dense engine at the same H with the
+//     same workload, i.e. what the pre-PR code would have charged.
+//   * fleet_step_sparse_dirty — H=4096 while a rotating fault-load window
+//     dirties a fraction of the fleet every interval (0.1%..100%): the
+//     dirty-fraction sensitivity curve of O(changed) stepping.
+//
+// All cases drive the identical protocol (recover -> detect -> repair ->
+// inject -> submit -> route -> run -> observe) through IntervalStepper;
+// only the hooks differ, exactly like the real drivers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/federation.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+#include "simkern/stepper.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace carol;
+using clock_type = std::chrono::steady_clock;
+
+constexpr int kSites = 8;
+// Matched arrival volume for every case: the paper's lambda = 1.2 per
+// site per 300 s interval. The fleets differ in size, not in load — the
+// point of O(changed) stepping is that quiet hosts cost nothing.
+constexpr double kLambdaPerSite = 1.2;
+
+double g_sink = 0.0;
+
+struct BenchResult {
+  std::string op;
+  std::string shape;
+  double ns_per_op = 0.0;
+  double baseline_ns_per_op = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<BenchResult>& Results() {
+  static std::vector<BenchResult> results;
+  return results;
+}
+
+void Report(const std::string& op, const std::string& shape, double fast_ns,
+            double baseline_ns = 0.0) {
+  BenchResult r;
+  r.op = op;
+  r.shape = shape;
+  r.ns_per_op = fast_ns;
+  r.baseline_ns_per_op = baseline_ns;
+  r.speedup = baseline_ns > 0.0 ? baseline_ns / fast_ns : 0.0;
+  Results().push_back(r);
+  if (baseline_ns > 0.0) {
+    std::printf(
+        "%-28s %-22s %12.0f ns/interval  dense %12.0f ns/interval  %6.2fx\n",
+        op.c_str(), shape.c_str(), fast_ns, baseline_ns, r.speedup);
+  } else {
+    std::printf("%-28s %-22s %12.0f ns/interval\n", op.c_str(), shape.c_str(),
+                fast_ns);
+  }
+}
+
+void WriteJson(const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& rs = Results();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"ns_per_op\": "
+                 "%.1f, \"baseline_ns_per_op\": %.1f, \"speedup\": %.3f}%s\n",
+                 rs[i].op.c_str(), rs[i].shape.c_str(), rs[i].ns_per_op,
+                 rs[i].baseline_ns_per_op, rs[i].speedup,
+                 i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu entries)\n", path, rs.size());
+}
+
+// Minimal protocol hooks: arrivals from either workload source, optional
+// rotating fault-load churn, snapshot policy — nothing else. No repair
+// model in the loop (static topology, like an incident-free run).
+class StepBenchHooks : public simkern::IntervalHooks {
+ public:
+  workload::WorkloadGenerator* eager = nullptr;
+  workload::ArrivalProcess* open_loop = nullptr;
+  bool want_snapshot = true;
+  int churn_hosts = 0;  // hosts dirtied per interval (rotating window)
+  int fleet_size = 0;
+
+  void OnIntervalStart(simkern::StepContext& ctx) override {
+    if (churn_hosts <= 0) return;
+    for (sim::NodeId h : window_) ctx.fed->ClearFaultLoad(h);
+    window_.clear();
+    for (int k = 0; k < churn_hosts; ++k) {
+      const auto h = static_cast<sim::NodeId>(cursor_ % fleet_size);
+      ctx.fed->SetFaultLoad(h, 40.0, 32.0, 0.0, 0.0);
+      window_.push_back(h);
+      ++cursor_;
+    }
+  }
+
+  std::vector<sim::Task> GenerateArrivals(simkern::StepContext& ctx) override {
+    if (open_loop != nullptr) {
+      return open_loop->Drain(ctx.fed->now_s() +
+                              ctx.fed->config().interval_seconds);
+    }
+    return eager->Generate(ctx.interval, ctx.fed->now_s());
+  }
+
+  void Observe(simkern::StepContext& ctx,
+               const sim::IntervalResult& r) override {
+    (void)ctx;
+    g_sink += r.energy_kwh;
+  }
+
+  bool WantSnapshot(const simkern::StepContext& ctx) const override {
+    (void)ctx;
+    return want_snapshot;
+  }
+
+ private:
+  long long cursor_ = 0;
+  std::vector<sim::NodeId> window_;
+};
+
+struct CaseSpec {
+  int hosts = 128;
+  bool sparse = false;
+  bool snapshot = true;
+  bool eager_workload = false;
+  double dirty_frac = 0.0;
+};
+
+// One full run of `intervals` protocol steps; returns ns/interval.
+// Timing covers the steps only (federation construction is amortized
+// into nothing over a real run, and at H=4096 it would dominate a short
+// measurement window).
+double RunCase(const CaseSpec& c, int intervals, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::SimConfig cfg;
+    cfg.event_driven = c.sparse;
+    cfg.network.num_sites = kSites;
+    sim::Federation fed(sim::ScaledTestbedSpecs(c.hosts),
+                        sim::Topology::Initial(c.hosts, c.hosts / 16), cfg,
+                        common::Rng(42));
+    sim::LeastUtilizationScheduler scheduler;
+
+    workload::WorkloadConfig wl;
+    wl.lambda_per_site = kLambdaPerSite;
+    wl.num_sites = kSites;
+    wl.non_stationary = false;  // stationary: identical mean load per case
+    workload::WorkloadGenerator eager(workload::AIoTBenchProfiles(), wl,
+                                      common::Rng(7));
+    workload::ArrivalConfig acfg;
+    acfg.rate_per_second =
+        kLambdaPerSite * kSites / cfg.interval_seconds;
+    acfg.num_sites = kSites;
+    workload::ArrivalProcess open_loop(workload::AIoTBenchProfiles(), acfg,
+                                       common::Rng(7));
+
+    StepBenchHooks hooks;
+    hooks.want_snapshot = c.snapshot;
+    hooks.fleet_size = c.hosts;
+    hooks.churn_hosts = static_cast<int>(c.dirty_frac * c.hosts);
+    if (c.eager_workload) {
+      hooks.eager = &eager;
+    } else {
+      hooks.open_loop = &open_loop;
+    }
+
+    simkern::IntervalStepper stepper(fed, scheduler, hooks);
+    // Untimed warmup: the first steps of a fresh federation pay first-touch
+    // page faults across H hosts' state — steady-state cost is the number
+    // that scales, so keep the cold start out of the window.
+    const int warmup = std::max(2, intervals / 10);
+    for (int i = 0; i < warmup; ++i) stepper.Step(i);
+    const auto t0 = clock_type::now();
+    for (int i = 0; i < intervals; ++i) stepper.Step(warmup + i);
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock_type::now() - t0)
+            .count() /
+        intervals;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  const int intervals = bench::EnvInt("CAROL_BENCH_INTERVALS", fast ? 20 : 120);
+  const int reps = bench::EnvInt("CAROL_BENCH_SEEDS", fast ? 2 : 3);
+  // Sparse steps are microseconds; time many more of them so the rows the
+  // CI tripwire compares are steady-state, not startup jitter. Dense steps
+  // at H=4096 approach a millisecond — those keep the small budget.
+  const int cheap_intervals = intervals * 10;
+
+  bench::PrintBanner(
+      "Fleet-scale stepping — shared IntervalStepper protocol, ns/interval "
+      "(speedup = dense/sparse at the same H)");
+
+  // Tripwire baseline: the pre-simkern serving shape at the old top tier.
+  const double legacy128 =
+      RunCase({.hosts = 128, .sparse = false, .snapshot = true,
+               .eager_workload = true},
+              cheap_intervals, reps);
+  Report("fleet_step_legacy", "H=128", legacy128);
+
+  // ns/interval vs H, sparse engine vs its dense twin at the same H.
+  for (int hosts : {128, 512, 4096}) {
+    const int dense_intervals =
+        hosts >= 4096 ? std::max(5, intervals / 4) : intervals;
+    const double dense =
+        RunCase({.hosts = hosts, .sparse = false, .snapshot = true},
+                dense_intervals, reps);
+    const double sparse =
+        RunCase({.hosts = hosts, .sparse = true, .snapshot = false},
+                cheap_intervals, reps);
+    Report("fleet_step_sparse", "H=" + std::to_string(hosts), sparse, dense);
+  }
+
+  // Dirty-fraction sensitivity at the top tier: how O(changed) degrades
+  // toward dense as the changed set grows to the whole fleet.
+  {
+    const int hosts = 4096;
+    const double dense =
+        RunCase({.hosts = hosts, .sparse = false, .snapshot = true},
+                std::max(5, intervals / 4), reps);
+    for (double df : {0.001, 0.01, 0.1, 1.0}) {
+      const int df_intervals = df >= 1.0 ? std::max(5, intervals / 4)
+                                         : df >= 0.1 ? intervals
+                                                     : cheap_intervals;
+      const double ns =
+          RunCase({.hosts = hosts, .sparse = true, .snapshot = false,
+                   .dirty_frac = df},
+                  df_intervals, reps);
+      char shape[48];
+      std::snprintf(shape, sizeof shape, "H=4096 df=%g", df);
+      Report("fleet_step_sparse_dirty", shape, ns, dense);
+    }
+  }
+
+  WriteJson("BENCH_fleet.json");
+  if (g_sink == 12345.6789) std::printf(" ");  // keep g_sink alive
+  return 0;
+}

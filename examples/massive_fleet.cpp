@@ -1,0 +1,167 @@
+// Scenario: a MASSIVE fleet — one 4096-host federation (256 brokers,
+// 64 geographic sites) stepped through the shared simkern protocol with
+// the event-driven engine, an open-loop million-device arrival stream,
+// and a broker fault storm repaired by the shared FallbackRepair guard.
+//
+// What this demonstrates (and what CI smoke-checks):
+//   * the large-fleet tier is usable end to end: H=4096 steps in
+//     microseconds because O(changed) stepping only touches the engaged
+//     and dirtied hosts, not the whole fleet;
+//   * workload::ArrivalProcess scales by construction — its state is
+//     O(1) in the device population (FromUsers(1e6, ...)), so a million
+//     simulated devices cost the same as sixteen;
+//   * the protocol loop is the SAME IntervalStepper the harness, the
+//     trace collector and the scenario driver run — only the hooks
+//     differ, and the fault storm flows through the same detect ->
+//     repair -> fallback path as a real incident;
+//   * the whole thing is deterministic: two runs from the same seeds
+//     produce bit-identical energy and identical topology hashes.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/detector.h"
+#include "sim/federation.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+#include "simkern/stepper.h"
+#include "workload/arrival.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace carol;
+
+constexpr int kHosts = 4096;
+constexpr int kBrokers = kHosts / 16;
+constexpr int kSites = 64;
+constexpr int kIntervals = 24;
+
+struct RunOutcome {
+  double energy_kwh = 0.0;
+  long long tasks_completed = 0;
+  long long repairs = 0;
+  std::size_t topology_hash = 0;
+};
+
+// Fault storm + fallback repair + open-loop arrivals, on top of the
+// minimal protocol defaults.
+class MassiveFleetHooks : public simkern::IntervalHooks {
+ public:
+  MassiveFleetHooks(workload::ArrivalProcess* arrivals, common::Rng storm)
+      : arrivals_(arrivals), storm_(storm) {}
+
+  std::optional<sim::Topology> Repair(simkern::StepContext& ctx) override {
+    if (ctx.report->failed_brokers.empty()) return std::nullopt;
+    ++outcome.repairs;
+    // The repair of last resort IS the decision here: no model in the
+    // loop, just the shared promote-orphans/merge-LEI guard every driver
+    // falls back on. A 4096-host example with the full GON/tabu search
+    // would be a benchmark, not a smoke test.
+    return simkern::FallbackRepair(ctx.fed->topology(),
+                                   ctx.report->failed_brokers, *ctx.fed);
+  }
+
+  void InjectFaults(simkern::StepContext& ctx) override {
+    // A storm burst every 8 intervals: several brokers and a handful of
+    // workers fail for 1.5 intervals, so detection, repair and recovery
+    // all fire while most of the fleet stays quiet (the O(changed) case).
+    if (ctx.interval % 8 != 2) return;
+    const double now = ctx.fed->now_s();
+    const double dt = ctx.fed->config().interval_seconds;
+    for (int k = 0; k < 3; ++k) {
+      const auto b = static_cast<sim::NodeId>(
+          storm_.Choice(static_cast<std::size_t>(kBrokers)) * 16);
+      ctx.fed->SetFailed(b, now, now + 1.5 * dt);
+    }
+    for (int k = 0; k < 8; ++k) {
+      const auto n = static_cast<sim::NodeId>(
+          storm_.Choice(static_cast<std::size_t>(kHosts)));
+      ctx.fed->SetFailed(n, now, now + 1.5 * dt);
+    }
+  }
+
+  std::vector<sim::Task> GenerateArrivals(simkern::StepContext& ctx) override {
+    return arrivals_->Drain(ctx.fed->now_s() +
+                            ctx.fed->config().interval_seconds);
+  }
+
+  void Observe(simkern::StepContext& ctx,
+               const sim::IntervalResult& r) override {
+    (void)ctx;
+    outcome.energy_kwh += r.energy_kwh;
+    outcome.tasks_completed += r.completed;
+  }
+
+  bool WantSnapshot(const simkern::StepContext& ctx) const override {
+    (void)ctx;
+    return false;  // open-loop: nothing reads per-host rows
+  }
+
+  RunOutcome outcome;
+
+ private:
+  workload::ArrivalProcess* arrivals_;
+  common::Rng storm_;
+};
+
+RunOutcome RunOnce() {
+  sim::SimConfig cfg;
+  cfg.event_driven = true;
+  cfg.network.num_sites = kSites;
+  sim::Federation fed(sim::ScaledTestbedSpecs(kHosts),
+                      sim::Topology::Initial(kHosts, kBrokers), cfg,
+                      common::Rng(42));
+  sim::LeastUtilizationScheduler scheduler;
+  // A million devices at a duty cycle that lands ~175 tasks per interval
+  // — the point is the POPULATION: the process folds it into a rate, so
+  // its state is O(1) whether the fleet serves 16 devices or a million.
+  workload::ArrivalProcess arrivals(
+      workload::AIoTBenchProfiles(),
+      workload::ArrivalConfig::FromUsers(1e6, 0.05, kSites), common::Rng(7));
+  MassiveFleetHooks hooks(&arrivals, common::Rng(99));
+
+  simkern::IntervalStepper stepper(fed, scheduler, hooks);
+  stepper.Run(kIntervals);
+  hooks.outcome.topology_hash = fed.topology().Hash();
+  return hooks.outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== massive fleet: 4096 hosts, 256 brokers, 64 sites, "
+              "1M-device arrival stream ==\n\n");
+
+  const RunOutcome a = RunOnce();
+  const RunOutcome b = RunOnce();
+
+  std::printf("%-26s %.6f kWh\n", "energy", a.energy_kwh);
+  std::printf("%-26s %lld\n", "tasks completed", a.tasks_completed);
+  std::printf("%-26s %lld\n", "storm repairs", a.repairs);
+  std::printf("%-26s %zx\n", "final topology hash", a.topology_hash);
+
+  if (a.tasks_completed <= 0) {
+    std::printf("\nFAIL: the fleet completed no work\n");
+    return 1;
+  }
+  if (a.repairs == 0) {
+    std::printf("\nFAIL: the fault storm never triggered a repair\n");
+    return 1;
+  }
+  if (a.energy_kwh != b.energy_kwh ||
+      a.tasks_completed != b.tasks_completed ||
+      a.topology_hash != b.topology_hash) {
+    std::printf("\nFAIL: two runs from the same seeds diverged "
+                "(%.17g vs %.17g kWh, %lld vs %lld tasks, %zx vs %zx)\n",
+                a.energy_kwh, b.energy_kwh, a.tasks_completed,
+                b.tasks_completed, a.topology_hash, b.topology_hash);
+    return 1;
+  }
+
+  std::printf("\nexpected: both runs are bit-identical; the storm forces "
+              "repairs but the quiet 99%% of the fleet never enters the "
+              "per-interval hot path.\n");
+  return 0;
+}

@@ -7,7 +7,10 @@ DetectionReport FailureDetector::Detect(
   DetectionReport report;
   const double now = federation.now_s();
   const double latency = config_.detection_latency_s();
-  for (sim::NodeId n = 0; n < federation.num_nodes(); ++n) {
+  // Only hosts with an open fault window can be failed; the federation
+  // tracks that set incrementally and hands it back in ascending id
+  // order — the same nodes, in the same order, the old 0..H scan found.
+  for (sim::NodeId n : federation.FaultWindowHosts()) {
     const auto& h = federation.host(n);
     if (!h.FailedAt(now)) continue;
     if (now - h.fail_from_s < latency) {

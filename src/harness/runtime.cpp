@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "common/stats.h"
+#include "simkern/stepper.h"
 #include "workload/profiles.h"
 
 namespace carol::harness {
@@ -23,39 +24,141 @@ std::vector<workload::AppProfile> ProfilesFor(const RunConfig& cfg) {
                       : workload::DeFogProfiles();
 }
 
+// The experiment driver's behavior at the shared protocol's hook points:
+// the model makes the repair decision (timed), the injector fires fault
+// events, the generator produces arrivals, and Observe accumulates the
+// Fig. 5 metrics.
+class ExperimentHooks : public simkern::IntervalHooks {
+ public:
+  ExperimentHooks(core::ResilienceModel& model,
+                  workload::WorkloadGenerator& workload,
+                  faults::FaultInjector& injector, RunResult& result)
+      : model_(&model),
+        workload_(&workload),
+        injector_(&injector),
+        result_(&result) {}
+
+  std::optional<sim::Topology> Repair(simkern::StepContext& ctx) override {
+    result_->broker_failures_detected +=
+        static_cast<int>(ctx.report->failed_brokers.size());
+    const auto repair_start = Clock::now();
+    sim::Topology repaired =
+        model_->Repair(ctx.fed->topology(), ctx.report->failed_brokers,
+                       ctx.fed->last_snapshot());
+    decision_time_total_ += SecondsSince(repair_start);
+    return repaired;
+  }
+
+  void OnInvalidRepair(simkern::StepContext&) override {
+    common::LogWarn() << model_->name()
+                      << ": invalid repair topology, using default";
+  }
+
+  void InjectFaults(simkern::StepContext& ctx) override {
+    injector_->Step(*ctx.fed);
+  }
+
+  std::vector<sim::Task> GenerateArrivals(
+      simkern::StepContext& ctx) override {
+    return workload_->Generate(ctx.interval, ctx.fed->now_s());
+  }
+
+  void Observe(simkern::StepContext&,
+               const sim::IntervalResult& r) override {
+    // Model observation / fine-tuning (overhead metric).
+    const auto observe_start = Clock::now();
+    model_->Observe(r.snapshot);
+    result_->total_finetune_s += SecondsSince(observe_start);
+
+    // Metric accumulation.
+    result_->completed += r.completed;
+    result_->violated += r.violated;
+    result_->interval_energy_kwh.push_back(r.energy_kwh);
+    result_->interval_avg_response_s.push_back(r.snapshot.avg_response_s);
+    result_->interval_slo_rate.push_back(r.snapshot.slo_rate);
+    result_->all_responses.insert(result_->all_responses.end(),
+                                  r.response_times.begin(),
+                                  r.response_times.end());
+    result_->all_response_apps.insert(result_->all_response_apps.end(),
+                                      r.response_app_types.begin(),
+                                      r.response_app_types.end());
+  }
+
+  double decision_time_total() const { return decision_time_total_; }
+
+ private:
+  core::ResilienceModel* model_;
+  workload::WorkloadGenerator* workload_;
+  faults::FaultInjector* injector_;
+  RunResult* result_;
+  double decision_time_total_ = 0.0;
+};
+
+// The trace collector's hooks: no repair decision (the topology is
+// shuffled directly), no faults, every interval's snapshot becomes one
+// training record.
+class TraceHooks : public simkern::IntervalHooks {
+ public:
+  TraceHooks(const RunConfig& config, int shuffle_every,
+             workload::WorkloadGenerator& workload, common::Rng& topo_rng,
+             workload::Trace& trace)
+      : config_(&config),
+        shuffle_every_(shuffle_every),
+        workload_(&workload),
+        topo_rng_(&topo_rng),
+        trace_(&trace) {}
+
+  void AfterRecovery(simkern::StepContext& ctx) override {
+    // Periodic topology change (paper: every ten intervals, 100 distinct
+    // topologies over the 1000-interval trace).
+    if (shuffle_every_ > 0 && ctx.interval % shuffle_every_ == 0 &&
+        ctx.interval > 0) {
+      const int brokers = topo_rng_->UniformInt(
+          2, std::max(2, config_->num_nodes / 3));
+      std::vector<sim::NodeId> broker_ids;
+      const auto perm = topo_rng_->Permutation(
+          static_cast<std::size_t>(config_->num_nodes));
+      for (int b = 0; b < brokers; ++b) {
+        broker_ids.push_back(static_cast<sim::NodeId>(perm[b]));
+      }
+      std::vector<sim::NodeId> assignment(
+          static_cast<std::size_t>(config_->num_nodes));
+      for (sim::NodeId n = 0; n < config_->num_nodes; ++n) {
+        const bool is_broker = std::find(broker_ids.begin(),
+                                         broker_ids.end(),
+                                         n) != broker_ids.end();
+        assignment[static_cast<std::size_t>(n)] =
+            is_broker ? n
+                      : broker_ids[topo_rng_->Choice(broker_ids.size())];
+      }
+      ctx.fed->SetTopology(sim::Topology::FromAssignment(assignment));
+    }
+  }
+
+  std::vector<sim::Task> GenerateArrivals(
+      simkern::StepContext& ctx) override {
+    return workload_->Generate(ctx.interval, ctx.fed->now_s());
+  }
+
+  void Observe(simkern::StepContext&,
+               const sim::IntervalResult& r) override {
+    trace_->push_back(workload::MakeTraceRecord(r.snapshot));
+  }
+
+ private:
+  const RunConfig* config_;
+  int shuffle_every_;
+  workload::WorkloadGenerator* workload_;
+  common::Rng* topo_rng_;
+  workload::Trace* trace_;
+};
+
 }  // namespace
 
 sim::Topology FallbackRepair(const sim::Topology& topo,
                              const std::vector<sim::NodeId>& failed_brokers,
                              const sim::Federation& fed) {
-  sim::Topology fixed = topo;
-  for (sim::NodeId b : failed_brokers) {
-    if (!fixed.is_broker(b)) continue;
-    const auto orphans = fixed.workers_of(b);
-    sim::NodeId promote = sim::kNoNode;
-    double best_util = std::numeric_limits<double>::infinity();
-    for (sim::NodeId w : orphans) {
-      if (!fed.IsAliveNow(w)) continue;
-      const double util = fed.host(w).metrics.cpu_util;
-      if (util < best_util) {
-        best_util = util;
-        promote = w;
-      }
-    }
-    if (promote != sim::kNoNode) {
-      fixed.Promote(promote);
-      fixed.Demote(b, promote);
-      continue;
-    }
-    // No alive orphan: merge into any other alive broker.
-    for (sim::NodeId other : fixed.brokers()) {
-      if (other != b && fed.IsAliveNow(other)) {
-        fixed.Demote(b, other);
-        break;
-      }
-    }
-  }
-  return fixed;
+  return simkern::FallbackRepair(topo, failed_brokers, fed);
 }
 
 std::vector<double> RunResult::PerAppP90(std::size_t num_apps) const {
@@ -88,69 +191,14 @@ RunResult FederationRuntime::Run(core::ResilienceModel& model) {
     workload.OverrideDeadlines(config_.deadline_overrides);
   }
   faults::FaultInjector injector(config_.faults, master.Fork());
-  faults::FailureDetector detector;
-  faults::RecoveryManager recovery;
   sim::LeastUtilizationScheduler scheduler;
 
   RunResult result;
   result.model_name = model.name();
-  double decision_time_total = 0.0;
 
-  for (int interval = 0; interval < config_.intervals; ++interval) {
-    const sim::StepInfo step = fed.BeginInterval();
-
-    // Recovered nodes rejoin as workers of the closest broker (§IV-I).
-    if (!step.recovered.empty()) {
-      fed.SetTopology(
-          recovery.ApplyRecoveries(fed.topology(), step.recovered, fed));
-    }
-
-    // Failure detection, then the model's repair (decision time metric).
-    const faults::DetectionReport report = detector.Detect(fed);
-    result.broker_failures_detected +=
-        static_cast<int>(report.failed_brokers.size());
-    const auto repair_start = Clock::now();
-    sim::Topology repaired = model.Repair(
-        fed.topology(), report.failed_brokers, fed.last_snapshot());
-    decision_time_total += SecondsSince(repair_start);
-    const bool valid =
-        repaired.num_nodes() == fed.num_nodes() && repaired.IsValid();
-    if (!valid) {
-      common::LogWarn() << model.name()
-                        << ": invalid repair topology, using default";
-      repaired =
-          FallbackRepair(fed.topology(), report.failed_brokers, fed);
-    }
-    fed.SetTopology(repaired);
-
-    // This interval's fault events (may fail nodes mid-interval).
-    injector.Step(fed);
-
-    // Workload arrival, routing and the underlying scheduler's decision.
-    fed.Submit(workload.Generate(interval, fed.now_s()));
-    fed.RouteQueuedTasks();
-    const sim::SchedulingDecision decision = scheduler.Schedule(fed);
-
-    const sim::IntervalResult r = fed.RunInterval(decision);
-
-    // Model observation / fine-tuning (overhead metric).
-    const auto observe_start = Clock::now();
-    model.Observe(r.snapshot);
-    result.total_finetune_s += SecondsSince(observe_start);
-
-    // Metric accumulation.
-    result.completed += r.completed;
-    result.violated += r.violated;
-    result.interval_energy_kwh.push_back(r.energy_kwh);
-    result.interval_avg_response_s.push_back(r.snapshot.avg_response_s);
-    result.interval_slo_rate.push_back(r.snapshot.slo_rate);
-    result.all_responses.insert(result.all_responses.end(),
-                                r.response_times.begin(),
-                                r.response_times.end());
-    result.all_response_apps.insert(result.all_response_apps.end(),
-                                    r.response_app_types.begin(),
-                                    r.response_app_types.end());
-  }
+  ExperimentHooks hooks(model, workload, injector, result);
+  simkern::IntervalStepper stepper(fed, scheduler, hooks);
+  stepper.Run(config_.intervals);
 
   result.total_tasks = workload.total_generated();
   result.failures_injected = injector.total_failures_caused();
@@ -161,7 +209,7 @@ RunResult FederationRuntime::Run(core::ResilienceModel& model) {
           ? static_cast<double>(result.violated) / result.completed
           : 0.0;
   result.avg_decision_time_s =
-      decision_time_total / std::max(1, config_.intervals);
+      hooks.decision_time_total() / std::max(1, config_.intervals);
   result.memory_mb = model.MemoryFootprintMb();
   result.memory_percent =
       100.0 * result.memory_mb / config_.memory_reference_mb;
@@ -182,37 +230,9 @@ workload::Trace CollectTrainingTrace(const RunConfig& config,
   common::Rng topo_rng = master.Fork();
 
   workload::Trace trace;
-  for (int interval = 0; interval < config.intervals; ++interval) {
-    fed.BeginInterval();
-    // Periodic topology change (paper: every ten intervals, 100 distinct
-    // topologies over the 1000-interval trace).
-    if (shuffle_every > 0 && interval % shuffle_every == 0 &&
-        interval > 0) {
-      const int brokers = topo_rng.UniformInt(
-          2, std::max(2, config.num_nodes / 3));
-      std::vector<sim::NodeId> broker_ids;
-      const auto perm =
-          topo_rng.Permutation(static_cast<std::size_t>(config.num_nodes));
-      for (int b = 0; b < brokers; ++b) {
-        broker_ids.push_back(static_cast<sim::NodeId>(perm[b]));
-      }
-      std::vector<sim::NodeId> assignment(
-          static_cast<std::size_t>(config.num_nodes));
-      for (sim::NodeId n = 0; n < config.num_nodes; ++n) {
-        const bool is_broker = std::find(broker_ids.begin(),
-                                         broker_ids.end(),
-                                         n) != broker_ids.end();
-        assignment[static_cast<std::size_t>(n)] =
-            is_broker ? n : broker_ids[topo_rng.Choice(broker_ids.size())];
-      }
-      fed.SetTopology(sim::Topology::FromAssignment(assignment));
-    }
-    fed.Submit(workload.Generate(interval, fed.now_s()));
-    fed.RouteQueuedTasks();
-    const sim::IntervalResult r =
-        fed.RunInterval(scheduler.Schedule(fed));
-    trace.push_back(workload::MakeTraceRecord(r.snapshot));
-  }
+  TraceHooks hooks(config, shuffle_every, workload, topo_rng, trace);
+  simkern::IntervalStepper stepper(fed, scheduler, hooks);
+  stepper.Run(config.intervals);
   return trace;
 }
 

@@ -5,16 +5,16 @@
 #include <chrono>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "common/stats.h"
-#include "faults/detector.h"
-#include "faults/recovery.h"
 #include "harness/runtime.h"
 #include "sim/scheduler.h"
+#include "simkern/stepper.h"
 #include "workload/profiles.h"
 
 namespace carol::scenario {
@@ -78,6 +78,98 @@ class SessionGuard {
  private:
   serve::ResilienceService* const* service_;
   serve::SessionId id_;
+};
+
+// One fleet's behavior at the shared protocol's hook points: the
+// resilience service makes the repair decision (latency recorded), the
+// compiled schedule drives faults and arrivals, and Observe folds the
+// interval into the fleet's session score. Restart rendezvous and
+// scheduled network mutations fire at the interval boundary via
+// `on_start` (they capture thread-local barrier state, so they stay a
+// bound closure rather than hook fields).
+class FleetHooks : public simkern::IntervalHooks {
+ public:
+  std::function<void(simkern::StepContext&)> on_start;
+  serve::ResilienceService* const* service = nullptr;
+  serve::SessionId session{};
+  faults::FaultInjector* injector = nullptr;
+  workload::WorkloadGenerator* workload = nullptr;
+  const CompiledFleet* events = nullptr;
+  const ScenarioSpec* spec = nullptr;
+  std::vector<std::int64_t>* decision_ns = nullptr;
+  harness::RunResult* result = nullptr;
+  SessionScore* score = nullptr;
+  std::vector<double>* all_responses = nullptr;
+  int finetunes = 0;
+  bool in_episode = false;
+  int episode_start = 0;
+
+  void OnIntervalStart(simkern::StepContext& ctx) override {
+    on_start(ctx);
+  }
+
+  std::optional<sim::Topology> Repair(simkern::StepContext& ctx) override {
+    result->broker_failures_detected +=
+        static_cast<int>(ctx.report->failed_brokers.size());
+    const serve::RepairResponse resp =
+        (*service)->Repair(session, ctx.fed->topology(),
+                           ctx.report->failed_brokers,
+                           ctx.fed->last_snapshot());
+    decision_ns->push_back(resp.decision_ns);
+    return resp.topology;
+    // An invalid response falls through to the stepper's FallbackRepair,
+    // silently — the scorecard tells the story.
+  }
+
+  void InjectFaults(simkern::StepContext& ctx) override {
+    injector->Step(*ctx.fed);
+  }
+
+  std::vector<sim::Task> GenerateArrivals(
+      simkern::StepContext& ctx) override {
+    return workload->Generate(
+        ctx.interval, ctx.fed->now_s(),
+        events->site_rate[static_cast<std::size_t>(ctx.interval)]);
+  }
+
+  void Observe(simkern::StepContext& ctx,
+               const sim::IntervalResult& r) override {
+    const serve::ObserveResponse obs =
+        (*service)->Observe(session, r.snapshot);
+    if (obs.fine_tuned) ++finetunes;
+
+    // --- scenario accounting ---
+    result->completed += r.completed;
+    result->violated += r.violated;
+    all_responses->insert(all_responses->end(), r.response_times.begin(),
+                          r.response_times.end());
+    score->stranded_task_intervals += r.stranded;
+
+    // Broker-failure episodes -> recovery-time distribution.
+    const bool failure_detected = !ctx.report->failed_brokers.empty();
+    if (failure_detected && !in_episode) {
+      in_episode = true;
+      episode_start = ctx.interval;
+      ++score->failure_episodes;
+    } else if (!failure_detected && in_episode) {
+      in_episode = false;
+      score->recovery_times_s.push_back(
+          (ctx.interval - episode_start) * spec->sim.interval_seconds);
+    }
+
+    // Confidence-gate confusion: did the POT breach line up with
+    // actual distress this interval?
+    const bool fired = obs.confidence < obs.threshold;
+    const bool distress =
+        failure_detected ||
+        r.snapshot.slo_rate > spec->distress_slo_threshold;
+    score->gate.fired += fired ? 1 : 0;
+    score->gate.distress += distress ? 1 : 0;
+    if (fired && distress) ++score->gate.true_pos;
+    if (fired && !distress) ++score->gate.false_pos;
+    if (!fired && distress) ++score->gate.false_neg;
+    if (!fired && !distress) ++score->gate.true_neg;
+  }
 };
 
 }  // namespace
@@ -196,8 +288,6 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
             workload::AIoTBenchProfiles(), wl_cfg, master.Fork());
 
         faults::FaultInjector injector(events.schedule);
-        faults::FailureDetector detector;
-        faults::RecoveryManager recovery;
         sim::LeastUtilizationScheduler scheduler;
 
         serve::FederationSpec session_spec;
@@ -216,17 +306,15 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         score.intervals = spec.intervals;
         harness::RunResult result;
         std::size_t net_pos = 0;
-        bool in_episode = false;
-        int episode_start = 0;
-        int finetunes = 0;
         std::vector<double> all_responses;
 
-        for (int interval = 0; interval < spec.intervals; ++interval) {
+        FleetHooks hooks;
+        hooks.on_start = [&](simkern::StepContext& ctx) {
           // Restart drill: rendezvous with every other fleet thread,
           // one of which snapshots + tears down + restores the service
           // in the barrier's completion step.
           while (restart_pos < restarts.size() &&
-                 restarts[restart_pos] == interval) {
+                 restarts[restart_pos] == ctx.interval) {
             restart_barrier.arrive_and_wait();
             ++restart_pos;
             if (restart_error) std::rethrow_exception(restart_error);
@@ -235,84 +323,32 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
           // Scheduled link mutations fire at the interval boundary,
           // before detection and routing.
           while (net_pos < events.network_events.size() &&
-                 events.network_events[net_pos].interval == interval) {
-            ApplyNetworkEvent(fed.mutable_network(),
+                 events.network_events[net_pos].interval == ctx.interval) {
+            ApplyNetworkEvent(ctx.fed->mutable_network(),
                               events.network_events[net_pos]);
             ++net_pos;
           }
+        };
+        hooks.service = &service_;
+        hooks.session = session;
+        hooks.injector = &injector;
+        hooks.workload = &workload;
+        hooks.events = &events;
+        hooks.spec = &spec;
+        hooks.decision_ns = &decision_ns[f];
+        hooks.result = &result;
+        hooks.score = &score;
+        hooks.all_responses = &all_responses;
 
-          const sim::StepInfo step = fed.BeginInterval();
-          if (!step.recovered.empty()) {
-            fed.SetTopology(recovery.ApplyRecoveries(fed.topology(),
-                                                     step.recovered, fed));
-          }
-
-          const faults::DetectionReport report = detector.Detect(fed);
-          const bool failure_detected = !report.failed_brokers.empty();
-          result.broker_failures_detected +=
-              static_cast<int>(report.failed_brokers.size());
-
-          const serve::RepairResponse resp = service_->Repair(
-              session, fed.topology(), report.failed_brokers,
-              fed.last_snapshot());
-          decision_ns[f].push_back(resp.decision_ns);
-          sim::Topology repaired = resp.topology;
-          if (repaired.num_nodes() != fed.num_nodes() ||
-              !repaired.IsValid()) {
-            repaired = harness::FallbackRepair(
-                fed.topology(), report.failed_brokers, fed);
-          }
-          fed.SetTopology(repaired);
-
-          injector.Step(fed);
-
-          fed.Submit(workload.Generate(
-              interval, fed.now_s(),
-              events.site_rate[static_cast<std::size_t>(interval)]));
-          fed.RouteQueuedTasks();
-          const sim::IntervalResult r =
-              fed.RunInterval(scheduler.Schedule(fed));
-
-          const serve::ObserveResponse obs =
-              service_->Observe(session, r.snapshot);
-          if (obs.fine_tuned) ++finetunes;
-
-          // --- scenario accounting ---
-          result.completed += r.completed;
-          result.violated += r.violated;
-          all_responses.insert(all_responses.end(),
-                               r.response_times.begin(),
-                               r.response_times.end());
-          score.stranded_task_intervals += r.stranded;
-
-          // Broker-failure episodes -> recovery-time distribution.
-          if (failure_detected && !in_episode) {
-            in_episode = true;
-            episode_start = interval;
-            ++score.failure_episodes;
-          } else if (!failure_detected && in_episode) {
-            in_episode = false;
-            score.recovery_times_s.push_back(
-                (interval - episode_start) * spec.sim.interval_seconds);
-          }
-
-          // Confidence-gate confusion: did the POT breach line up with
-          // actual distress this interval?
-          const bool fired = obs.confidence < obs.threshold;
-          const bool distress =
-              failure_detected ||
-              r.snapshot.slo_rate > spec.distress_slo_threshold;
-          score.gate.fired += fired ? 1 : 0;
-          score.gate.distress += distress ? 1 : 0;
-          if (fired && distress) ++score.gate.true_pos;
-          if (fired && !distress) ++score.gate.false_pos;
-          if (!fired && distress) ++score.gate.false_neg;
-          if (!fired && !distress) ++score.gate.true_neg;
+        simkern::IntervalStepper stepper(fed, scheduler, hooks);
+        for (int interval = 0; interval < spec.intervals; ++interval) {
+          stepper.Step(interval);
         }
-        if (in_episode) {
+        const int finetunes = hooks.finetunes;
+        if (hooks.in_episode) {
           // Censored episode: still open at scenario end.
           score.recovery_times_s.push_back(
-              (spec.intervals - episode_start) *
+              (spec.intervals - hooks.episode_start) *
               spec.sim.interval_seconds);
         }
         score.recovery_mean_s = common::Mean(score.recovery_times_s);

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -37,7 +38,88 @@ Federation::Federation(std::vector<NodeSpec> specs, Topology topology,
     h.spec = std::move(spec);
     hosts_.push_back(std::move(h));
   }
+
+  const std::size_t h_count = hosts_.size();
+  resident_tasks_.assign(h_count, 0);
+  broker_worker_counts_.assign(h_count, 0);
+  prev_worker_counts_.assign(h_count, 0);
+  quiet_power_w_.assign(h_count, 0.0);
+  quiet_power_tree_.Reset(h_count);
+  engaged_.Reset(h_count);
+  // Every row starts default-initialized, so the first event-driven
+  // interval must rewrite all of them.
+  engaged_prev_.resize(h_count);
+  for (std::size_t i = 0; i < h_count; ++i) {
+    engaged_prev_[i] = static_cast<NodeId>(i);
+  }
+  scr_task_cpu_.assign(h_count, 0.0);
+  scr_ram_.assign(h_count, 0.0);
+  scr_disk_.assign(h_count, 0.0);
+  scr_net_.assign(h_count, 0.0);
+  scr_lei_tasks_.assign(h_count, 0);
+  scr_cpu_r_.assign(h_count, 0.0);
+  scr_ram_r_.assign(h_count, 0.0);
+  scr_disk_r_.assign(h_count, 0.0);
+  scr_net_r_.assign(h_count, 0.0);
+  scr_share_.assign(h_count, 1.0);
+  scr_slow_.assign(h_count, 1.0);
+  scr_broker_ratio_.assign(h_count, 0.0);
+  scr_cpu_int_.assign(h_count, 0.0);
+  scr_ram_int_.assign(h_count, 0.0);
+  scr_disk_int_.assign(h_count, 0.0);
+  scr_net_int_.assign(h_count, 0.0);
+  scr_energy_j_.assign(h_count, 0.0);
+  scr_completed_.assign(h_count, 0);
+  scr_violated_.assign(h_count, 0);
+  RefreshTopologyDerived();
+  rows_dirty_.clear();  // the full first-interval refresh covers these
+
   last_snapshot_ = Snapshot();
+}
+
+double Federation::QuietPowerW(NodeId node) const {
+  const HostRuntime& h = hosts_[static_cast<std::size_t>(node)];
+  if (!topology_.is_broker(node)) {
+    return h.spec.idle_power_w * config_.standby_power_frac;
+  }
+  // Same expression chain as the dense per-segment power block with
+  // zero task load, zero contention: cpu ratio = overhead / capacity.
+  const double overhead = BrokerOverheadMips(node);
+  const double ratio = (0.0 + overhead) / h.spec.cpu_capacity_mips;
+  return h.spec.idle_power_w +
+         (h.spec.peak_power_w - h.spec.idle_power_w) * std::min(1.0, ratio);
+}
+
+void Federation::RefreshTopologyDerived() {
+  prev_worker_counts_ = broker_worker_counts_;
+  std::fill(broker_worker_counts_.begin(), broker_worker_counts_.end(), 0);
+  brokers_.clear();
+  site_brokers_.assign(static_cast<std::size_t>(network_.num_sites()), {});
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (!topology_.is_broker(n)) {
+      ++broker_worker_counts_[static_cast<std::size_t>(
+          topology_.broker_of(n))];
+    } else {
+      brokers_.push_back(n);  // ascending, same order topology_.brokers()
+                              // yields — routing tie-breaks rely on it
+      site_brokers_[static_cast<std::size_t>(network_.site_of(n))]
+          .push_back(n);
+    }
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    // A changed worker count changes a broker's quiet utilization even
+    // when its quiet power saturates, so the row-dirty mark keys off the
+    // count, not the power value.
+    if (broker_worker_counts_[i] != prev_worker_counts_[i]) {
+      rows_dirty_.insert(n);
+    }
+    const double q = QuietPowerW(n);
+    if (q != quiet_power_w_[i]) {
+      quiet_power_w_[i] = q;
+      quiet_power_tree_.Set(i, q);
+    }
+  }
 }
 
 const HostRuntime& Federation::host(NodeId node) const {
@@ -53,8 +135,12 @@ bool Federation::IsAliveAt(NodeId node, double t) const {
 }
 
 std::vector<bool> Federation::AliveVector() const {
-  std::vector<bool> alive(hosts_.size());
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+  // Only hosts with an open failure window can be dead, and fault_hosts_
+  // is a superset of those — value-identical to the legacy all-hosts
+  // FailedAt scan in O(H/word + F).
+  std::vector<bool> alive(hosts_.size(), true);
+  for (NodeId n : fault_hosts_) {
+    const auto i = static_cast<std::size_t>(n);
     alive[i] = !hosts_[i].FailedAt(now_s_);
   }
   return alive;
@@ -71,6 +157,7 @@ void Federation::SetFailed(NodeId node, double from_s, double until_s) {
     h.fail_from_s = from_s;
     h.fail_until_s = until_s;
   }
+  fault_hosts_.insert(node);
 }
 
 void Federation::SetFaultLoad(NodeId node, double cpu_mips, double ram_mb,
@@ -80,6 +167,12 @@ void Federation::SetFaultLoad(NodeId node, double cpu_mips, double ram_mb,
   h.fault_ram_mb = ram_mb;
   h.fault_disk_mbps = disk_mbps;
   h.fault_net_mbps = net_mbps;
+  if (cpu_mips != 0.0 || ram_mb != 0.0 || disk_mbps != 0.0 ||
+      net_mbps != 0.0) {
+    load_hosts_.insert(node);
+  } else {
+    load_hosts_.erase(node);
+  }
 }
 
 void Federation::ClearFaultLoad(NodeId node) {
@@ -121,7 +214,11 @@ int Federation::queued_task_count() const {
 StepInfo Federation::BeginInterval() {
   StepInfo info;
   const double t0 = now_s_;
-  for (NodeId n = 0; n < num_nodes(); ++n) {
+  // Only hosts with a failure window can recover or be failed here;
+  // iterating the (ascending) fault set visits them in the same id order
+  // as a full host scan would, in O(F) instead of O(H).
+  for (auto it = fault_hosts_.begin(); it != fault_hosts_.end();) {
+    const NodeId n = *it;
     HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
     if (h.fail_from_s >= 0.0 && h.fail_until_s <= t0) {
       // Failure window elapsed: the node rebooted (§IV-I).
@@ -129,14 +226,19 @@ StepInfo Federation::BeginInterval() {
       h.fail_until_s = -1.0;
       h.fault_cpu_mips = h.fault_ram_mb = 0.0;
       h.fault_disk_mbps = h.fault_net_mbps = 0.0;
+      load_hosts_.erase(n);
       info.recovered.push_back(n);
-    } else if (h.FailedAt(t0)) {
+      it = fault_hosts_.erase(it);
+      continue;
+    }
+    if (h.FailedAt(t0)) {
       if (topology_.is_broker(n)) {
         info.failed_brokers.push_back(n);
       } else {
         info.failed_workers.push_back(n);
       }
     }
+    ++it;
   }
   // Worker failure policy (paper §III-A): requeue tasks of failed workers;
   // the underlying least-utilization scheduler reruns them on the least
@@ -151,6 +253,7 @@ void Federation::MigrateTasksOff(NodeId node, double extra_delay_s) {
   for (auto it = active_.begin(); it != active_.end();) {
     Task& task = tasks_[*it];
     if (task.assigned_host == node) {
+      --resident_tasks_[static_cast<std::size_t>(node)];
       task.assigned_host = kNoNode;
       task.broker = kNoNode;
       task.placed_time_s = -1.0;
@@ -187,14 +290,30 @@ void Federation::SetTopology(const Topology& topology) {
                topology_.broker_of(n) != topology.broker_of(n)) {
       h.reconfig_until_s =
           std::max(h.reconfig_until_s, t0 + config_.reassign_overhead_s);
+      reconfig_hosts_.insert(n);
+    }
+    if (was_broker != is_broker) {
+      reconfig_hosts_.insert(n);
+      rows_dirty_.insert(n);
     }
   }
   topology_ = topology;
+  RefreshTopologyDerived();
 }
 
 void Federation::RouteQueuedTasks() {
   const auto alive = AliveVector();
   int stranded = 0;
+  // The latency-tie candidate set is a function of (site, brokers, alive)
+  // only, all fixed for the duration of this call — compute it once per
+  // gateway site instead of per task (O(B) per site, not per task). The
+  // per-task tie-break still draws from rng_ exactly like the uncached
+  // RouteToBroker, so the rng stream — and every downstream decision —
+  // is unchanged.
+  const int num_sites = network_.num_sites();
+  std::vector<std::vector<NodeId>> site_candidates(
+      static_cast<std::size_t>(std::max(0, num_sites)));
+  std::vector<char> site_cached(site_candidates.size(), 0);
   for (std::size_t idx : queued_) {
     Task& task = tasks_[idx];
     // (Re-)route tasks with no broker, a demoted broker, a dead broker,
@@ -204,8 +323,23 @@ void Federation::RouteQueuedTasks() {
         !alive[static_cast<std::size_t>(task.broker)] ||
         !network_.SiteReachable(task.gateway_site, task.broker);
     if (!needs_route) continue;
-    const NodeId broker =
-        network_.RouteToBroker(task.gateway_site, topology_, alive, rng_);
+    const int site = task.gateway_site;
+    NodeId broker = kNoNode;
+    if (site >= 0 && site < num_sites) {
+      const auto s = static_cast<std::size_t>(site);
+      if (!site_cached[s]) {
+        site_candidates[s] =
+            network_.BrokerCandidatesBySite(site, site_brokers_, alive);
+        site_cached[s] = 1;
+      }
+      const auto& candidates = site_candidates[s];
+      if (!candidates.empty()) {
+        broker = candidates[rng_.Choice(candidates.size())];
+      }
+    } else {
+      // Out-of-range gateway (defensive): the uncached legacy path.
+      broker = network_.RouteToBroker(site, brokers_, alive, rng_);
+    }
     task.broker = broker;  // may be kNoNode -> stays stranded
     if (broker == kNoNode) ++stranded;
   }
@@ -217,8 +351,10 @@ void Federation::RouteQueuedTasks() {
 
 double Federation::BrokerOverheadMips(NodeId broker) const {
   const HostRuntime& h = host(broker);
-  const double workers =
-      static_cast<double>(topology_.workers_of(broker).size());
+  // Cached worker count (maintained by RefreshTopologyDerived): the
+  // legacy workers_of() scan here was O(H) per broker per segment.
+  const double workers = static_cast<double>(
+      broker_worker_counts_[static_cast<std::size_t>(broker)]);
   return h.spec.cpu_capacity_mips *
          (config_.broker_base_overhead_frac +
           config_.broker_per_worker_overhead_frac * workers);
@@ -248,6 +384,7 @@ void Federation::ApplyPlacement(const SchedulingDecision& decision,
         task.startup_delay_s += route_latency + transfer;
         task.assigned_host = target;
         task.placed_time_s = t0;
+        ++resident_tasks_[static_cast<std::size_t>(target)];
         active_.push_back(*it);
         it = queued_.erase(it);
         placed = true;
@@ -354,7 +491,8 @@ std::vector<double> Federation::ComputeRates(
   return rates;
 }
 
-IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
+IntervalResult Federation::RunInterval(const SchedulingDecision& decision,
+                                       bool build_snapshot) {
   const double t0 = now_s_;
   const double t1 = t0 + config_.interval_seconds;
   IntervalResult result;
@@ -365,22 +503,76 @@ IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
   ApplyPlacement(decision, t0, &result);
 
   // Segment breakpoints: host state changes and task availability times.
+  // Built from the incremental fault/reconfig host sets — the value set
+  // is identical to the legacy all-hosts scan (hosts outside fault_hosts_
+  // have no window, and an elapsed reconfig time never passes the
+  // t > t0 + eps filter), in O(F + R + A) instead of O(H).
   std::set<double> breakset = {t1};
   auto add_bp = [&](double t) {
     if (t > t0 + kEps && t < t1 - kEps) breakset.insert(t);
   };
-  for (const HostRuntime& h : hosts_) {
-    if (h.fail_from_s >= 0.0) {
-      add_bp(h.fail_from_s);
-      add_bp(h.fail_until_s);
+  for (NodeId n : fault_hosts_) {
+    const HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
+    add_bp(h.fail_from_s);
+    add_bp(h.fail_until_s);
+  }
+  for (auto it = reconfig_hosts_.begin(); it != reconfig_hosts_.end();) {
+    const HostRuntime& h = hosts_[static_cast<std::size_t>(*it)];
+    if (h.reconfig_until_s <= t0) {
+      // Window elapsed; prune lazily (the value stays readable by the
+      // runnable check, which compares against segment times directly).
+      it = reconfig_hosts_.erase(it);
+      continue;
     }
     add_bp(h.reconfig_until_s);
+    ++it;
   }
   for (std::size_t idx : active_) {
     const Task& task = tasks_[idx];
     add_bp(task.placed_time_s + task.startup_delay_s);
   }
 
+  if (config_.event_driven) {
+    RunSegmentsSparse(t0, t1, breakset, &result);
+  } else {
+    RunSegmentsDense(t0, t1, breakset, &result);
+  }
+
+  now_s_ = t1;
+  ++interval_;
+
+  if (build_snapshot) {
+    result.snapshot = Snapshot();
+  } else {
+    result.snapshot.interval = interval_;
+    result.snapshot.time_s = now_s_;
+    result.snapshot.total_energy_kwh = total_energy_kwh_;
+    result.snapshot.active_tasks = static_cast<int>(active_.size());
+    result.snapshot.queued_tasks = static_cast<int>(queued_.size());
+  }
+  result.snapshot.interval_energy_kwh = result.energy_kwh;
+  result.snapshot.avg_response_s =
+      result.response_times.empty()
+          ? 0.0
+          : std::accumulate(result.response_times.begin(),
+                            result.response_times.end(), 0.0) /
+                static_cast<double>(result.response_times.size());
+  result.snapshot.slo_rate =
+      result.completed > 0
+          ? static_cast<double>(result.violated) / result.completed
+          : 0.0;
+  if (build_snapshot) last_snapshot_ = result.snapshot;
+  return result;
+}
+
+// The legacy dense engine: every per-segment loop walks all H hosts, in
+// the exact order of the pre-simkern RunInterval. This path is pinned
+// bit-for-bit by the golden digests in tests/simkern_test.cpp — do not
+// reorder any floating-point accumulation in here.
+void Federation::RunSegmentsDense(double t0, double t1,
+                                  const std::set<double>& breakset,
+                                  IntervalResult* out) {
+  IntervalResult& result = *out;
   const std::size_t h_count = hosts_.size();
   std::vector<double> cpu_integral(h_count, 0.0), ram_integral(h_count, 0.0),
       disk_integral(h_count, 0.0), net_integral(h_count, 0.0),
@@ -449,6 +641,7 @@ IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
       result.response_deadlines.push_back(task.slo_deadline_s);
       ++result.completed;
       ++host_completed[hidx];
+      --resident_tasks_[hidx];
       if (response > task.slo_deadline_s) {
         ++result.violated;
         ++host_violated[hidx];
@@ -497,7 +690,9 @@ IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
   }
   for (std::size_t i = 0; i < h_count; ++i) {
     HostMetricsRow& m = hosts_[i].metrics;
-    const auto n = ActiveTasksOn(static_cast<NodeId>(i)).size();
+    // resident_tasks_ equals the ActiveTasksOn(i).size() the legacy code
+    // scanned for — an integer, so the division is value-identical.
+    const int n = resident_tasks_[i];
     if (n > 0) m.avg_deadline_s /= static_cast<double>(n);
   }
   for (std::size_t idx : active_) {
@@ -508,24 +703,376 @@ IntervalResult Federation::RunInterval(const SchedulingDecision& decision) {
       hosts_[hidx].metrics.sched_task_count += 1.0;
     }
   }
+}
 
-  now_s_ = t1;
-  ++interval_;
+void Federation::ComputeRatesSparse(double t,
+                                    const std::vector<std::size_t>& active,
+                                    const std::vector<int>& engaged) {
+  // Identical formulas to ComputeRates, evaluated only on engaged slots.
+  // Every active task's host and broker is engaged by construction, so
+  // the task loops see exactly the values the dense pass would.
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    scr_task_cpu_[i] = scr_ram_[i] = scr_disk_[i] = scr_net_[i] = 0.0;
+    scr_lei_tasks_[i] = 0;
+    scr_cpu_r_[i] = scr_ram_r_[i] = scr_disk_r_[i] = scr_net_r_[i] = 0.0;
+    scr_share_[i] = 1.0;
+    scr_slow_[i] = 1.0;
+    scr_broker_ratio_[i] = 0.0;
+  }
 
-  result.snapshot = Snapshot();
-  result.snapshot.interval_energy_kwh = interval_kwh;
-  result.snapshot.avg_response_s =
-      result.response_times.empty()
-          ? 0.0
-          : std::accumulate(result.response_times.begin(),
-                            result.response_times.end(), 0.0) /
-                static_cast<double>(result.response_times.size());
-  result.snapshot.slo_rate =
-      result.completed > 0
-          ? static_cast<double>(result.violated) / result.completed
-          : 0.0;
-  last_snapshot_ = result.snapshot;
-  return result;
+  auto runnable = [&](const Task& task) {
+    if (task.assigned_host == kNoNode) return false;
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    const HostRuntime& h = hosts_[hidx];
+    if (h.FailedAt(t) || t < h.reconfig_until_s) return false;
+    if (t < task.placed_time_s + task.startup_delay_s) return false;
+    const NodeId broker = topology_.broker_of(task.assigned_host);
+    if (hosts_[static_cast<std::size_t>(broker)].FailedAt(t)) return false;
+    if (!network_.SiteReachable(network_.site_of(task.assigned_host),
+                                broker)) {
+      return false;
+    }
+    return true;
+  };
+
+  scr_task_runnable_.assign(active.size(), 0);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    const Task& task = tasks_[active[k]];
+    if (!runnable(task)) continue;
+    scr_task_runnable_[k] = 1;
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    scr_task_cpu_[hidx] += task.mips_demand;
+    scr_ram_[hidx] += task.ram_mb;
+    scr_disk_[hidx] += task.disk_mbps;
+    scr_net_[hidx] += task.net_mbps;
+    ++scr_lei_tasks_[static_cast<std::size_t>(
+        topology_.broker_of(task.assigned_host))];
+  }
+
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    const HostRuntime& h = hosts_[i];
+    const NodeId node = n;
+    double overhead = 0.0;
+    if (topology_.is_broker(node)) {
+      overhead = BrokerOverheadMips(node) +
+                 h.spec.cpu_capacity_mips *
+                     config_.broker_per_task_overhead_frac *
+                     static_cast<double>(scr_lei_tasks_[i]);
+      scr_broker_ratio_[i] =
+          (overhead + h.fault_cpu_mips + scr_task_cpu_[i]) /
+          h.spec.cpu_capacity_mips;
+    }
+    const double cap_total = h.spec.cpu_capacity_mips;
+    const double cap_tasks = std::max(1.0, cap_total - overhead);
+    const double contended = scr_task_cpu_[i] + h.fault_cpu_mips;
+    scr_cpu_r_[i] = (contended + overhead) / cap_total;
+    scr_ram_r_[i] = (scr_ram_[i] + h.fault_ram_mb) / h.spec.ram_mb;
+    scr_disk_r_[i] = (scr_disk_[i] + h.fault_disk_mbps) / h.spec.disk_bw_mbps;
+    scr_net_r_[i] = (scr_net_[i] + h.fault_net_mbps) / h.spec.net_bw_mbps;
+    scr_share_[i] = contended > cap_tasks ? cap_tasks / contended : 1.0;
+    double s = 1.0;
+    if (scr_ram_r_[i] > 1.0) s *= config_.ram_thrash_slowdown;
+    if (scr_disk_r_[i] > 1.0) s /= scr_disk_r_[i];
+    if (scr_net_r_[i] > 1.0) s /= scr_net_r_[i];
+    scr_slow_[i] = s;
+  }
+
+  scr_rates_.assign(active.size(), 0.0);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    if (!scr_task_runnable_[k]) continue;
+    const Task& task = tasks_[active[k]];
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    const auto bidx =
+        static_cast<std::size_t>(topology_.broker_of(task.assigned_host));
+    const double broker_slow =
+        scr_broker_ratio_[bidx] > 1.0 ? 1.0 / scr_broker_ratio_[bidx] : 1.0;
+    scr_rates_[k] =
+        task.mips_demand * scr_share_[hidx] * scr_slow_[hidx] * broker_slow;
+  }
+}
+
+// The event-driven engine: per-segment work touches only engaged hosts;
+// quiet hosts are integrated analytically. Engaged-host rates (and thus
+// completions and response times) are bit-identical to the dense engine;
+// the federation-wide energy reduction is deterministic but ordered
+// differently, so totals match dense only to ULP level.
+void Federation::RunSegmentsSparse(double t0, double t1,
+                                   const std::set<double>& breakset,
+                                   IntervalResult* out) {
+  IntervalResult& result = *out;
+  // Engaged = hosts whose state can deviate from the quiet profile this
+  // interval: resident tasks and their brokers (per-task management
+  // overhead), open fault windows, injected contention. Membership is
+  // fixed for the whole interval: a host whose last task completes
+  // mid-interval stays engaged (and integrates exactly) until the end.
+  engaged_.Clear();
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    engaged_.Insert(task.assigned_host);
+    engaged_.Insert(topology_.broker_of(task.assigned_host));
+  }
+  for (NodeId n : fault_hosts_) engaged_.Insert(n);
+  for (NodeId n : load_hosts_) engaged_.Insert(n);
+  engaged_.SortAscending();
+  const std::vector<int>& engaged = engaged_.items();
+
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    scr_cpu_int_[i] = scr_ram_int_[i] = scr_disk_int_[i] = 0.0;
+    scr_net_int_[i] = scr_energy_j_[i] = 0.0;
+    scr_completed_[i] = scr_violated_[i] = 0;
+  }
+
+  double t = t0;
+  while (t < t1 - kEps) {
+    const double seg_end = *breakset.upper_bound(t + kEps);
+    ComputeRatesSparse(t, active_, engaged);
+
+    double t_next = seg_end;
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      if (scr_rates_[k] > kEps) {
+        const double eta = tasks_[active_[k]].remaining_mi / scr_rates_[k];
+        t_next = std::min(t_next, t + eta);
+      }
+    }
+    t_next = std::min(std::max(t_next, t + kEps), seg_end);
+    const double dt = t_next - t;
+
+    for (int n : engaged) {
+      const auto i = static_cast<std::size_t>(n);
+      const HostRuntime& h = hosts_[i];
+      scr_cpu_int_[i] += scr_cpu_r_[i] * dt;
+      scr_ram_int_[i] += scr_ram_r_[i] * dt;
+      scr_disk_int_[i] += scr_disk_r_[i] * dt;
+      scr_net_int_[i] += scr_net_r_[i] * dt;
+      double power = 0.0;
+      if (h.FailedAt(t)) {
+        power = h.spec.idle_power_w;  // hung or rebooting
+      } else if (scr_cpu_r_[i] <= kEps &&
+                 !topology_.is_broker(static_cast<NodeId>(i))) {
+        power = h.spec.idle_power_w * config_.standby_power_frac;
+      } else {
+        power = h.spec.idle_power_w +
+                (h.spec.peak_power_w - h.spec.idle_power_w) *
+                    std::min(1.0, scr_cpu_r_[i]);
+      }
+      scr_energy_j_[i] += power * dt;
+    }
+
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      Task& task = tasks_[active_[k]];
+      if (scr_rates_[k] <= kEps) continue;
+      task.remaining_mi -= scr_rates_[k] * dt;
+      if (task.remaining_mi > kMiEps) continue;
+      task.remaining_mi = 0.0;
+      task.finish_time_s = t_next;
+      const NodeId hostid = task.assigned_host;
+      const auto hidx = static_cast<std::size_t>(hostid);
+      const double out_transfer =
+          task.output_mb / std::max(1.0, hosts_[hidx].spec.net_bw_mbps);
+      const double out_latency =
+          2.0 * (network_.LatencyBetween(hostid, task.broker) +
+                 network_.LatencyFromSite(task.gateway_site, task.broker));
+      const double response = task.finish_time_s - task.arrival_time_s +
+                              out_transfer + out_latency;
+      result.response_times.push_back(response);
+      result.response_app_types.push_back(task.app_type);
+      result.response_deadlines.push_back(task.slo_deadline_s);
+      ++result.completed;
+      ++scr_completed_[hidx];
+      --resident_tasks_[hidx];
+      if (response > task.slo_deadline_s) {
+        ++result.violated;
+        ++scr_violated_[hidx];
+      }
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [this](std::size_t idx) {
+                                   return tasks_[idx].finished();
+                                 }),
+                  active_.end());
+
+    t = t_next;
+  }
+
+  // Interval energy: engaged hosts from their exact integrals (ascending
+  // id order), quiet hosts analytically — constant quiet power times the
+  // interval. The quiet side reads the fixed-shape tree total, so the
+  // incremental aggregate is pinned bit-exactly against a from-scratch
+  // ShapedSum rebuild by AuditIncrementalState().
+  double engaged_j = 0.0;
+  double engaged_quiet_w = 0.0;
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    engaged_j += scr_energy_j_[i];
+    engaged_quiet_w += quiet_power_w_[i];
+  }
+  const double quiet_j = (quiet_power_tree_.Total() - engaged_quiet_w) *
+                         config_.interval_seconds;
+  const double interval_kwh = (engaged_j + quiet_j) / 3.6e6;
+  total_energy_kwh_ += interval_kwh;
+  result.energy_kwh = interval_kwh;
+
+  // Row refresh. Engaged rows are rebuilt from their integrals exactly
+  // like the dense engine. A quiet host's row is rewritten only when it
+  // just left the engaged set (engaged_prev_) or its quiet profile shape
+  // changed (rows_dirty_: role flips, LEI worker-count changes) — all
+  // other quiet rows are byte-for-byte what this rewrite would produce,
+  // because nothing they depend on changed.
+  const double inv_dt = 1.0 / config_.interval_seconds;
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    HostRuntime& h = hosts_[i];
+    HostMetricsRow& m = h.metrics;
+    m = HostMetricsRow{};
+    m.cpu_util = scr_cpu_int_[i] * inv_dt;
+    m.ram_util = scr_ram_int_[i] * inv_dt;
+    m.disk_util = scr_disk_int_[i] * inv_dt;
+    m.net_util = scr_net_int_[i] * inv_dt;
+    m.energy_kwh = scr_energy_j_[i] / 3.6e6;
+    m.slo_violation_rate =
+        scr_completed_[i] > 0
+            ? static_cast<double>(scr_violated_[i]) / scr_completed_[i]
+            : 0.0;
+    m.is_broker = topology_.is_broker(static_cast<NodeId>(i));
+    m.failed = h.FailedAt(t1 - kEps);
+  }
+  auto quiet_row_refresh = [&](NodeId n) {
+    if (engaged_.Contains(n)) return;
+    const auto i = static_cast<std::size_t>(n);
+    HostRuntime& h = hosts_[i];
+    HostMetricsRow& m = h.metrics;
+    m = HostMetricsRow{};
+    const bool is_broker = topology_.is_broker(n);
+    if (is_broker) {
+      // The quiet broker's constant cpu ratio (management overhead only).
+      m.cpu_util =
+          (0.0 + BrokerOverheadMips(n)) / h.spec.cpu_capacity_mips;
+    }
+    m.energy_kwh =
+        quiet_power_w_[i] * config_.interval_seconds / 3.6e6;
+    m.is_broker = is_broker;
+    // Not in fault_hosts_ (else it would be engaged), so never failed.
+  };
+  for (NodeId n : engaged_prev_) quiet_row_refresh(n);
+  for (NodeId n : rows_dirty_) quiet_row_refresh(n);
+
+  // Task-demand and scheduling-decision row fields: every task's host is
+  // engaged, so these touch only freshly rebuilt rows.
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    const auto hidx = static_cast<std::size_t>(task.assigned_host);
+    HostMetricsRow& m = hosts_[hidx].metrics;
+    m.task_cpu_demand_mips += task.mips_demand;
+    m.task_ram_demand_mb += task.ram_mb;
+    m.avg_deadline_s += task.slo_deadline_s;
+  }
+  for (int n : engaged) {
+    const auto i = static_cast<std::size_t>(n);
+    HostMetricsRow& m = hosts_[i].metrics;
+    const int cnt = resident_tasks_[i];
+    if (cnt > 0) m.avg_deadline_s /= static_cast<double>(cnt);
+  }
+  for (std::size_t idx : active_) {
+    const Task& task = tasks_[idx];
+    if (task.placed_time_s == t0) {
+      const auto hidx = static_cast<std::size_t>(task.assigned_host);
+      hosts_[hidx].metrics.sched_cpu_demand_mips += task.mips_demand;
+      hosts_[hidx].metrics.sched_task_count += 1.0;
+    }
+  }
+
+  engaged_prev_.assign(engaged.begin(), engaged.end());
+  rows_dirty_.clear();
+}
+
+std::string Federation::AuditIncrementalState() const {
+  std::ostringstream oss;
+  // Fault / contention host sets.
+  std::set<NodeId> want_fault, want_load;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
+    if (h.fail_from_s >= 0.0) want_fault.insert(n);
+    if (h.fault_cpu_mips != 0.0 || h.fault_ram_mb != 0.0 ||
+        h.fault_disk_mbps != 0.0 || h.fault_net_mbps != 0.0) {
+      want_load.insert(n);
+    }
+  }
+  if (want_fault != fault_hosts_) {
+    oss << "fault_hosts: tracked " << fault_hosts_.size() << " want "
+        << want_fault.size();
+    return oss.str();
+  }
+  if (want_load != load_hosts_) {
+    oss << "load_hosts: tracked " << load_hosts_.size() << " want "
+        << want_load.size();
+    return oss.str();
+  }
+  // reconfig_hosts_ is a lazily pruned superset: every live window must
+  // be tracked (missing one would drop a segment breakpoint).
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const HostRuntime& h = hosts_[static_cast<std::size_t>(n)];
+    if (h.reconfig_until_s > now_s_ && reconfig_hosts_.count(n) == 0) {
+      oss << "reconfig_hosts: node " << n << " window untracked";
+      return oss.str();
+    }
+  }
+  // Resident task counts.
+  std::vector<int> want_res(static_cast<std::size_t>(num_nodes()), 0);
+  for (std::size_t idx : active_) {
+    ++want_res[static_cast<std::size_t>(tasks_[idx].assigned_host)];
+  }
+  if (want_res != resident_tasks_) {
+    oss << "resident_tasks mismatch";
+    return oss.str();
+  }
+  // Per-broker worker counts, from the topology itself.
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    const int want = topology_.is_broker(n)
+                         ? static_cast<int>(topology_.workers_of(n).size())
+                         : 0;
+    if (broker_worker_counts_[i] != want) {
+      oss << "broker_worker_counts: node " << n << " tracked "
+          << broker_worker_counts_[i] << " want " << want;
+      return oss.str();
+    }
+  }
+  // Cached broker list (routing hot path) against the O(H) scan.
+  if (brokers_ != topology_.brokers()) {
+    oss << "cached broker list diverges from topology_.brokers()";
+    return oss.str();
+  }
+  // Site-grouped view: flattening in ascending site order must give back
+  // brokers_ (sites are ascending contiguous node blocks).
+  {
+    std::vector<NodeId> flat;
+    for (const auto& group : site_brokers_) {
+      flat.insert(flat.end(), group.begin(), group.end());
+    }
+    if (flat != brokers_) {
+      oss << "site_brokers_ flattened diverges from cached broker list";
+      return oss.str();
+    }
+  }
+  // Quiet powers: recompute from scratch; leaves and the tree total must
+  // match bit-exactly (same expressions, fixed-shape reduction).
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    const double want = QuietPowerW(n);
+    if (quiet_power_w_[i] != want || quiet_power_tree_.Get(i) != want) {
+      oss << "quiet_power: node " << n << " stale";
+      return oss.str();
+    }
+  }
+  if (quiet_power_tree_.Total() !=
+      simkern::SumTree::ShapedSum(quiet_power_w_)) {
+    oss << "quiet_power_tree total diverges from ShapedSum rebuild";
+    return oss.str();
+  }
+  return std::string();
 }
 
 SystemSnapshot Federation::Snapshot() const {

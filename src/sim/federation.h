@@ -17,6 +17,8 @@
 #ifndef CAROL_SIM_FEDERATION_H_
 #define CAROL_SIM_FEDERATION_H_
 
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "sim/network.h"
 #include "sim/topology.h"
 #include "sim/types.h"
+#include "simkern/dirty.h"
 
 namespace carol::sim {
 
@@ -48,6 +51,17 @@ struct SimConfig {
   double ram_thrash_slowdown = 0.5;
   // Idle workers with no resident tasks drop to standby.
   double standby_power_frac = 0.6;
+  // Event-driven O(changed) stepping (the simkern engine): per-segment
+  // rate and energy work inside RunInterval touches only "engaged" hosts
+  // (hosts with resident tasks, open fault windows or injected
+  // contention, plus their brokers); every quiet host is integrated
+  // analytically through a fixed-shape power SumTree. Engaged-host task
+  // rates, completions and response times are bit-identical to dense
+  // mode; federation-wide energy sums in a different (still
+  // deterministic) order, so totals agree only to ULP level. Dense mode
+  // stays the default: it is the bit-for-bit legacy path that the golden
+  // digests in tests/simkern_test.cpp pin. See src/simkern/README.md.
+  bool event_driven = false;
   NetworkConfig network;
 };
 
@@ -132,7 +146,13 @@ class Federation {
   // Routes queued tasks to the closest alive broker. Tasks with no
   // reachable broker stay queued (stranded).
   void RouteQueuedTasks();
-  IntervalResult RunInterval(const SchedulingDecision& decision);
+  // `build_snapshot = false` skips the O(H) SystemSnapshot gather at the
+  // end of the interval AND leaves last_snapshot() untouched — only for
+  // drivers whose hooks consume neither (no stochastic-organic fault
+  // injection, no snapshot-reading repair model); the scalar fields of
+  // result.snapshot (interval, time, energy, slo) are still filled.
+  IntervalResult RunInterval(const SchedulingDecision& decision,
+                             bool build_snapshot = true);
 
   // --- workload ---
   void Submit(std::vector<Task> tasks);
@@ -140,15 +160,28 @@ class Federation {
   // underlying scheduler places exactly these.
   std::vector<const Task*> UnplacedTasks() const;
   std::vector<const Task*> ActiveTasksOn(NodeId node) const;
+  // Placed unfinished tasks on `node` — maintained incrementally, O(1).
+  int resident_task_count(NodeId node) const {
+    return resident_tasks_[static_cast<std::size_t>(node)];
+  }
   int active_task_count() const;
   int queued_task_count() const;
 
   // --- faults (driven by carol::faults) ---
   // Marks a failure window. Extends an existing window if overlapping.
+  // NOTE: failure windows and contention loads feed the incremental
+  // fault/load host sets; mutate them only through these three calls
+  // (never through mutable_host()).
   void SetFailed(NodeId node, double from_s, double until_s);
   void SetFaultLoad(NodeId node, double cpu_mips, double ram_mb,
                     double disk_mbps, double net_mbps);
   void ClearFaultLoad(NodeId node);
+  // Hosts with a pending or open failure window, ascending. O(F) to
+  // copy; the failure detector and BeginInterval iterate exactly these
+  // instead of scanning all H hosts.
+  std::vector<NodeId> FaultWindowHosts() const {
+    return std::vector<NodeId>(fault_hosts_.begin(), fault_hosts_.end());
+  }
 
   // --- accessors ---
   const Topology& topology() const { return topology_; }
@@ -176,6 +209,14 @@ class Federation {
   // by tests; RunInterval produces authoritative end-of-interval ones).
   SystemSnapshot Snapshot() const;
 
+  // From-scratch recomputation of every incrementally maintained
+  // aggregate (fault/load host sets, resident task counts, per-broker
+  // worker counts, quiet powers and the power tree — the tree total is
+  // compared bit-exactly against SumTree::ShapedSum). Returns an empty
+  // string when everything matches; otherwise a description of the first
+  // divergence. Fuzzed by tests/fleet_sparse_test.cpp.
+  std::string AuditIncrementalState() const;
+
  private:
   struct RateInfo {
     double rate_mips = 0.0;
@@ -193,6 +234,28 @@ class Federation {
                       IntervalResult* result);
   void MigrateTasksOff(NodeId node, double extra_delay_s);
 
+  // --- simkern incremental bookkeeping (src/simkern/README.md) ---
+  // Rebuilds per-broker worker counts and quiet powers after a topology
+  // change; marks hosts whose quiet profile shape changed as row-dirty.
+  void RefreshTopologyDerived();
+  // Power draw of `node` with no tasks, no faults, no contention: standby
+  // for workers, management-overhead load for brokers. Mirrors the dense
+  // per-segment power formula exactly.
+  double QuietPowerW(NodeId node) const;
+  // Legacy-ordered dense segment loop (bit-for-bit the pre-simkern path).
+  void RunSegmentsDense(double t0, double t1,
+                        const std::set<double>& breakset,
+                        IntervalResult* result);
+  // Engaged-set O(changed) segment loop (event_driven mode).
+  void RunSegmentsSparse(double t0, double t1,
+                         const std::set<double>& breakset,
+                         IntervalResult* result);
+  // Sparse twin of ComputeRates: identical per-host formulas, evaluated
+  // only on `engaged` slots of the member scratch arrays. Fills
+  // scr_rates_ / scr_task_runnable_ (indices aligned with `active`).
+  void ComputeRatesSparse(double t, const std::vector<std::size_t>& active,
+                          const std::vector<int>& engaged);
+
   std::vector<HostRuntime> hosts_;
   Topology topology_;
   SimConfig config_;
@@ -209,6 +272,40 @@ class Federation {
   int interval_ = 0;
   double total_energy_kwh_ = 0.0;
   SystemSnapshot last_snapshot_;
+
+  // --- simkern incremental state (invariants in src/simkern/README.md).
+  // Owned exclusively by Federation; mutated only at the named points.
+  std::set<NodeId> fault_hosts_;     // SetFailed / BeginInterval-clear
+  std::set<NodeId> load_hosts_;      // SetFaultLoad (nonzero <-> member)
+  std::set<NodeId> reconfig_hosts_;  // SetTopology; lazily pruned when
+                                     // the window has elapsed
+  std::vector<int> resident_tasks_;  // ApplyPlacement / MigrateTasksOff /
+                                     // completion sweep
+  std::vector<int> broker_worker_counts_;  // RefreshTopologyDerived
+  std::vector<NodeId> brokers_;            // RefreshTopologyDerived; same
+                                           // ascending order as
+                                           // topology_.brokers()
+  std::vector<std::vector<NodeId>> site_brokers_;  // brokers_ grouped by
+                                                   // gateway site, each
+                                                   // group ascending
+  std::vector<double> quiet_power_w_;      // RefreshTopologyDerived
+  simkern::SumTree quiet_power_tree_;      // leaves == quiet_power_w_
+  std::vector<int> prev_worker_counts_;    // scratch for the refresh diff
+
+  // Event-driven mode: engaged-set scratch (all H-sized, touched only on
+  // engaged slots per interval) and row-refresh bookkeeping.
+  simkern::HostSet engaged_;
+  std::vector<NodeId> engaged_prev_;  // engaged set of the last interval
+  std::set<NodeId> rows_dirty_;       // quiet hosts needing a row rewrite
+  std::vector<double> scr_task_cpu_, scr_ram_, scr_disk_, scr_net_;
+  std::vector<int> scr_lei_tasks_;
+  std::vector<double> scr_cpu_r_, scr_ram_r_, scr_disk_r_, scr_net_r_;
+  std::vector<double> scr_share_, scr_slow_, scr_broker_ratio_;
+  std::vector<double> scr_cpu_int_, scr_ram_int_, scr_disk_int_,
+      scr_net_int_, scr_energy_j_;
+  std::vector<int> scr_completed_, scr_violated_;
+  std::vector<double> scr_rates_;
+  std::vector<char> scr_task_runnable_;
 };
 
 }  // namespace carol::sim

@@ -141,9 +141,23 @@ bool Network::SiteReachable(int from_site, NodeId node) const {
 NodeId Network::RouteToBroker(int site, const Topology& topology,
                               const std::vector<bool>& alive,
                               common::Rng& rng) const {
+  return RouteToBroker(site, topology.brokers(), alive, rng);
+}
+
+NodeId Network::RouteToBroker(int site, const std::vector<NodeId>& brokers,
+                              const std::vector<bool>& alive,
+                              common::Rng& rng) const {
+  const std::vector<NodeId> candidates = BrokerCandidates(site, brokers, alive);
+  if (candidates.empty()) return kNoNode;
+  return candidates[rng.Choice(candidates.size())];
+}
+
+std::vector<NodeId> Network::BrokerCandidates(
+    int site, const std::vector<NodeId>& brokers,
+    const std::vector<bool>& alive) const {
   double best = std::numeric_limits<double>::infinity();
   std::vector<NodeId> candidates;
-  for (NodeId b : topology.brokers()) {
+  for (NodeId b : brokers) {
     if (!alive[static_cast<std::size_t>(b)]) continue;
     if (!SiteReachable(site, b)) continue;
     const double lat = LatencyFromSite(site, b);
@@ -154,8 +168,51 @@ NodeId Network::RouteToBroker(int site, const Topology& topology,
       candidates.push_back(b);
     }
   }
-  if (candidates.empty()) return kNoNode;
-  return candidates[rng.Choice(candidates.size())];
+  return candidates;
+}
+
+std::vector<NodeId> Network::BrokerCandidatesBySite(
+    int from_site, const std::vector<std::vector<NodeId>>& site_brokers,
+    const std::vector<bool>& alive) const {
+  CheckSite(from_site, "Network::BrokerCandidatesBySite");
+  // Same incremental tie logic as BrokerCandidates, one step per site:
+  // every broker of a site shares its latency, so duplicate per-broker
+  // steps collapse to one. A site with no alive broker never enters the
+  // tie evolution, exactly as its brokers never did.
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> winners;
+  const int sites = std::min(config_.num_sites,
+                             static_cast<int>(site_brokers.size()));
+  for (int s = 0; s < sites; ++s) {
+    const auto& brokers = site_brokers[static_cast<std::size_t>(s)];
+    if (brokers.empty()) continue;
+    if (IsSevered(from_site, s)) continue;
+    bool any_alive = false;
+    for (NodeId b : brokers) {
+      if (alive[static_cast<std::size_t>(b)]) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) continue;
+    const double lat = SiteLatency(from_site, s);
+    if (lat < best - 1e-12) {
+      best = lat;
+      winners.assign(1, s);
+    } else if (lat < best + 1e-12) {
+      winners.push_back(s);
+    }
+  }
+  // Winners are ascending sites; sites are ascending node blocks — the
+  // concatenation is in ascending broker id, the order the per-broker
+  // scan produces and the tie-break Choice indexes into.
+  std::vector<NodeId> candidates;
+  for (int s : winners) {
+    for (NodeId b : site_brokers[static_cast<std::size_t>(s)]) {
+      if (alive[static_cast<std::size_t>(b)]) candidates.push_back(b);
+    }
+  }
+  return candidates;
 }
 
 }  // namespace carol::sim

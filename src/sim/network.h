@@ -50,6 +50,28 @@ class Network {
   NodeId RouteToBroker(int site, const Topology& topology,
                        const std::vector<bool>& alive,
                        common::Rng& rng) const;
+  // Same routing over a precomputed ascending broker list — the hot-path
+  // form (Federation caches the list; topology.brokers() is an O(H) scan
+  // that dominated routing at H=4096).
+  NodeId RouteToBroker(int site, const std::vector<NodeId>& brokers,
+                       const std::vector<bool>& alive,
+                       common::Rng& rng) const;
+  // The latency-tie candidate set RouteToBroker draws from, exposed so a
+  // caller routing many tasks from the same gateway can compute it once
+  // per site and keep only the per-task tie-break draw.
+  std::vector<NodeId> BrokerCandidates(int site,
+                                       const std::vector<NodeId>& brokers,
+                                       const std::vector<bool>& alive) const;
+  // Equivalent candidate set computed over site-grouped broker lists
+  // (`site_brokers[s]` = ascending brokers of site s, as Federation
+  // caches them). Latency is a site-level property and sites are
+  // contiguous ascending node blocks, so running the tie logic over
+  // sites and concatenating the winners reproduces BrokerCandidates
+  // exactly — in O(sites + |winners|) instead of O(brokers). Pinned
+  // equal under fuzz in tests/fleet_sparse_test.cpp.
+  std::vector<NodeId> BrokerCandidatesBySite(
+      int site, const std::vector<std::vector<NodeId>>& site_brokers,
+      const std::vector<bool>& alive) const;
 
   // --- scenario hooks: dynamic inter-site link state -------------------
   // A severed link partitions the two sites: gateways cannot route to

@@ -42,43 +42,100 @@ std::vector<WorkerLoad> CollectWorkers(const Federation& fed) {
 
 }  // namespace
 
+// Lazily memoized variant of the original collect-then-scan scheduler.
+// The eager version charged O(H x active) up front (ActiveTasksOn per
+// worker) even when every task placed inside its own small LEI. Here a
+// worker's load row is built on first touch — same eligibility checks,
+// same accumulation order — and mutated in place across tasks, so the
+// produced decision is bit-identical to the eager scan (pinned by the
+// fuzz test in tests/simkern_test.cpp). Pass 1 walks only the task's
+// LEI; the federation-wide passes still run on spill or saturation.
 SchedulingDecision LeastUtilizationScheduler::Schedule(
     const Federation& federation) {
   SchedulingDecision decision;
-  std::vector<WorkerLoad> loads = CollectWorkers(federation);
-  if (loads.empty()) return decision;
   const Topology& topo = federation.topology();
+  const NodeId n = topo.num_nodes();
+
+  // One O(H) pass groups workers by broker, ids ascending — the same
+  // relative order Topology::workers() yields, which pass ties rely on.
+  // Cached across calls keyed on the assignment vector: the grouping is
+  // a pure function of the topology, which only changes on repair.
+  if (cached_assignment_ != topo.assignment()) {
+    cached_assignment_ = topo.assignment();
+    lei_workers_.assign(static_cast<std::size_t>(n), {});
+    all_workers_.clear();
+    for (NodeId w = 0; w < n; ++w) {
+      const NodeId b = topo.broker_of(w);
+      if (b == w) continue;
+      lei_workers_[static_cast<std::size_t>(b)].push_back(w);
+      all_workers_.push_back(w);
+    }
+    memo_.assign(static_cast<std::size_t>(n), LoadSlot{});
+    visit_epoch_.assign(static_cast<std::size_t>(n), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+
+  auto load_of = [&](NodeId w) -> LoadSlot* {
+    const auto i = static_cast<std::size_t>(w);
+    if (visit_epoch_[i] != epoch_) {
+      visit_epoch_[i] = epoch_;
+      LoadSlot& slot = memo_[i];
+      if (!federation.IsAliveNow(w) ||
+          !federation.IsAliveNow(topo.broker_of(w))) {
+        slot.eligible = false;
+      } else {
+        const HostRuntime& h = federation.host(w);
+        slot.eligible = true;
+        slot.capacity = h.spec.cpu_capacity_mips;
+        slot.ram_capacity = h.spec.ram_mb;
+        slot.cpu_demand = h.fault_cpu_mips;
+        slot.ram_demand = h.fault_ram_mb;
+        for (const Task* task : federation.ActiveTasksOn(w)) {
+          slot.cpu_demand += task->mips_demand;
+          slot.ram_demand += task->ram_mb;
+        }
+      }
+    }
+    return memo_[i].eligible ? &memo_[i] : nullptr;
+  };
 
   for (const Task* task : federation.UnplacedTasks()) {
-    WorkerLoad* best = nullptr;
+    LoadSlot* best = nullptr;
+    NodeId best_node = kNoNode;
     double best_ratio = std::numeric_limits<double>::infinity();
-    auto consider = [&](WorkerLoad& load, bool respect_ram) {
+    auto consider = [&](NodeId w, bool respect_ram) {
+      LoadSlot* load = load_of(w);
+      if (load == nullptr) return;
       const double projected =
-          (load.cpu_demand + task->mips_demand) / load.capacity;
+          (load->cpu_demand + task->mips_demand) / load->capacity;
       if (respect_ram &&
-          load.ram_demand + task->ram_mb > load.ram_capacity) {
+          load->ram_demand + task->ram_mb > load->ram_capacity) {
         return;
       }
       if (projected < best_ratio) {
         best_ratio = projected;
-        best = &load;
+        best = load;
+        best_node = w;
       }
     };
 
     // Pass 1: workers of the task's own LEI, RAM-respecting.
-    for (WorkerLoad& load : loads) {
-      if (topo.broker_of(load.node) == task->broker) consider(load, true);
+    if (task->broker >= 0 && task->broker < n) {
+      for (NodeId w : lei_workers_[static_cast<std::size_t>(task->broker)]) {
+        consider(w, true);
+      }
     }
     // Pass 2: spill federation-wide if the LEI is saturated.
     if (best == nullptr || best_ratio > spill_threshold_) {
-      for (WorkerLoad& load : loads) consider(load, true);
+      for (NodeId w : all_workers_) consider(w, true);
     }
     // Pass 3: ignore RAM (better overloaded than stranded).
     if (best == nullptr) {
-      for (WorkerLoad& load : loads) consider(load, false);
+      for (NodeId w : all_workers_) consider(w, false);
     }
     if (best != nullptr) {
-      decision.placement[task->id] = best->node;
+      decision.placement[task->id] = best_node;
       best->cpu_demand += task->mips_demand;
       best->ram_demand += task->ram_mb;
     }

@@ -5,7 +5,9 @@
 #ifndef CAROL_SIM_SCHEDULER_H_
 #define CAROL_SIM_SCHEDULER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "sim/federation.h"
@@ -36,6 +38,26 @@ class LeastUtilizationScheduler : public Scheduler {
 
  private:
   double spill_threshold_;
+
+  // Worker grouping cache, keyed on the topology's assignment vector: at
+  // H=4096 rebuilding the per-broker worker lists every interval is the
+  // dominant scheduling cost, and the topology only changes on repair.
+  std::vector<NodeId> cached_assignment_;
+  std::vector<std::vector<NodeId>> lei_workers_;
+  std::vector<NodeId> all_workers_;
+
+  // Epoch-stamped load memo: a slot whose stamp is stale counts as
+  // untouched, so per-call state resets are O(1) instead of O(H).
+  struct LoadSlot {
+    double cpu_demand = 0.0;
+    double ram_demand = 0.0;
+    double capacity = 1.0;
+    double ram_capacity = 1.0;
+    bool eligible = false;
+  };
+  std::vector<LoadSlot> memo_;
+  std::vector<std::uint64_t> visit_epoch_;
+  std::uint64_t epoch_ = 0;
 };
 
 // Round-robin over alive workers; deliberately topology-oblivious. Used in

@@ -1,6 +1,8 @@
 #include "sim/types.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace carol::sim {
 
@@ -36,16 +38,28 @@ std::vector<NodeSpec> DefaultTestbedSpecs() {
 }
 
 std::vector<NodeSpec> ScaledTestbedSpecs(int num_nodes) {
-  // Tile the testbed's site pattern: every complete 4-node site holds
-  // two 8 GB parts (the site broker first) and two 4 GB parts. A
-  // trailing partial site keeps the same prefix, so any size stays
-  // broker-candidate-first.
+  // Tile the testbed's site pattern: every 4-node site holds two 8 GB
+  // parts (the site broker first) and two 4 GB parts. Partial sites are
+  // rejected rather than silently tiled — they would break the
+  // brokers-per-site invariant every scale consumer relies on.
+  if (num_nodes <= 0 || num_nodes % 4 != 0) {
+    throw std::invalid_argument(
+        "ScaledTestbedSpecs: num_nodes must be a positive multiple of 4 "
+        "(whole 4-node sites), got " +
+        std::to_string(num_nodes) +
+        "; use RoundedFleetSize() to snap a requested size");
+  }
   std::vector<NodeSpec> specs;
-  specs.reserve(static_cast<std::size_t>(std::max(0, num_nodes)));
+  specs.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     specs.push_back((i % 4) < 2 ? RaspberryPi4B8GB() : RaspberryPi4B4GB());
   }
   return specs;
+}
+
+int RoundedFleetSize(int requested) {
+  if (requested <= 4) return 4;
+  return ((requested + 3) / 4) * 4;
 }
 
 std::vector<double> HostMetricsRow::Features() const {

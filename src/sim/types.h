@@ -41,9 +41,18 @@ std::vector<NodeSpec> DefaultTestbedSpecs();
 // size keep the paper's per-site heterogeneity — node (site*4 + 0)
 // stays the natural initial broker of its site (Topology::Initial picks
 // exactly those for num_brokers = num_nodes/4). ScaledTestbedSpecs(16)
-// == DefaultTestbedSpecs(); the H in {64, 128} sweeps in bench/ and
-// examples/large_federation build their fleets through this.
+// == DefaultTestbedSpecs(); the scale sweeps in bench/ and examples/
+// (up to H = 4096) build their fleets through this.
+//
+// `num_nodes` must be a positive multiple of 4: a trailing partial site
+// would have no 4 GB parts (or no broker candidate) and every consumer
+// of the tiling assumes whole sites. Throws std::invalid_argument
+// otherwise — use RoundedFleetSize to snap a requested size first.
 std::vector<NodeSpec> ScaledTestbedSpecs(int num_nodes);
+
+// Smallest valid ScaledTestbedSpecs size >= requested (minimum one full
+// site). RoundedFleetSize(1) == 4, RoundedFleetSize(16) == 16.
+int RoundedFleetSize(int requested);
 
 // One unit of work (a containerized application instance, bag-of-tasks
 // model). All resource demands are per-task while active.

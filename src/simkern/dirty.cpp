@@ -1,0 +1,35 @@
+#include "simkern/dirty.h"
+
+#include <algorithm>
+
+namespace carol::simkern {
+
+void SumTree::Reset(std::size_t n) {
+  n_ = n;
+  base_ = 1;
+  while (base_ < std::max<std::size_t>(n, 1)) base_ <<= 1;
+  nodes_.assign(2 * base_, 0.0);
+}
+
+void SumTree::Set(std::size_t i, double value) {
+  std::size_t k = base_ + i;
+  nodes_[k] = value;
+  for (k >>= 1; k != 0; k >>= 1) {
+    nodes_[k] = nodes_[2 * k] + nodes_[2 * k + 1];
+  }
+}
+
+double SumTree::ShapedSum(const std::vector<double>& values) {
+  SumTree t(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    t.nodes_[t.base_ + i] = values[i];
+  }
+  for (std::size_t k = t.base_; k-- > 1;) {
+    t.nodes_[k] = t.nodes_[2 * k] + t.nodes_[2 * k + 1];
+  }
+  return t.Total();
+}
+
+void HostSet::SortAscending() { std::sort(items_.begin(), items_.end()); }
+
+}  // namespace carol::simkern

@@ -1,0 +1,87 @@
+// Deterministic dirty-set aggregation primitives for the O(changed)
+// simulation kernel (contract in src/simkern/README.md).
+//
+// SumTree is a fixed-shape binary reduction tree over per-element
+// doubles. The summation SHAPE depends only on the leaf count, never on
+// the update order: Set() recomputes the ancestor path of one leaf, and
+// every internal node is always exactly `left + right`. Updating any
+// subset of leaves therefore yields a Total() that is bit-identical to
+// rebuilding the whole tree from scratch — the floating-point analogue
+// of the incremental Zobrist topology hash (sim/topology.h), and the
+// reason incremental energy accounting can be pinned against a
+// from-scratch reference (ShapedSum) instead of merely "close to" it.
+//
+// HostSet is a bounded scratch set of node ids with O(1) insert and
+// membership, O(|set|) clear, and explicit sorting for deterministic
+// iteration. RunInterval rebuilds the engaged-host set with it every
+// interval without touching the other H - |set| entries.
+#ifndef CAROL_SIMKERN_DIRTY_H_
+#define CAROL_SIMKERN_DIRTY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace carol::simkern {
+
+class SumTree {
+ public:
+  SumTree() = default;
+  explicit SumTree(std::size_t n) { Reset(n); }
+
+  // Resizes to n leaves, all zero.
+  void Reset(std::size_t n);
+  // Writes leaf i and recomputes its ancestor path. O(log n).
+  void Set(std::size_t i, double value);
+  double Get(std::size_t i) const { return nodes_[base_ + i]; }
+  // Root value: the fixed-shape sum of all leaves. O(1).
+  double Total() const { return nodes_.empty() ? 0.0 : nodes_[1]; }
+  std::size_t size() const { return n_; }
+
+  // From-scratch reference: reduces `values` through the same tree shape
+  // a SumTree of that size uses. Bit-equal to Total() after any update
+  // sequence that leaves the leaves equal to `values` (pinned by
+  // tests/fleet_sparse_test.cpp).
+  static double ShapedSum(const std::vector<double>& values);
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t base_ = 0;  // first leaf slot; nodes_[1] is the root
+  std::vector<double> nodes_;
+};
+
+class HostSet {
+ public:
+  // Capacity reset: ids must stay in [0, n). Clears the set.
+  void Reset(std::size_t n) {
+    member_.assign(n, 0);
+    items_.clear();
+  }
+  // Returns true iff `id` was newly inserted.
+  bool Insert(int id) {
+    if (member_[static_cast<std::size_t>(id)]) return false;
+    member_[static_cast<std::size_t>(id)] = 1;
+    items_.push_back(id);
+    return true;
+  }
+  bool Contains(int id) const {
+    return member_[static_cast<std::size_t>(id)] != 0;
+  }
+  // O(|set|), not O(capacity).
+  void Clear() {
+    for (int id : items_) member_[static_cast<std::size_t>(id)] = 0;
+    items_.clear();
+  }
+  // Ascending-id iteration order (call once after the build phase, before
+  // any order-sensitive accumulation).
+  void SortAscending();
+  const std::vector<int>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<char> member_;
+  std::vector<int> items_;
+};
+
+}  // namespace carol::simkern
+
+#endif  // CAROL_SIMKERN_DIRTY_H_

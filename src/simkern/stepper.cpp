@@ -1,0 +1,91 @@
+#include "simkern/stepper.h"
+
+#include <limits>
+
+namespace carol::simkern {
+
+sim::Topology FallbackRepair(const sim::Topology& topo,
+                             const std::vector<sim::NodeId>& failed_brokers,
+                             const sim::Federation& fed) {
+  sim::Topology fixed = topo;
+  for (sim::NodeId b : failed_brokers) {
+    if (!fixed.is_broker(b)) continue;
+    const auto orphans = fixed.workers_of(b);
+    sim::NodeId promote = sim::kNoNode;
+    double best_util = std::numeric_limits<double>::infinity();
+    for (sim::NodeId w : orphans) {
+      if (!fed.IsAliveNow(w)) continue;
+      const double util = fed.host(w).metrics.cpu_util;
+      if (util < best_util) {
+        best_util = util;
+        promote = w;
+      }
+    }
+    if (promote != sim::kNoNode) {
+      fixed.Promote(promote);
+      fixed.Demote(b, promote);
+      continue;
+    }
+    // No alive orphan: merge into any other alive broker.
+    for (sim::NodeId other : fixed.brokers()) {
+      if (other != b && fed.IsAliveNow(other)) {
+        fixed.Demote(b, other);
+        break;
+      }
+    }
+  }
+  return fixed;
+}
+
+sim::IntervalResult IntervalStepper::Step(int interval) {
+  StepContext ctx;
+  ctx.interval = interval;
+  ctx.fed = fed_;
+
+  hooks_->OnIntervalStart(ctx);
+
+  // Recovered nodes rejoin as workers of the closest broker (§IV-I).
+  const sim::StepInfo step = fed_->BeginInterval();
+  ctx.step = &step;
+  if (!step.recovered.empty()) {
+    fed_->SetTopology(
+        recovery_.ApplyRecoveries(fed_->topology(), step.recovered, *fed_));
+  }
+  hooks_->AfterRecovery(ctx);
+
+  // Failure detection, then the driver's repair decision. A driver with
+  // no model in the loop returns nullopt and the topology stands.
+  const faults::DetectionReport report = detector_.Detect(*fed_);
+  ctx.report = &report;
+  std::optional<sim::Topology> repaired = hooks_->Repair(ctx);
+  if (repaired.has_value()) {
+    const bool valid = repaired->num_nodes() == fed_->num_nodes() &&
+                       repaired->IsValid();
+    if (!valid) {
+      hooks_->OnInvalidRepair(ctx);
+      repaired = FallbackRepair(fed_->topology(), report.failed_brokers,
+                                *fed_);
+    }
+    fed_->SetTopology(*repaired);
+  }
+
+  // This interval's fault events (may fail nodes mid-interval).
+  hooks_->InjectFaults(ctx);
+
+  // Workload arrival, routing and the underlying scheduler's decision.
+  fed_->Submit(hooks_->GenerateArrivals(ctx));
+  fed_->RouteQueuedTasks();
+  const sim::SchedulingDecision decision = scheduler_->Schedule(*fed_);
+
+  sim::IntervalResult r =
+      fed_->RunInterval(decision, hooks_->WantSnapshot(ctx));
+
+  hooks_->Observe(ctx, r);
+  return r;
+}
+
+void IntervalStepper::Run(int intervals) {
+  for (int i = 0; i < intervals; ++i) Step(i);
+}
+
+}  // namespace carol::simkern

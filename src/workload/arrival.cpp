@@ -1,0 +1,77 @@
+#include "workload/arrival.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace carol::workload {
+
+ArrivalConfig ArrivalConfig::FromUsers(double users,
+                                       double tasks_per_user_per_day,
+                                       int num_sites) {
+  ArrivalConfig cfg;
+  cfg.rate_per_second = users * tasks_per_user_per_day / 86400.0;
+  cfg.num_sites = num_sites;
+  return cfg;
+}
+
+ArrivalProcess::ArrivalProcess(std::vector<AppProfile> apps,
+                               ArrivalConfig config, common::Rng rng)
+    : apps_(std::move(apps)), config_(config), rng_(rng) {
+  if (apps_.empty()) {
+    throw std::invalid_argument("ArrivalProcess: no app profiles");
+  }
+  if (config_.rate_per_second <= 0.0) {
+    throw std::invalid_argument("ArrivalProcess: rate must be positive");
+  }
+  if (config_.num_sites <= 0) {
+    throw std::invalid_argument("ArrivalProcess: need at least one site");
+  }
+  mix_weights_.assign(apps_.size(), 1.0);
+}
+
+// Mirror of WorkloadGenerator::MakeTask's attribute draws (same order,
+// same distributions) so the two task populations are interchangeable.
+sim::Task ArrivalProcess::MakeTask(int app_index, int site, double now_s) {
+  const AppProfile& app = apps_[static_cast<std::size_t>(app_index)];
+  sim::Task task;
+  task.id = next_id_++;
+  task.app_type = app_index;
+  task.app_name = app.name;
+  task.total_mi = rng_.Uniform(app.mi_min, app.mi_max);
+  task.remaining_mi = task.total_mi;
+  task.mips_demand = app.mips_demand * rng_.Uniform(0.9, 1.1);
+  task.ram_mb = rng_.Uniform(app.ram_min_mb, app.ram_max_mb);
+  task.disk_mbps = app.disk_mbps;
+  task.net_mbps = app.net_mbps;
+  task.input_mb = app.input_mb;
+  task.output_mb = app.output_mb;
+  task.slo_deadline_s = app.deadline_s;
+  task.arrival_time_s = now_s;
+  task.gateway_site = site;
+  return task;
+}
+
+std::vector<sim::Task> ArrivalProcess::Drain(double until_s) {
+  std::vector<sim::Task> out;
+  for (;;) {
+    // Per-event draw order is fixed (gap, then — only when the event is
+    // actually emitted — site, app, attributes). A Drain boundary can
+    // interrupt the stream only between events, never inside one, and
+    // the pending gap survives in next_time_; that is the whole
+    // chunk-invariance argument.
+    if (!pending_) {
+      next_time_ += rng_.Exponential(config_.rate_per_second);
+      pending_ = true;
+    }
+    if (next_time_ >= until_s) break;
+    const int site = static_cast<int>(
+        rng_.Choice(static_cast<std::size_t>(config_.num_sites)));
+    const int app = static_cast<int>(rng_.WeightedChoice(mix_weights_));
+    out.push_back(MakeTask(app, site, next_time_));
+    pending_ = false;
+  }
+  total_generated_ += static_cast<int>(out.size());
+  return out;
+}
+
+}  // namespace carol::workload

@@ -1,0 +1,68 @@
+// Open-loop arrival process for large-fleet simulation (simkern tier).
+//
+// WorkloadGenerator draws a per-interval Poisson COUNT per site, which
+// ties the stream to the interval grid: the same seed produces different
+// tasks under a different chunking. ArrivalProcess instead models the
+// continuous-time Poisson process itself — exponential inter-arrival
+// gaps, each event's attribute draws made only when the event is
+// emitted — so the generated event stream is a function of (seed, rate)
+// alone. Draining to t=600 in one call, or in ten calls of 60, yields
+// bit-identical tasks (pinned by tests/simkern_test.cpp).
+//
+// "One million users" is a rate parameter here, not a data structure:
+// FromUsers folds a population size into events per second, and the
+// process's state stays O(1) regardless of how large the population or
+// how long the horizon.
+#ifndef CAROL_WORKLOAD_ARRIVAL_H_
+#define CAROL_WORKLOAD_ARRIVAL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/types.h"
+#include "workload/profiles.h"
+
+namespace carol::workload {
+
+struct ArrivalConfig {
+  // Federation-wide arrival rate, events per simulated second.
+  double rate_per_second = 0.01;
+  // Arrival site of each event is uniform over [0, num_sites).
+  int num_sites = 4;
+
+  // Population framing: `users` devices each submitting
+  // `tasks_per_user_per_day` inference requests on average.
+  // FromUsers(1e6, 1.0, 64) ~= 11.6 events/s federation-wide.
+  static ArrivalConfig FromUsers(double users, double tasks_per_user_per_day,
+                                 int num_sites);
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(std::vector<AppProfile> apps, ArrivalConfig config,
+                 common::Rng rng);
+
+  // Emits every event with arrival time < until_s since the last call,
+  // in arrival order. Cumulative and chunk-invariant: any ascending
+  // sequence of Drain() calls partitions the same underlying stream.
+  std::vector<sim::Task> Drain(double until_s);
+
+  const std::vector<AppProfile>& apps() const { return apps_; }
+  int total_generated() const { return total_generated_; }
+
+ private:
+  sim::Task MakeTask(int app_index, int site, double now_s);
+
+  std::vector<AppProfile> apps_;
+  ArrivalConfig config_;
+  common::Rng rng_;
+  std::vector<double> mix_weights_;  // per app, uniform
+  double next_time_ = 0.0;           // pending event's arrival time
+  bool pending_ = false;             // gap drawn, attributes not yet
+  int total_generated_ = 0;
+  sim::TaskId next_id_ = 1;
+};
+
+}  // namespace carol::workload
+
+#endif  // CAROL_WORKLOAD_ARRIVAL_H_

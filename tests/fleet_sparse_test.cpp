@@ -1,0 +1,378 @@
+// Pins the O(changed) event-driven engine (config.event_driven = true)
+// against the dense reference, and the incremental bookkeeping against
+// from-scratch recomputation — mirroring tests/topology_hash_test.cpp's
+// incremental-vs-recompute discipline, but for the simulation kernel.
+//
+// Contract being enforced (src/simkern/README.md):
+//   * task-visible outputs (rates, completions, response times, SLO
+//     verdicts) are BIT-identical between the engines;
+//   * federation-wide energy and quiet-host rows agree only to ULP level
+//     (different, but still deterministic, summation orders);
+//   * SumTree::Total() after any update sequence is bit-equal to a
+//     from-scratch ShapedSum rebuild;
+//   * AuditIncrementalState() stays empty under arbitrary fault/topology
+//     /workload churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/federation.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+#include "simkern/dirty.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace carol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SumTree: incremental total == fixed-shape from-scratch rebuild, always.
+
+TEST(SumTree, IncrementalTotalBitEqualsShapedSumUnderFuzz) {
+  common::Rng rng(11);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 16u, 100u, 512u, 4096u}) {
+    simkern::SumTree tree(n);
+    std::vector<double> leaves(n, 0.0);
+    EXPECT_EQ(tree.Total(), simkern::SumTree::ShapedSum(leaves));
+    for (int step = 0; step < 500; ++step) {
+      const std::size_t i = rng.Choice(n);
+      // Adversarial magnitudes: cancellation and wide exponent spread.
+      const double v = rng.Uniform(-1.0, 1.0) *
+                       std::pow(10.0, rng.Uniform(-8.0, 8.0));
+      tree.Set(i, v);
+      leaves[i] = v;
+      ASSERT_EQ(tree.Total(), simkern::SumTree::ShapedSum(leaves))
+          << "n=" << n << " step=" << step;
+      ASSERT_EQ(tree.Get(i), v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Twin-federation helper: identical protocol on a dense and a sparse
+// federation, with shared fault scripts and identical workloads.
+
+struct Twin {
+  sim::Federation dense;
+  sim::Federation sparse;
+  workload::WorkloadGenerator gen_d;
+  workload::WorkloadGenerator gen_s;
+  sim::LeastUtilizationScheduler sched_d;
+  sim::LeastUtilizationScheduler sched_s;
+
+  static sim::SimConfig Config(bool event_driven) {
+    sim::SimConfig cfg;
+    cfg.event_driven = event_driven;
+    return cfg;
+  }
+
+  Twin(int hosts, int brokers, std::uint64_t seed, double lambda_per_site)
+      : dense(sim::ScaledTestbedSpecs(hosts),
+              sim::Topology::Initial(hosts, brokers), Config(false),
+              common::Rng(seed)),
+        sparse(sim::ScaledTestbedSpecs(hosts),
+               sim::Topology::Initial(hosts, brokers), Config(true),
+               common::Rng(seed)),
+        gen_d(workload::AIoTBenchProfiles(), WorkloadCfg(lambda_per_site),
+              common::Rng(seed + 7)),
+        gen_s(workload::AIoTBenchProfiles(), WorkloadCfg(lambda_per_site),
+              common::Rng(seed + 7)) {}
+
+  static workload::WorkloadConfig WorkloadCfg(double lambda) {
+    workload::WorkloadConfig wl;
+    wl.lambda_per_site = lambda;
+    return wl;
+  }
+
+  // One protocol interval on both federations; returns both results.
+  std::pair<sim::IntervalResult, sim::IntervalResult> Step(int interval,
+                                                           bool submit) {
+    dense.BeginInterval();
+    sparse.BeginInterval();
+    if (submit) {
+      dense.Submit(gen_d.Generate(interval, dense.now_s()));
+      sparse.Submit(gen_s.Generate(interval, sparse.now_s()));
+    }
+    dense.RouteQueuedTasks();
+    sparse.RouteQueuedTasks();
+    const auto dd = sched_d.Schedule(dense);
+    const auto ds = sched_s.Schedule(sparse);
+    EXPECT_EQ(dd.placement, ds.placement) << "interval " << interval;
+    return {dense.RunInterval(dd), sparse.RunInterval(ds)};
+  }
+};
+
+void ExpectResultsMatch(const sim::IntervalResult& d,
+                        const sim::IntervalResult& s, int interval) {
+  // Task-visible outputs: bit-identical.
+  EXPECT_EQ(d.completed, s.completed) << interval;
+  EXPECT_EQ(d.violated, s.violated) << interval;
+  EXPECT_EQ(d.stranded, s.stranded) << interval;
+  ASSERT_EQ(d.response_times.size(), s.response_times.size()) << interval;
+  for (std::size_t i = 0; i < d.response_times.size(); ++i) {
+    EXPECT_EQ(d.response_times[i], s.response_times[i])
+        << "interval " << interval << " completion " << i;
+  }
+  EXPECT_EQ(d.response_app_types, s.response_app_types) << interval;
+  // Energy: same deterministic value up to summation order (ULP level).
+  EXPECT_NEAR(s.energy_kwh, d.energy_kwh,
+              1e-9 * std::max(1.0, std::abs(d.energy_kwh)))
+      << interval;
+}
+
+void ExpectRowsMatch(const sim::Federation& dense,
+                     const sim::Federation& sparse, int interval) {
+  for (sim::NodeId n = 0; n < dense.num_nodes(); ++n) {
+    const auto& md = dense.host(n).metrics;
+    const auto& ms = sparse.host(n).metrics;
+    const double tol = 1e-9;
+    EXPECT_NEAR(ms.cpu_util, md.cpu_util,
+                tol * std::max(1.0, std::abs(md.cpu_util)))
+        << "n=" << n << " i=" << interval;
+    EXPECT_NEAR(ms.ram_util, md.ram_util,
+                tol * std::max(1.0, std::abs(md.ram_util)))
+        << "n=" << n;
+    EXPECT_NEAR(ms.energy_kwh, md.energy_kwh,
+                tol * std::max(1.0, std::abs(md.energy_kwh)))
+        << "n=" << n;
+    EXPECT_EQ(ms.slo_violation_rate, md.slo_violation_rate) << "n=" << n;
+    EXPECT_EQ(ms.task_cpu_demand_mips, md.task_cpu_demand_mips)
+        << "n=" << n;
+    EXPECT_EQ(ms.task_ram_demand_mb, md.task_ram_demand_mb) << "n=" << n;
+    EXPECT_EQ(ms.avg_deadline_s, md.avg_deadline_s) << "n=" << n;
+    EXPECT_EQ(ms.sched_cpu_demand_mips, md.sched_cpu_demand_mips)
+        << "n=" << n;
+    EXPECT_EQ(ms.sched_task_count, md.sched_task_count) << "n=" << n;
+    EXPECT_EQ(ms.is_broker, md.is_broker) << "n=" << n;
+    EXPECT_EQ(ms.failed, md.failed) << "n=" << n;
+  }
+}
+
+TEST(SparseEngine, TwinMatchesDenseUnderFaultChurn) {
+  for (std::uint64_t seed : {3ull, 29ull}) {
+    Twin twin(64, 16, seed, 1.5);
+    common::Rng script(seed * 31 + 1);
+    for (int interval = 0; interval < 30; ++interval) {
+      // Scripted churn applied identically to both federations.
+      if (script.Bernoulli(0.35)) {
+        const auto n =
+            static_cast<sim::NodeId>(script.Choice(64));
+        const double from = twin.dense.now_s() + script.Uniform(5.0, 200.0);
+        const double until = from + script.Uniform(100.0, 700.0);
+        twin.dense.SetFailed(n, from, until);
+        twin.sparse.SetFailed(n, from, until);
+      }
+      if (script.Bernoulli(0.35)) {
+        const auto n =
+            static_cast<sim::NodeId>(script.Choice(64));
+        const double cpu = script.Uniform(0.0, 3000.0);
+        const double ram = script.Uniform(0.0, 2048.0);
+        twin.dense.SetFaultLoad(n, cpu, ram, 0.0, 0.0);
+        twin.sparse.SetFaultLoad(n, cpu, ram, 0.0, 0.0);
+      }
+      if (script.Bernoulli(0.15)) {
+        const auto n =
+            static_cast<sim::NodeId>(script.Choice(64));
+        twin.dense.ClearFaultLoad(n);
+        twin.sparse.ClearFaultLoad(n);
+      }
+      // Disengage wave: stop arrivals after interval 18 so hosts drain
+      // back to quiet and the engaged_prev_ row-refresh path runs.
+      const bool submit = interval < 18;
+      const auto [rd, rs] = twin.Step(interval, submit);
+      ExpectResultsMatch(rd, rs, interval);
+      ExpectRowsMatch(twin.dense, twin.sparse, interval);
+      ASSERT_EQ(twin.sparse.AuditIncrementalState(), "") << interval;
+    }
+    // Cumulative energy stays pinned after the whole run.
+    EXPECT_NEAR(twin.sparse.total_energy_kwh(), twin.dense.total_energy_kwh(),
+                1e-9 * std::max(1.0, twin.dense.total_energy_kwh()));
+  }
+}
+
+TEST(SparseEngine, AdversarialAllNodesDirtyInterval) {
+  // Every host carries injected contention: the engaged set is the whole
+  // fleet and the sparse engine degenerates to dense-shaped work. The
+  // outputs must still line up (this is the worst case the dirty-set
+  // design has to survive, not a fast path).
+  Twin twin(32, 8, 101, 2.0);
+  for (sim::NodeId n = 0; n < 32; ++n) {
+    twin.dense.SetFaultLoad(n, 500.0, 128.0, 5.0, 2.0);
+    twin.sparse.SetFaultLoad(n, 500.0, 128.0, 5.0, 2.0);
+  }
+  for (int interval = 0; interval < 5; ++interval) {
+    const auto [rd, rs] = twin.Step(interval, true);
+    ExpectResultsMatch(rd, rs, interval);
+    ExpectRowsMatch(twin.dense, twin.sparse, interval);
+    ASSERT_EQ(twin.sparse.AuditIncrementalState(), "") << interval;
+  }
+}
+
+TEST(SparseEngine, SparseRunIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::SimConfig cfg;
+    cfg.event_driven = true;
+    sim::Federation fed(sim::ScaledTestbedSpecs(64),
+                        sim::Topology::Initial(64, 16), cfg,
+                        common::Rng(seed));
+    workload::WorkloadConfig wl;
+    wl.lambda_per_site = 1.5;
+    workload::WorkloadGenerator gen(workload::AIoTBenchProfiles(), wl,
+                                    common::Rng(seed + 1));
+    sim::LeastUtilizationScheduler sched;
+    std::vector<double> energies;
+    std::vector<double> responses;
+    for (int interval = 0; interval < 15; ++interval) {
+      fed.BeginInterval();
+      if (interval == 3) fed.SetFailed(5, fed.now_s() + 10.0, 900.0);
+      fed.Submit(gen.Generate(interval, fed.now_s()));
+      fed.RouteQueuedTasks();
+      const auto r = fed.RunInterval(sched.Schedule(fed));
+      energies.push_back(r.energy_kwh);
+      responses.insert(responses.end(), r.response_times.begin(),
+                       r.response_times.end());
+    }
+    return std::pair(energies, responses);
+  };
+  const auto a = run_once(9);
+  const auto b = run_once(9);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_EQ(a.first[i], b.first[i]) << i;
+  }
+  ASSERT_EQ(a.second.size(), b.second.size());
+  for (std::size_t i = 0; i < a.second.size(); ++i) {
+    EXPECT_EQ(a.second[i], b.second[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental bookkeeping audited against from-scratch recomputation
+// under random operation sequences (fault windows opening AND elapsing,
+// contention toggling, topology churn, placements draining).
+
+TEST(IncrementalState, AuditStaysCleanUnderRandomOps) {
+  for (int hosts : {16, 64, 256}) {
+    const int brokers = hosts / 4;
+    common::Rng rng(static_cast<std::uint64_t>(hosts) * 17 + 3);
+    for (bool event_driven : {false, true}) {
+      sim::SimConfig cfg;
+      cfg.event_driven = event_driven;
+      sim::Federation fed(sim::ScaledTestbedSpecs(hosts),
+                          sim::Topology::Initial(hosts, brokers), cfg,
+                          common::Rng(static_cast<std::uint64_t>(hosts)));
+      workload::WorkloadConfig wl;
+      wl.lambda_per_site = 1.0;
+      workload::WorkloadGenerator gen(
+          workload::DeFogProfiles(), wl,
+          common::Rng(static_cast<std::uint64_t>(hosts) + 5));
+      sim::LeastUtilizationScheduler sched;
+      ASSERT_EQ(fed.AuditIncrementalState(), "") << "fresh h=" << hosts;
+      for (int interval = 0; interval < 20; ++interval) {
+        fed.BeginInterval();
+        ASSERT_EQ(fed.AuditIncrementalState(), "")
+            << "post-begin h=" << hosts << " i=" << interval;
+        // Short fault windows so recovery (set erasure) is exercised.
+        if (rng.Bernoulli(0.5)) {
+          const auto n = static_cast<sim::NodeId>(
+              rng.Choice(static_cast<std::size_t>(hosts)));
+          const double from = fed.now_s() + rng.Uniform(0.0, 150.0);
+          fed.SetFailed(n, from, from + rng.Uniform(50.0, 400.0));
+        }
+        if (rng.Bernoulli(0.5)) {
+          const auto n = static_cast<sim::NodeId>(
+              rng.Choice(static_cast<std::size_t>(hosts)));
+          fed.SetFaultLoad(n, rng.Uniform(0.0, 2000.0), 0.0, 0.0, 0.0);
+        }
+        if (rng.Bernoulli(0.3)) {
+          const auto n = static_cast<sim::NodeId>(
+              rng.Choice(static_cast<std::size_t>(hosts)));
+          fed.ClearFaultLoad(n);
+        }
+        // Topology churn: demote a random broker's LEI into another, or
+        // promote a worker — worker-count and quiet-power updates.
+        if (rng.Bernoulli(0.25)) {
+          sim::Topology topo = fed.topology();
+          const auto bs = topo.brokers();
+          if (bs.size() >= 2) {
+            const sim::NodeId from = bs[rng.Choice(bs.size())];
+            sim::NodeId to = from;
+            while (to == from) to = bs[rng.Choice(bs.size())];
+            topo.Demote(from, to);
+            fed.SetTopology(topo);
+          }
+        }
+        ASSERT_EQ(fed.AuditIncrementalState(), "")
+            << "post-ops h=" << hosts << " i=" << interval;
+        fed.Submit(gen.Generate(interval, fed.now_s()));
+        fed.RouteQueuedTasks();
+        fed.RunInterval(sched.Schedule(fed));
+        ASSERT_EQ(fed.AuditIncrementalState(), "")
+            << "post-run h=" << hosts << " i=" << interval
+            << " event_driven=" << event_driven;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Routing: the site-grouped candidate path must reproduce the per-broker
+// scan exactly — same set, same order — for every gateway site, under
+// random broker placements, dead nodes, and severed links. The order
+// matters because the tie-break Choice indexes into the list.
+
+TEST(Routing, SiteGroupedCandidatesMatchPerBrokerScanUnderFuzz) {
+  common::Rng fuzz(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int hosts = 8 + static_cast<int>(fuzz.Choice(120));
+    const int num_sites = 1 + static_cast<int>(fuzz.Choice(12));
+    sim::NetworkConfig ncfg;
+    ncfg.num_sites = num_sites;
+    common::Rng net_rng(static_cast<std::uint64_t>(trial) * 31 + 7);
+    sim::Network net(hosts, ncfg, net_rng);
+
+    // Random broker subset (possibly empty), grouped by site the way
+    // Federation::RefreshTopologyDerived builds site_brokers_.
+    std::vector<sim::NodeId> brokers;
+    std::vector<std::vector<sim::NodeId>> site_brokers(
+        static_cast<std::size_t>(num_sites));
+    for (sim::NodeId n = 0; n < hosts; ++n) {
+      if (fuzz.Bernoulli(0.25)) {
+        brokers.push_back(n);
+        site_brokers[static_cast<std::size_t>(net.site_of(n))].push_back(n);
+      }
+    }
+    std::vector<bool> alive(static_cast<std::size_t>(hosts));
+    for (auto&& a : alive) a = fuzz.Bernoulli(0.8);
+    // Random severed links, occasionally a fully cut site.
+    for (int k = 0; k < num_sites; ++k) {
+      if (fuzz.Bernoulli(0.2)) {
+        net.SeverLink(static_cast<int>(fuzz.Choice(
+                          static_cast<std::size_t>(num_sites))),
+                      static_cast<int>(fuzz.Choice(
+                          static_cast<std::size_t>(num_sites))));
+      }
+    }
+    if (num_sites > 1 && fuzz.Bernoulli(0.1)) {
+      net.SeverSite(
+          static_cast<int>(fuzz.Choice(static_cast<std::size_t>(num_sites))));
+    }
+
+    for (int site = 0; site < num_sites; ++site) {
+      const auto scan = net.BrokerCandidates(site, brokers, alive);
+      const auto grouped =
+          net.BrokerCandidatesBySite(site, site_brokers, alive);
+      ASSERT_EQ(grouped, scan)
+          << "trial=" << trial << " hosts=" << hosts
+          << " sites=" << num_sites << " gateway_site=" << site;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carol
