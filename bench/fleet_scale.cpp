@@ -13,6 +13,13 @@
 //   * fleet_step_sparse_dirty — H=4096 while a rotating fault-load window
 //     dirties a fraction of the fleet every interval (0.1%..100%): the
 //     dirty-fraction sensitivity curve of O(changed) stepping.
+//   * fleet_repair_scoped — ns per broker-fault repair through the FULL
+//     scoped decision path (simkern::RepairScopeHints -> RepairSubgraph
+//     extraction -> GON-scored tabu search -> splice-back) at H in
+//     {512, 4096}. CI gates the H=4096 row under 1 s.
+//   * fleet_repair_qos — completed tasks over an identical storm script:
+//     scoped GON repair vs FallbackRepair twins (ns_per_op/baseline hold
+//     TASK COUNTS here, speedup = GON/fallback; CI gates >= 1).
 //
 // All cases drive the identical protocol (recover -> detect -> repair ->
 // inject -> submit -> route -> run -> observe) through IntervalStepper;
@@ -26,6 +33,9 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/carol.h"
+#include "core/gon.h"
+#include "core/subgraph.h"
 #include "sim/federation.h"
 #include "sim/scheduler.h"
 #include "sim/topology.h"
@@ -211,6 +221,166 @@ double RunCase(const CaseSpec& c, int intervals, int reps) {
   return best;
 }
 
+// The serving-sized planner (bench/scenario_suite, examples/massive_fleet):
+// small enough to be a latency benchmark, real enough that every repair is
+// a genuine GON-scored tabu search.
+core::CarolConfig ServingPlannerConfig() {
+  core::CarolConfig cfg;
+  cfg.gon.hidden_width = 32;
+  cfg.gon.num_layers = 2;
+  cfg.gon.gat_width = 16;
+  cfg.gon.generation_steps = 5;
+  cfg.tabu.max_iterations = 3;
+  cfg.tabu.max_evaluations = 40;
+  return cfg;
+}
+
+// ns per broker-fault repair through the full scoped decision path at
+// fleet scale: hints from the warmed kernel, extraction, GON/tabu search
+// on the H_sub problem, splice-back. Every iteration repairs a different
+// broker so no iteration amortizes another's extraction.
+double RunScopedRepairCase(int hosts, int reps) {
+  const core::CarolConfig cfg = ServingPlannerConfig();
+  core::ScopedRepairOptions scope;
+  scope.enabled = true;
+  scope.max_hosts = 128;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::SimConfig sim_cfg;
+    sim_cfg.event_driven = true;
+    sim_cfg.network.num_sites = std::max(4, hosts / 64);
+    sim::Federation fed(sim::ScaledTestbedSpecs(hosts),
+                        sim::Topology::Initial(hosts, hosts / 16), sim_cfg,
+                        common::Rng(42));
+    sim::LeastUtilizationScheduler scheduler;
+    workload::ArrivalConfig acfg;
+    acfg.rate_per_second = kLambdaPerSite * kSites / sim_cfg.interval_seconds;
+    acfg.num_sites = sim_cfg.network.num_sites;
+    workload::ArrivalProcess arrivals(workload::AIoTBenchProfiles(), acfg,
+                                      common::Rng(7));
+    StepBenchHooks hooks;
+    hooks.open_loop = &arrivals;
+    simkern::IntervalStepper stepper(fed, scheduler, hooks);
+    for (int i = 0; i < 3; ++i) stepper.Step(i);  // warm the hint sets
+
+    core::GonModel gon(cfg.gon);
+    core::FeatureEncoder encoder;
+    common::Rng plan_rng(1234 + static_cast<unsigned>(rep));
+    const std::vector<sim::NodeId> brokers = fed.topology().brokers();
+    const int repairs = 8;
+    const auto t0 = clock_type::now();
+    for (int k = 0; k < repairs; ++k) {
+      const std::vector<sim::NodeId> failed = {
+          brokers[static_cast<std::size_t>(k) % brokers.size()]};
+      const std::vector<sim::NodeId> hints =
+          simkern::RepairScopeHints(fed, failed);
+      g_sink += static_cast<double>(
+          core::PlanScopedDecision(fed.topology(), failed,
+                                   fed.last_snapshot(), hints, scope, cfg,
+                                   plan_rng, gon, encoder)
+              .Hash() &
+          1u);
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock_type::now() - t0)
+            .count() /
+        repairs;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+// QoS twin: the same storm script served by scoped GON repair vs
+// FallbackRepair. Returns completed-task counts {gon, fallback}.
+class QosHooks : public simkern::IntervalHooks {
+ public:
+  QosHooks(bool use_gon, workload::ArrivalProcess* arrivals, int hosts)
+      : use_gon_(use_gon),
+        arrivals_(arrivals),
+        hosts_(hosts),
+        storm_(99),
+        plan_rng_(1234),
+        cfg_(ServingPlannerConfig()),
+        gon_(cfg_.gon) {
+    scope_.enabled = true;
+    scope_.max_hosts = 128;
+  }
+
+  std::optional<sim::Topology> Repair(simkern::StepContext& ctx) override {
+    if (ctx.report->failed_brokers.empty()) return std::nullopt;
+    if (!use_gon_) {
+      return simkern::FallbackRepair(ctx.fed->topology(),
+                                     ctx.report->failed_brokers, *ctx.fed);
+    }
+    const std::vector<sim::NodeId> hints =
+        simkern::RepairScopeHints(*ctx.fed, ctx.report->failed_brokers);
+    return core::PlanScopedDecision(
+        ctx.fed->topology(), ctx.report->failed_brokers,
+        ctx.fed->last_snapshot(), hints, scope_, cfg_, plan_rng_, gon_,
+        encoder_);
+  }
+
+  void InjectFaults(simkern::StepContext& ctx) override {
+    if (ctx.interval % 4 != 1) return;  // a storm burst every 4 intervals
+    const double now = ctx.fed->now_s();
+    const double dt = ctx.fed->config().interval_seconds;
+    for (int k = 0; k < 2; ++k) {
+      const auto b = static_cast<sim::NodeId>(
+          storm_.Choice(static_cast<std::size_t>(hosts_ / 16)) * 16);
+      ctx.fed->SetFailed(b, now, now + 1.5 * dt);
+    }
+  }
+
+  std::vector<sim::Task> GenerateArrivals(simkern::StepContext& ctx) override {
+    return arrivals_->Drain(ctx.fed->now_s() +
+                            ctx.fed->config().interval_seconds);
+  }
+
+  void Observe(simkern::StepContext& ctx,
+               const sim::IntervalResult& r) override {
+    (void)ctx;
+    completed += r.completed;
+  }
+
+  long long completed = 0;
+
+ private:
+  bool use_gon_;
+  workload::ArrivalProcess* arrivals_;
+  int hosts_;
+  common::Rng storm_;
+  common::Rng plan_rng_;
+  core::CarolConfig cfg_;
+  core::GonModel gon_;
+  core::FeatureEncoder encoder_;
+  core::ScopedRepairOptions scope_;
+};
+
+std::pair<long long, long long> RunQosTwin(int hosts, int intervals) {
+  long long counts[2] = {0, 0};
+  for (int variant = 0; variant < 2; ++variant) {
+    const bool use_gon = variant == 0;
+    sim::SimConfig cfg;
+    cfg.event_driven = true;
+    cfg.network.num_sites = std::max(4, hosts / 64);
+    sim::Federation fed(sim::ScaledTestbedSpecs(hosts),
+                        sim::Topology::Initial(hosts, hosts / 16), cfg,
+                        common::Rng(42));
+    sim::LeastUtilizationScheduler scheduler;
+    workload::ArrivalConfig acfg;
+    acfg.rate_per_second = kLambdaPerSite * kSites / cfg.interval_seconds;
+    acfg.num_sites = cfg.network.num_sites;
+    workload::ArrivalProcess arrivals(workload::AIoTBenchProfiles(), acfg,
+                                      common::Rng(7));
+    QosHooks hooks(use_gon, &arrivals, hosts);
+    simkern::IntervalStepper stepper(fed, scheduler, hooks);
+    stepper.Run(intervals);
+    counts[variant] = hooks.completed;
+  }
+  return {counts[0], counts[1]};
+}
+
 }  // namespace
 
 int main() {
@@ -265,6 +435,31 @@ int main() {
       std::snprintf(shape, sizeof shape, "H=4096 df=%g", df);
       Report("fleet_step_sparse_dirty", shape, ns, dense);
     }
+  }
+
+  // Scoped GON repair latency at the large-fleet tier: the whole decision
+  // path (hints -> extraction -> search -> splice) per broker fault.
+  for (int hosts : {512, 4096}) {
+    const double ns = RunScopedRepairCase(hosts, reps);
+    Report("fleet_repair_scoped", "H=" + std::to_string(hosts), ns);
+  }
+
+  // QoS guard: the scoped GON decision must serve the storm no worse than
+  // the fallback promotion heuristic. Row fields hold TASK COUNTS.
+  {
+    const auto [gon_tasks, fb_tasks] = RunQosTwin(512, fast ? 16 : 24);
+    BenchResult r;
+    r.op = "fleet_repair_qos";
+    r.shape = "H=512 storm";
+    r.ns_per_op = static_cast<double>(gon_tasks);
+    r.baseline_ns_per_op = static_cast<double>(fb_tasks);
+    r.speedup = fb_tasks > 0 ? static_cast<double>(gon_tasks) /
+                                   static_cast<double>(fb_tasks)
+                             : 0.0;
+    Results().push_back(r);
+    std::printf("%-28s %-22s %12lld tasks   fallback %9lld tasks   %6.3fx\n",
+                r.op.c_str(), r.shape.c_str(), gon_tasks, fb_tasks,
+                r.speedup);
   }
 
   WriteJson("BENCH_fleet.json");

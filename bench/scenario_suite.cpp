@@ -118,6 +118,32 @@ int main() {
         card.FingerprintHex().c_str());
     cards.push_back(card);
   }
+  // The large-fleet tier: the same broker storm rescaled to H=512 —
+  // event-driven stepping, scoped (subgraph-extracted) GON repair — as
+  // one extra row ("broker-storm-h512") after the builtin library. Its
+  // fingerprint obeys the same worker-count independence the CI diff
+  // gates: scoped decisions ride the same deterministic pipeline.
+  {
+    auto big = scenario::FindScenario("broker-storm", intervals);
+    if (big.has_value()) {
+      scenario::RescaleScenario(*big, 512);
+      bool wanted = filter.empty();
+      for (const std::string& name : filter) wanted |= name == big->name;
+      if (wanted) {
+        const scenario::Scorecard card = driver.Run(*big);
+        std::printf(
+            "%-18s %-7zu %-7d %-9.4f %-9.4f %-11.1f %-11.3f %-9.1f %-9.2f "
+            "%-8.2f %s\n",
+            card.scenario.c_str(), card.sessions.size(), card.completed,
+            card.slo_violation_rate, card.total_energy_kwh,
+            card.recovery_mean_s, card.gate_accuracy,
+            card.decisions_per_sec, card.decision_p99_ms,
+            card.stacking_ratio, card.FingerprintHex().c_str());
+        cards.push_back(card);
+      }
+    }
+  }
+
   if (cards.empty()) {
     std::fprintf(stderr, "no scenarios matched CAROL_SUITE_SCENARIOS\n");
     return 1;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "core/subgraph.h"
 
 namespace carol::core {
 
@@ -382,13 +383,23 @@ sim::Topology CarolModel::Repair(
     const sim::Topology& current,
     const std::vector<sim::NodeId>& failed_brokers,
     const sim::SystemSnapshot& snapshot) {
-  const TopologyBatchScoreFn score =
-      [&](const std::vector<sim::Topology>& frontier) {
-        return ScoreTopologies(frontier, snapshot);
-      };
   bool proactive_acted = false;
-  sim::Topology out = PlanDecision(current, failed_brokers, snapshot,
-                                   config_, rng_, score, &proactive_acted);
+  sim::Topology out = [&] {
+    if (config_.scoped.enabled) {
+      // Large-fleet tier: plan on the extracted affected region (no
+      // hints here — the single-model path has no kernel dirty sets, so
+      // extraction seeds from the failed LEIs plus budget fill).
+      return PlanScopedDecision(current, failed_brokers, snapshot, {},
+                                config_.scoped, config_, rng_, *gon_,
+                                encoder_, &proactive_acted);
+    }
+    const TopologyBatchScoreFn score =
+        [&](const std::vector<sim::Topology>& frontier) {
+          return ScoreTopologies(frontier, snapshot);
+        };
+    return PlanDecision(current, failed_brokers, snapshot, config_, rng_,
+                        score, &proactive_acted);
+  }();
   if (proactive_acted) ++proactive_optimizations_;
   return out;
 }

@@ -42,6 +42,28 @@ namespace carol::core {
 // §V-D ablations.
 enum class FineTunePolicy { kConfidence, kAlways, kNever };
 
+// Scoped (subgraph-extracted) repair: instead of searching node shifts
+// over the whole federation, extract the affected region — the failed
+// brokers' LEIs, any hinted LEIs (latency-tie neighbors, the kernel's
+// engaged/dirty hosts) and budget-fill LEIs — into a compact remapped
+// sub-problem, run the ordinary RepairJob there and splice the decision
+// back (core/subgraph.h). When the extraction covers the full federation
+// the scoped path is bit-identical to the unscoped one. Defined here so
+// CarolConfig can carry it without a core/ include cycle.
+struct ScopedRepairOptions {
+  // Read by CarolModel / serve sessions: plan repairs on the extracted
+  // subgraph instead of the full topology.
+  bool enabled = false;
+  // Extraction budget (hosts). A TARGET, not a hard cap: mandatory LEIs
+  // (the failed brokers' own) are always extracted even when one alone
+  // exceeds it, so correctness never depends on the budget.
+  int max_hosts = 128;
+  // After the mandatory and hinted LEIs, keep adding alive-broker LEIs in
+  // ascending id order while the budget allows — gives the node-shift
+  // search spare brokers to move work to even when no hints arrived.
+  bool fill_to_budget = true;
+};
+
 struct CarolConfig {
   GonConfig gon;
   PotConfig pot;
@@ -63,6 +85,13 @@ struct CarolConfig {
   // model). Costs extra decision time; prevents overload-induced hangs.
   bool proactive = false;
   double proactive_util_threshold = 1.1;
+
+  // --- scoped repair (large-fleet tier; core/subgraph.h) ---
+  // When enabled, CarolModel (and serve sessions whose requests carry no
+  // explicit scope) plan repairs on the extracted subgraph. Disabled by
+  // default: the H <= 128 tier plans on the full federation, and every
+  // pre-existing decision stream is unchanged.
+  ScopedRepairOptions scoped;
 };
 
 // --- decision-path building blocks (shared with src/serve) -------------

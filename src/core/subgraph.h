@@ -1,0 +1,184 @@
+// Subgraph-extracted repair: the large-fleet decision path.
+//
+// A repair at H = 4096 cannot afford full-federation GON states (each
+// candidate costs an H x H adjacency plus H-row features) — but CAROL's
+// own decision is local by construction: Algorithm 2 repairs around the
+// faulty broker's LEI. RepairSubgraph makes that locality explicit. It
+// extracts the AFFECTED REGION of the federation — the failed brokers'
+// LEIs, the LEIs of hinted hosts (latency-tie neighbor brokers, the
+// simkern engaged/dirty sets) and, budget permitting, spare alive-broker
+// LEIs — into a compact index-remapped view, so the existing step-driven
+// RepairJob / TabuSearchState / GON scoring machinery runs unchanged on
+// an H_sub <= ~128 problem and the decision splices back into the full
+// topology through the incremental Topology::ApplySplice (no full
+// rehash, no full re-audit).
+//
+// Invariants that make this correct:
+//   * WHOLE-LEI extraction: a node is extracted iff its broker's entire
+//     LEI is. No node outside the region points INTO it (workers point
+//     only at their own broker; the broker clique is implicit), so any
+//     valid sub-decision splices back into a valid full topology, and
+//     ApplySplice's O(changed) local validation is sufficient.
+//   * ORDER-PRESERVING remap: extracted nodes keep their ascending id
+//     order. When the extraction covers the whole federation the remap
+//     is the identity, the sub-problem IS the full problem verbatim —
+//     same FailureNeighbors enumeration, same rng draws, same tabu
+//     frontiers — so the scoped path is bit-identical to the unscoped
+//     one (pinned by tests/subgraph_repair_test.cpp).
+//   * Frontier confinement: candidate moves come from LocalMoveNeighbors
+//     over the SUB topology, so the search can never touch a host
+//     outside the extracted region; everything else is pinned boundary
+//     state carried through the splice untouched.
+#ifndef CAROL_CORE_SUBGRAPH_H_
+#define CAROL_CORE_SUBGRAPH_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/carol.h"
+#include "sim/federation.h"
+#include "sim/topology.h"
+
+namespace carol::core {
+
+class RepairSubgraph {
+ public:
+  // A default-constructed subgraph is empty(): no nodes, no topology.
+  RepairSubgraph() = default;
+
+  // Extracts the affected region of `full`. `failed_brokers` seed
+  // mandatory LEIs (always extracted, even past the budget);
+  // `hints` seed optional LEIs (latency-tie neighbors, engaged/dirty
+  // hosts — any node id marks its whole LEI), added in the given order
+  // while the budget allows; options.fill_to_budget then pads with
+  // ascending alive-broker LEIs. Extraction is a pure deterministic
+  // function of its arguments — a parked scoped repair re-extracts on
+  // resume and lands on the identical mapping.
+  static RepairSubgraph Extract(const sim::Topology& full,
+                                const std::vector<bool>& alive,
+                                std::span<const sim::NodeId> failed_brokers,
+                                std::span<const sim::NodeId> hints,
+                                const ScopedRepairOptions& options);
+
+  int sub_hosts() const { return static_cast<int>(nodes_.size()); }
+  int full_hosts() const { return full_hosts_; }
+  bool empty() const { return nodes_.empty(); }
+  // True when every node of the full federation was extracted — the
+  // bit-identity regime (the remap is then the identity).
+  bool covers_full() const {
+    return static_cast<int>(nodes_.size()) == full_hosts_;
+  }
+
+  // Extracted node ids, ascending (full-space).
+  const std::vector<sim::NodeId>& nodes() const { return nodes_; }
+  sim::NodeId ToFull(sim::NodeId sub) const {
+    return nodes_[static_cast<std::size_t>(sub)];
+  }
+  // kNoNode when `full` was not extracted. O(log H_sub).
+  sim::NodeId ToSub(sim::NodeId full) const;
+
+  // The remapped sub-topology (valid by the whole-LEI invariant).
+  const sim::Topology& sub_topology() const { return *sub_topology_; }
+  // The failed list remapped to sub ids, preserving the input ORDER
+  // (RepairJob consumes one rng draw per searchable broker in list
+  // order — order preservation is part of the bit-identity argument).
+  const std::vector<sim::NodeId>& sub_failed() const { return sub_failed_; }
+
+  // H_sub-row view of a full snapshot: host rows and alive flags copied
+  // by extracted index, topology = sub_topology(). The GON never sees a
+  // full-H row or adjacency. Scalar fields pass through unchanged.
+  sim::SystemSnapshot SubSnapshot(const sim::SystemSnapshot& full) const;
+
+  // Splices a decided sub-topology back into `full_current`: only the
+  // entries that differ from the extracted sub-state are written, via
+  // the incremental Topology::ApplySplice. O(changed + H_sub).
+  sim::Topology Splice(const sim::Topology& full_current,
+                       const sim::Topology& sub_decided) const;
+
+ private:
+  int full_hosts_ = 0;
+  std::vector<sim::NodeId> nodes_;  // ascending full-space ids
+  std::optional<sim::Topology> sub_topology_;
+  std::vector<sim::NodeId> sub_failed_;
+};
+
+// A RepairJob over the extracted region: same step protocol (done /
+// ProposeFrontier / Advance / result), but frontiers live in SUB space —
+// score them against scoring_snapshot(), not the full snapshot — and
+// result() splices the decision back into the full topology. Non-movable
+// for the same reason RepairJob is: the inner job borrows members.
+class ScopedRepairJob {
+ public:
+  ScopedRepairJob(const sim::Topology& current,
+                  const std::vector<sim::NodeId>& failed_brokers,
+                  const sim::SystemSnapshot& snapshot,
+                  std::span<const sim::NodeId> hints,
+                  const ScopedRepairOptions& options,
+                  const CarolConfig& config, common::Rng* rng);
+
+  // Restores a job captured by SaveState(): re-runs the (deterministic)
+  // extraction from the same request arguments, then restores the inner
+  // sub-space RepairJob. Same contract as RepairJob's restore ctor.
+  ScopedRepairJob(const sim::Topology& current,
+                  const std::vector<sim::NodeId>& failed_brokers,
+                  const sim::SystemSnapshot& snapshot,
+                  std::span<const sim::NodeId> hints,
+                  const ScopedRepairOptions& options,
+                  const CarolConfig& config, common::Rng* rng,
+                  const RepairJobState& state);
+
+  ScopedRepairJob(const ScopedRepairJob&) = delete;
+  ScopedRepairJob& operator=(const ScopedRepairJob&) = delete;
+
+  bool done() const { return !job_.has_value() || job_->done(); }
+  // SUB-space candidate frontier (H_sub-node topologies).
+  const std::vector<sim::Topology>& ProposeFrontier() const;
+  void Advance(std::span<const double> scores);
+
+  // The snapshot frontiers (and the decided sub-state) must be scored
+  // against: H_sub rows, sub topology.
+  const sim::SystemSnapshot& scoring_snapshot() const {
+    return sub_snapshot_;
+  }
+  // Decided topology in SUB space (what confidence scoring encodes).
+  const sim::Topology& sub_result() const;
+  // Decided topology in FULL space: the sub decision spliced back.
+  sim::Topology result() const;
+  bool proactive_acted() const {
+    return job_.has_value() && job_->proactive_acted();
+  }
+  const RepairSubgraph& subgraph() const { return subgraph_; }
+  // Inner sub-space job state (for parking/serialization); restore via
+  // the restoring constructor above.
+  RepairJobState SaveState() const;
+
+ private:
+  void BuildSubProblem(const sim::Topology& current,
+                       const std::vector<sim::NodeId>& failed_brokers,
+                       const sim::SystemSnapshot& snapshot,
+                       std::span<const sim::NodeId> hints,
+                       const ScopedRepairOptions& options);
+
+  sim::Topology full_current_;
+  RepairSubgraph subgraph_;
+  sim::SystemSnapshot sub_snapshot_;
+  std::vector<sim::NodeId> sub_failed_;  // borrowed by job_
+  std::optional<RepairJob> job_;
+};
+
+// One-shot scoped decision (the PlanDecision analogue): extraction +
+// sub-space RepairJob driven against GON scoring on the sub snapshot +
+// splice-back. With an extraction covering the full federation this is
+// bit-identical to PlanDecision with the same gon/encoder/rng.
+sim::Topology PlanScopedDecision(
+    const sim::Topology& current,
+    const std::vector<sim::NodeId>& failed_brokers,
+    const sim::SystemSnapshot& snapshot, std::span<const sim::NodeId> hints,
+    const ScopedRepairOptions& options, const CarolConfig& config,
+    common::Rng& rng, GonModel& gon, const FeatureEncoder& encoder,
+    bool* proactive_acted = nullptr);
+
+}  // namespace carol::core
+
+#endif  // CAROL_CORE_SUBGRAPH_H_

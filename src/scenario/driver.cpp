@@ -100,6 +100,9 @@ class FleetHooks : public simkern::IntervalHooks {
   harness::RunResult* result = nullptr;
   SessionScore* score = nullptr;
   std::vector<double>* all_responses = nullptr;
+  // spec->scoped_repair: extraction budget for scoped requests (from the
+  // session's CarolConfig, so spec and session tuning stay in one place).
+  core::ScopedRepairOptions scoped_options;
   int finetunes = 0;
   bool in_episode = false;
   int episode_start = 0;
@@ -111,10 +114,21 @@ class FleetHooks : public simkern::IntervalHooks {
   std::optional<sim::Topology> Repair(simkern::StepContext& ctx) override {
     result->broker_failures_detected +=
         static_cast<int>(ctx.report->failed_brokers.size());
-    const serve::RepairResponse resp =
-        (*service)->Repair(session, ctx.fed->topology(),
-                           ctx.report->failed_brokers,
-                           ctx.fed->last_snapshot());
+    // Scoped (large-fleet) mode: extraction hints come from the live
+    // kernel — latency-tie neighbors of the failed sites plus the
+    // engaged/fault/load sets — so the service plans on the affected
+    // region only.
+    std::optional<serve::RepairScope> scope;
+    if (spec->scoped_repair) {
+      scope.emplace();
+      scope->options = scoped_options;
+      scope->hints =
+          simkern::RepairScopeHints(*ctx.fed, ctx.report->failed_brokers);
+    }
+    const serve::RepairResponse resp = (*service)->Repair(
+        session, ctx.fed->topology(), ctx.report->failed_brokers,
+        ctx.fed->last_snapshot(), /*deadline_us=*/0,
+        scope ? &*scope : nullptr);
     decision_ns->push_back(resp.decision_ns);
     return resp.topology;
     // An invalid response falls through to the stepper's FallbackRepair,
@@ -339,6 +353,7 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         hooks.result = &result;
         hooks.score = &score;
         hooks.all_responses = &all_responses;
+        hooks.scoped_options = session_spec.carol.scoped;
 
         simkern::IntervalStepper stepper(fed, scheduler, hooks);
         for (int interval = 0; interval < spec.intervals; ++interval) {

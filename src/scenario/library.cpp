@@ -1,6 +1,9 @@
 #include "scenario/library.h"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/types.h"
 
 namespace carol::scenario {
 
@@ -183,6 +186,25 @@ std::optional<ScenarioSpec> FindScenario(const std::string& name,
     if (spec.name == name) return std::move(spec);
   }
   return std::nullopt;
+}
+
+void RescaleScenario(ScenarioSpec& spec, int num_nodes) {
+  const int nodes = sim::RoundedFleetSize(num_nodes);
+  for (FleetSpec& fleet : spec.fleets) {
+    fleet.num_nodes = nodes;
+    // One broker per 16 hosts keeps the testbed's 4:1 worker ratio at a
+    // multi-broker-per-site density (512 -> 32, 4096 -> 256).
+    fleet.num_brokers = std::max(1, nodes / 16);
+  }
+  // Grow the WAN with the fleet but keep sites chunky (64 hosts each at
+  // H >= 256); the floor of 4 keeps every library phase's site targets
+  // (0..3) valid.
+  spec.sim.network.num_sites = std::max(4, nodes / 64);
+  // The large-fleet kernel regime: O(changed) event-driven stepping and
+  // subgraph-extracted repair.
+  spec.sim.event_driven = true;
+  spec.scoped_repair = true;
+  spec.name += "-h" + std::to_string(nodes);
 }
 
 }  // namespace carol::scenario

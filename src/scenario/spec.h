@@ -127,6 +127,13 @@ struct ScenarioSpec {
   // metric when its SLO violation rate exceeds this, or a broker failure
   // was detected in it (see scorecard.h).
   double distress_slo_threshold = 0.25;
+  // Scoped (subgraph-extracted) repair: the driver attaches a
+  // serve::RepairScope to every Repair request, with extraction hints
+  // gathered from the live kernel (simkern::RepairScopeHints) and the
+  // session config's ScopedRepairOptions. The large-fleet regime —
+  // RescaleScenario (scenario/library.h) turns this on when it scales a
+  // spec to H >= 512.
+  bool scoped_repair = false;
 };
 
 }  // namespace carol::scenario

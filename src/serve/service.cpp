@@ -11,6 +11,7 @@
 
 #include "common/binio.h"
 #include "core/bucket.h"
+#include "core/subgraph.h"
 #include "nn/serialize.h"
 
 namespace carol::serve {
@@ -39,6 +40,12 @@ struct ResilienceService::ParkedRepair {
   std::vector<sim::NodeId> current;  // request topology, as assignment
   std::vector<sim::NodeId> failed;
   core::RepairJobState job;
+  // Scoped (subgraph-extracted) repairs park the SUB-space job state
+  // plus the scope that produced the extraction. Resume re-runs the
+  // (deterministic) extraction from the re-issued request and restores
+  // the inner job into it — the scope is part of the request identity.
+  bool scoped = false;
+  RepairScope scope;
 };
 
 // Per-federation controller state. Everything here is cheap; the GON
@@ -105,6 +112,12 @@ struct ResilienceService::RepairPipeline {
   // step boundary.
   Clock::time_point deadline{};
   std::optional<core::RepairJob> job;
+  // Scoped mode: the request's scope (owned — it must survive parking)
+  // and the subgraph-extracted job that replaces `job`. Exactly one of
+  // job/scoped_job is engaged per pipeline. ScopedRepairJob is
+  // heap-held because it is non-movable (it borrows its own members).
+  std::optional<RepairScope> scope;
+  std::unique_ptr<core::ScopedRepairJob> scoped_job;
   Stage stage = Stage::kSearch;
   // The encoded pending frontier, parked in the pending-score pool.
   std::vector<core::EncodedState> contexts;
@@ -112,6 +125,34 @@ struct ResilienceService::RepairPipeline {
   // assembled (confidence filled by the flush).
   core::EncodedState final_state;
   RepairResponse response;
+
+  // Mode dispatch: the scheduler/flush code never cares which job kind
+  // is driving, only these.
+  bool JobDone() const { return scoped_job ? scoped_job->done() : job->done(); }
+  const std::vector<sim::Topology>& Frontier() const {
+    return scoped_job ? scoped_job->ProposeFrontier() : job->ProposeFrontier();
+  }
+  void AdvanceJob(const std::vector<double>& scores) {
+    if (scoped_job) {
+      scoped_job->Advance(scores);
+    } else {
+      job->Advance(scores);
+    }
+  }
+  // What frontiers (and the decided state) are scored against: the
+  // H_sub-row sub snapshot in scoped mode, the request snapshot else.
+  const sim::SystemSnapshot& ScoringSnapshot() const {
+    return scoped_job ? scoped_job->scoring_snapshot() : *snapshot;
+  }
+  sim::Topology JobResult() const {
+    return scoped_job ? scoped_job->result() : job->result();
+  }
+  bool ProactiveActed() const {
+    return scoped_job ? scoped_job->proactive_acted() : job->proactive_acted();
+  }
+  core::RepairJobState SaveJobState() const {
+    return scoped_job ? scoped_job->SaveState() : job->SaveState();
+  }
 };
 
 // LEGACY cross-session bucketing queue (pipeline == false): candidate-
@@ -586,14 +627,25 @@ bool Expired(Clock::time_point deadline) {
 RepairResponse ResilienceService::Repair(SessionId id,
                                          const RepairRequest& request) {
   return Repair(id, request.current, request.failed_brokers,
-                request.snapshot, request.deadline_us);
+                request.snapshot, request.deadline_us,
+                request.scope ? &*request.scope : nullptr);
 }
 
 RepairResponse ResilienceService::Repair(
     SessionId id, const sim::Topology& current,
     const std::vector<sim::NodeId>& failed_brokers,
-    const sim::SystemSnapshot& snapshot, std::int64_t deadline_us) {
+    const sim::SystemSnapshot& snapshot, std::int64_t deadline_us,
+    const RepairScope* scope) {
   const std::shared_ptr<Session> session = FindSession(id);
+  // Effective scope: an explicit request scope wins; otherwise a session
+  // whose CarolConfig enables scoped repair gets a hintless scope (the
+  // failed LEIs plus budget fill — same default as CarolModel).
+  std::optional<RepairScope> effective_scope;
+  if (scope != nullptr) {
+    effective_scope = *scope;
+  } else if (session->cfg.scoped.enabled) {
+    effective_scope = RepairScope{session->cfg.scoped, {}};
+  }
   const Clock::time_point deadline = DeadlineFor(deadline_us);
   std::promise<RepairResponse> promise;
   auto future = promise.get_future();
@@ -608,6 +660,7 @@ RepairResponse ResilienceService::Repair(
     pipe->snapshot = &snapshot;
     pipe->promise = &promise;
     pipe->deadline = deadline;
+    pipe->scope = std::move(effective_scope);
     Enqueue(
         session, [this, pipe](Worker&) { StartRepairPipeline(pipe); },
         /*is_repair=*/true, deadline, [pipe](std::exception_ptr e) {
@@ -630,7 +683,7 @@ RepairResponse ResilienceService::Repair(
     Enqueue(
         session,
         [this, session, &current, &failed_brokers, &snapshot, &promise,
-         deadline](Worker& worker) {
+         deadline, eff = std::move(effective_scope)](Worker& worker) {
           RepairResponse response;
           std::exception_ptr error;
           try {
@@ -638,8 +691,8 @@ RepairResponse ResilienceService::Repair(
               timeouts_.fetch_add(1, std::memory_order_relaxed);
               throw ServiceTimeoutError();
             }
-            response =
-                DoRepair(*session, current, failed_brokers, snapshot, worker);
+            response = DoRepair(*session, current, failed_brokers, snapshot,
+                                eff ? &*eff : nullptr, worker);
           } catch (...) {
             error = std::current_exception();
           }
@@ -732,8 +785,11 @@ void ResilienceService::StartRepairPipeline(
   }
   try {
     if (parked) {
+      const bool scope_matches =
+          parked->scoped == pipe->scope.has_value() &&
+          (!parked->scoped || parked->scope == *pipe->scope);
       if (parked->current != pipe->current->assignment() ||
-          parked->failed != *pipe->failed) {
+          parked->failed != *pipe->failed || !scope_matches) {
         // Not the suspended request: put the state back and reject —
         // resuming under a different request would splice two searches.
         std::lock_guard<std::mutex> lock(queue_mu_);
@@ -742,15 +798,30 @@ void ResilienceService::StartRepairPipeline(
             "ResilienceService: session holds a parked repair for a "
             "different request; re-issue the suspended one first");
       }
-      pipe->job.emplace(*pipe->failed, pipe->session->cfg,
-                        &pipe->session->rng, parked->job);
+      if (pipe->scope) {
+        // Deterministic re-extraction from the re-issued request, then
+        // the inner sub-space job restores into it.
+        pipe->scoped_job = std::make_unique<core::ScopedRepairJob>(
+            *pipe->current, *pipe->failed, *pipe->snapshot,
+            pipe->scope->hints, pipe->scope->options, pipe->session->cfg,
+            &pipe->session->rng, parked->job);
+      } else {
+        pipe->job.emplace(*pipe->failed, pipe->session->cfg,
+                          &pipe->session->rng, parked->job);
+      }
+    } else if (pipe->scope) {
+      pipe->scoped_job = std::make_unique<core::ScopedRepairJob>(
+          *pipe->current, *pipe->failed, *pipe->snapshot,
+          pipe->scope->hints, pipe->scope->options, pipe->session->cfg,
+          &pipe->session->rng);
     } else {
       pipe->job.emplace(*pipe->current, *pipe->failed, *pipe->snapshot,
                         pipe->session->cfg, &pipe->session->rng);
     }
-    if (pipe->job->done()) {
-      // Nothing failed and nothing to optimize: only the confidence
-      // score remains — park it for the next stacked flush.
+    if (pipe->JobDone()) {
+      // Nothing failed and nothing to optimize (or an empty extraction):
+      // only the confidence score remains — park it for the next
+      // stacked flush.
       SubmitConfidence(pipe);
       return;
     }
@@ -781,8 +852,8 @@ void ResilienceService::AdvanceRepairPipeline(
     return;
   }
   try {
-    pipe->job->Advance(scores);
-    if (pipe->job->done()) {
+    pipe->AdvanceJob(scores);
+    if (pipe->JobDone()) {
       SubmitConfidence(pipe);
       return;
     }
@@ -812,7 +883,11 @@ void ResilienceService::ParkOrSubmit(
       auto state = std::make_unique<ParkedRepair>();
       state->current = pipe->current->assignment();
       state->failed = *pipe->failed;
-      state->job = pipe->job->SaveState();
+      state->job = pipe->SaveJobState();
+      if (pipe->scope) {
+        state->scoped = true;
+        state->scope = *pipe->scope;
+      }
       pipe->session->parked = std::move(state);
       parked = true;
     } else {
@@ -836,9 +911,12 @@ void ResilienceService::SubmitFrontier(
   // Encoding runs on the compute step (outside any lock); only the park
   // itself synchronizes. The next idle worker flushes the pool.
   pipe->stage = RepairPipeline::Stage::kSearch;
+  // Scoped frontiers encode against the H_sub-row sub snapshot — the
+  // GON never sees a full-H row — and stack with everything else via
+  // the flush's per-H bucketing.
   pipe->contexts =
-      core::EncodeFrontier(pipe->session->encoder, *pipe->snapshot,
-                           pipe->job->ProposeFrontier());
+      core::EncodeFrontier(pipe->session->encoder, pipe->ScoringSnapshot(),
+                           pipe->Frontier());
   ParkOrSubmit(pipe);
 }
 
@@ -849,12 +927,21 @@ void ResilienceService::SubmitConfidence(
   // Discriminate itself is stacked with every other pending decision in
   // the next flush, so finished repairs never issue lone kernel calls.
   pipe->stage = RepairPipeline::Stage::kConfidence;
-  pipe->response.topology = pipe->job->result();
-  if (pipe->job->proactive_acted()) {
+  pipe->response.topology = pipe->JobResult();
+  if (pipe->ProactiveActed()) {
     proactives_.fetch_add(1, std::memory_order_relaxed);
   }
-  pipe->final_state = pipe->session->encoder.EncodeForTopology(
-      *pipe->snapshot, pipe->response.topology);
+  if (pipe->scoped_job && !pipe->scoped_job->subgraph().empty()) {
+    // Confidence on the SUB decision vs the SUB snapshot: an H_sub
+    // Discriminate instead of a full-H one. When the extraction covers
+    // the whole federation this is the identical encoding, so the
+    // scoped confidence matches the unscoped one bit for bit.
+    pipe->final_state = pipe->session->encoder.EncodeForTopology(
+        pipe->scoped_job->scoring_snapshot(), pipe->scoped_job->sub_result());
+  } else {
+    pipe->final_state = pipe->session->encoder.EncodeForTopology(
+        *pipe->snapshot, pipe->response.topology);
+  }
   ParkOrSubmit(pipe);
 }
 
@@ -981,25 +1068,47 @@ void ResilienceService::FlushPendingScores(
 RepairResponse ResilienceService::DoRepair(
     Session& session, const sim::Topology& current,
     const std::vector<sim::NodeId>& failed_brokers,
-    const sim::SystemSnapshot& snapshot, Worker& worker) {
+    const sim::SystemSnapshot& snapshot, const RepairScope* scope,
+    Worker& worker) {
   // Exclusive session access: the scheduler never serves two requests of
   // one session concurrently (Session::active).
   SyncReplica(worker);
   const auto start = Clock::now();
-  const core::TopologyBatchScoreFn score =
-      [&](const std::vector<sim::Topology>& frontier) {
-        return ScoreFrontier(session, frontier, snapshot, worker);
-      };
   RepairResponse response;
   bool proactive_acted = false;
-  response.topology =
-      core::PlanDecision(current, failed_brokers, snapshot, session.cfg,
-                         session.rng, score, &proactive_acted);
+  core::EncodedState encoded;
+  if (scope != nullptr) {
+    // Scoped mode: run the sub-space job to completion on this worker,
+    // scoring every frontier (and the final confidence) against the
+    // H_sub sub snapshot. The linger batcher stacks these like any
+    // other frontier — mixed H bucketing happens inside it.
+    core::ScopedRepairJob job(current, failed_brokers, snapshot,
+                              scope->hints, scope->options, session.cfg,
+                              &session.rng);
+    proactive_acted = job.proactive_acted();
+    while (!job.done()) {
+      job.Advance(ScoreFrontier(session, job.ProposeFrontier(),
+                                job.scoring_snapshot(), worker));
+    }
+    response.topology = job.result();
+    encoded = job.subgraph().empty()
+                  ? session.encoder.EncodeForTopology(snapshot,
+                                                      response.topology)
+                  : session.encoder.EncodeForTopology(
+                        job.scoring_snapshot(), job.sub_result());
+  } else {
+    const core::TopologyBatchScoreFn score =
+        [&](const std::vector<sim::Topology>& frontier) {
+          return ScoreFrontier(session, frontier, snapshot, worker);
+        };
+    response.topology =
+        core::PlanDecision(current, failed_brokers, snapshot, session.cfg,
+                           session.rng, score, &proactive_acted);
+    encoded = session.encoder.EncodeForTopology(snapshot, response.topology);
+  }
   if (proactive_acted) {
     proactives_.fetch_add(1, std::memory_order_relaxed);
   }
-  const core::EncodedState encoded =
-      session.encoder.EncodeForTopology(snapshot, response.topology);
   response.confidence = worker.replica->Discriminate(encoded);
   response.decision_ns = NsSince(start);
   repairs_.fetch_add(1, std::memory_order_relaxed);
@@ -1161,9 +1270,14 @@ void WriteCarolConfig(common::BinaryWriter& w, const core::CarolConfig& c) {
   w.U64(c.seed);
   w.Bool(c.proactive);
   w.F64(c.proactive_util_threshold);
+  // Session-section v2: the scoped-repair sub-config.
+  w.Bool(c.scoped.enabled);
+  w.I32(c.scoped.max_hosts);
+  w.Bool(c.scoped.fill_to_budget);
 }
 
-core::CarolConfig ReadCarolConfig(common::BinaryReader& r) {
+core::CarolConfig ReadCarolConfig(common::BinaryReader& r,
+                                  std::uint32_t version) {
   core::CarolConfig c;
   c.gon.hidden_width = r.I32();
   c.gon.num_layers = r.I32();
@@ -1195,6 +1309,11 @@ core::CarolConfig ReadCarolConfig(common::BinaryReader& r) {
   c.seed = static_cast<unsigned>(r.U64());
   c.proactive = r.Bool();
   c.proactive_util_threshold = r.F64();
+  if (version >= 2) {
+    c.scoped.enabled = r.Bool();
+    c.scoped.max_hosts = r.I32();
+    c.scoped.fill_to_budget = r.Bool();
+  }
   return c;
 }
 
@@ -1267,7 +1386,11 @@ core::RepairJobState ReadRepairJobState(common::BinaryReader& r) {
 
 void ResilienceService::WriteSession(common::BinaryWriter& w,
                                      const Session& session) {
-  w.Header("carol-snap-session", 1);
+  // v2 adds the scoped-repair fields of a parked repair (scope identity
+  // + extraction options). v1 images (no scoped repairs possible) still
+  // load; v2 images are rejected by v1 readers per the reject-forward
+  // policy in src/serve/README.md.
+  w.Header("carol-snap-session", 2);
   w.U64(session.id);
   w.String(session.name);
   WriteCarolConfig(w, session.cfg);
@@ -1289,16 +1412,22 @@ void ResilienceService::WriteSession(common::BinaryWriter& w,
     w.Ints(session.parked->current);
     w.Ints(session.parked->failed);
     WriteRepairJobState(w, session.parked->job);
+    w.Bool(session.parked->scoped);
+    if (session.parked->scoped) {
+      w.I32(session.parked->scope.options.max_hosts);
+      w.Bool(session.parked->scope.options.fill_to_budget);
+      w.Ints(session.parked->scope.hints);
+    }
   }
 }
 
 std::shared_ptr<ResilienceService::Session> ResilienceService::ReadSession(
     common::BinaryReader& r) {
-  r.Header("carol-snap-session", 1);
+  const std::uint32_t version = r.Header("carol-snap-session", 2);
   const SessionId id = r.U64();
   FederationSpec spec;
   spec.name = r.String();
-  spec.carol = ReadCarolConfig(r);
+  spec.carol = ReadCarolConfig(r, version);
   auto session = std::make_shared<Session>(spec);
   session->id = id;
   session->rng.LoadState(r.String());
@@ -1317,6 +1446,13 @@ std::shared_ptr<ResilienceService::Session> ResilienceService::ReadSession(
     parked->current = r.Ints<sim::NodeId>();
     parked->failed = r.Ints<sim::NodeId>();
     parked->job = ReadRepairJobState(r);
+    if (version >= 2 && r.Bool()) {
+      parked->scoped = true;
+      parked->scope.options.enabled = true;
+      parked->scope.options.max_hosts = r.I32();
+      parked->scope.options.fill_to_budget = r.Bool();
+      parked->scope.hints = r.Ints<sim::NodeId>();
+    }
     session->parked = std::move(parked);
   }
   return session;

@@ -185,6 +185,26 @@ struct ServiceConfig {
   std::size_t max_pending_per_session = 0;
 };
 
+// Scoped-repair mode for one request: plan on the subgraph-extracted
+// affected region (core::RepairSubgraph) instead of the full federation.
+// `hints` seed optional LEIs in priority order — the caller-side kernel
+// knows which hosts are dirty/engaged (simkern::RepairScopeHints); the
+// service itself only sees snapshots. Attaching a scope to a request IS
+// the opt-in: `options.enabled` is not consulted here (that flag gates
+// the single-model CarolModel path). Frontiers of a scoped repair are
+// H_sub-node states, so mixed scoped/unscoped traffic stacks through the
+// pipeline's existing per-H bucketing.
+struct RepairScope {
+  core::ScopedRepairOptions options;
+  std::vector<sim::NodeId> hints;
+
+  friend bool operator==(const RepairScope& a, const RepairScope& b) {
+    return a.options.max_hosts == b.options.max_hosts &&
+           a.options.fill_to_budget == b.options.fill_to_budget &&
+           a.hints == b.hints;
+  }
+};
+
 struct RepairRequest {
   sim::Topology current;
   std::vector<sim::NodeId> failed_brokers;
@@ -193,6 +213,8 @@ struct RepairRequest {
   // expiry — queued or between pipeline steps — the call fails with
   // ServiceTimeoutError instead of silently dropping.
   std::int64_t deadline_us = 0;
+  // When set, the repair runs in scoped (subgraph-extracted) mode.
+  std::optional<RepairScope> scope;
 };
 
 struct RepairResponse {
@@ -294,10 +316,13 @@ class ResilienceService {
   ObserveResponse Observe(SessionId id, const ObserveRequest& request);
   // Zero-copy overloads (SessionModel's per-interval hot path): the
   // arguments are borrowed for the duration of the blocking call.
+  // `scope`, when non-null, selects scoped (subgraph-extracted) repair —
+  // see RepairScope; it too is only borrowed.
   RepairResponse Repair(SessionId id, const sim::Topology& current,
                         const std::vector<sim::NodeId>& failed_brokers,
                         const sim::SystemSnapshot& snapshot,
-                        std::int64_t deadline_us = 0);
+                        std::int64_t deadline_us = 0,
+                        const RepairScope* scope = nullptr);
   ObserveResponse Observe(SessionId id, const sim::SystemSnapshot& snapshot,
                           std::int64_t deadline_us = 0);
 
@@ -433,7 +458,7 @@ class ResilienceService {
   RepairResponse DoRepair(Session& session, const sim::Topology& current,
                           const std::vector<sim::NodeId>& failed_brokers,
                           const sim::SystemSnapshot& snapshot,
-                          Worker& worker);
+                          const RepairScope* scope, Worker& worker);
   ObserveResponse DoObserve(Session& session,
                             const sim::SystemSnapshot& snapshot,
                             Worker& worker);

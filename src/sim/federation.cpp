@@ -349,6 +349,12 @@ void Federation::RouteQueuedTasks() {
   }
 }
 
+std::vector<NodeId> Federation::LatencyTieBrokers(int site) const {
+  if (site < 0 || site >= network_.num_sites()) return {};
+  return network_.BrokerCandidatesBySite(site, site_brokers_,
+                                         AliveVector());
+}
+
 double Federation::BrokerOverheadMips(NodeId broker) const {
   const HostRuntime& h = host(broker);
   // Cached worker count (maintained by RefreshTopologyDerived): the

@@ -205,6 +205,24 @@ class Federation {
   const SystemSnapshot& last_snapshot() const { return last_snapshot_; }
   double total_energy_kwh() const { return total_energy_kwh_; }
 
+  // --- planner hints (scoped repair; core/subgraph.h) -----------------
+  // The engaged set of the last executed interval, ascending: every host
+  // the event-driven kernel actually stepped (resident tasks, busy
+  // broker duties, open fault windows, contention, fresh reconfig).
+  // Empty in dense mode and before the first interval. This is the
+  // "recently dirty" region a scoped repair should extract around.
+  const std::vector<NodeId>& engaged_hosts() const { return engaged_prev_; }
+  // Hosts with injected contention load, ascending. O(L) to copy.
+  std::vector<NodeId> LoadHosts() const {
+    return std::vector<NodeId>(load_hosts_.begin(), load_hosts_.end());
+  }
+  // Alive latency-tie broker candidates a gateway at `site` routes to —
+  // the neighbor brokers a repair around that site should consider.
+  // Computed over the cached site-grouped broker lists
+  // (Network::BrokerCandidatesBySite); O(sites + winners + H) for the
+  // alive gather.
+  std::vector<NodeId> LatencyTieBrokers(int site) const;
+
   // Builds a snapshot of current state (used before the first interval and
   // by tests; RunInterval produces authoritative end-of-interval ones).
   SystemSnapshot Snapshot() const;

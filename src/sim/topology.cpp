@@ -151,6 +151,44 @@ void Topology::Assign(NodeId worker, NodeId broker) {
   SetAssignment(static_cast<std::size_t>(worker), broker);
 }
 
+void Topology::ApplySplice(
+    const std::vector<std::pair<NodeId, NodeId>>& entries) {
+  // Stash the previous values so a failed validation can unwind without
+  // leaving a half-spliced topology behind (XOR hash undo is exact).
+  std::vector<NodeId> previous;
+  previous.reserve(entries.size());
+  for (const auto& [node, value] : entries) {
+    if (node < 0 || node >= num_nodes() || value < 0 ||
+        value >= num_nodes()) {
+      for (std::size_t i = previous.size(); i-- > 0;) {
+        SetAssignment(static_cast<std::size_t>(entries[i].first),
+                      previous[i]);
+      }
+      throw std::invalid_argument("ApplySplice: entry out of node range");
+    }
+    previous.push_back(assignment_[static_cast<std::size_t>(node)]);
+    SetAssignment(static_cast<std::size_t>(node), value);
+  }
+  // Local validation AFTER all writes: a worker entry may point at a
+  // broker promoted by a later entry of the same splice.
+  bool ok = true;
+  for (const auto& [node, value] : entries) {
+    if (value != node &&
+        assignment_[static_cast<std::size_t>(value)] != value) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    for (std::size_t i = previous.size(); i-- > 0;) {
+      SetAssignment(static_cast<std::size_t>(entries[i].first),
+                    previous[i]);
+    }
+    throw std::invalid_argument(
+        "ApplySplice: spliced worker points at a non-broker");
+  }
+}
+
 bool Topology::IsValid() const {
   if (assignment_.empty()) return false;
   bool any_broker = false;

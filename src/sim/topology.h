@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.h"
@@ -53,6 +54,18 @@ class Topology {
   void Demote(NodeId broker, NodeId new_broker);
   // Reassigns `worker` to `broker`. Throws on role violations.
   void Assign(NodeId worker, NodeId broker);
+
+  // Splices a batch of assignment edits (node -> new broker_of value;
+  // value == node makes the node a broker) in O(entries): every entry
+  // goes through the hash-maintaining writer, so Hash() stays incremental
+  // — no full rehash. Validation is local to the entries (post-splice,
+  // every written worker must point at a broker and no entry may leave
+  // the node range); the caller guarantees the region property that makes
+  // local validation sufficient: no node OUTSIDE the entry set points at
+  // a node whose role the splice changes (core::RepairSubgraph extracts
+  // whole LEIs exactly so this holds). Throws std::invalid_argument on a
+  // locally-detectable violation, after rolling the splice back.
+  void ApplySplice(const std::vector<std::pair<NodeId, NodeId>>& entries);
 
   // True iff there is at least one broker and every worker points at a
   // broker. (Mutation methods preserve validity; this guards topologies

@@ -1,5 +1,6 @@
 #include "simkern/stepper.h"
 
+#include <cstddef>
 #include <limits>
 
 namespace carol::simkern {
@@ -35,6 +36,38 @@ sim::Topology FallbackRepair(const sim::Topology& topo,
     }
   }
   return fixed;
+}
+
+std::vector<sim::NodeId> RepairScopeHints(
+    const sim::Federation& fed,
+    const std::vector<sim::NodeId>& failed_brokers) {
+  std::vector<sim::NodeId> hints;
+  // Latency-tie candidates of each failed broker's site first: these are
+  // the LEIs the rerouted traffic lands on, so they matter most when the
+  // extraction budget starts dropping optional LEIs.
+  for (sim::NodeId b : failed_brokers) {
+    if (b < 0 || b >= fed.num_nodes()) continue;
+    const auto ties = fed.LatencyTieBrokers(fed.network().site_of(b));
+    hints.insert(hints.end(), ties.begin(), ties.end());
+  }
+  const auto& engaged = fed.engaged_hosts();
+  hints.insert(hints.end(), engaged.begin(), engaged.end());
+  const auto faulted = fed.FaultWindowHosts();
+  hints.insert(hints.end(), faulted.begin(), faulted.end());
+  const auto loaded = fed.LoadHosts();
+  hints.insert(hints.end(), loaded.begin(), loaded.end());
+  // First-occurrence dedup, NOT a sort: extraction consumes hints in
+  // order under a budget, and the priority above is the point.
+  std::vector<char> seen(static_cast<std::size_t>(fed.num_nodes()), 0);
+  std::size_t kept = 0;
+  for (sim::NodeId n : hints) {
+    if (n < 0 || n >= fed.num_nodes()) continue;
+    if (seen[static_cast<std::size_t>(n)]) continue;
+    seen[static_cast<std::size_t>(n)] = 1;
+    hints[kept++] = n;
+  }
+  hints.resize(kept);
+  return hints;
 }
 
 sim::IntervalResult IntervalStepper::Step(int interval) {

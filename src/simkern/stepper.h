@@ -97,6 +97,19 @@ sim::Topology FallbackRepair(const sim::Topology& topology,
                              const std::vector<sim::NodeId>& failed_brokers,
                              const sim::Federation& federation);
 
+// Extraction hints for a scoped (subgraph-extracted) repair, gathered
+// from the kernel's own incremental state: the latency-tie neighbor
+// brokers of each failed broker's site (where that LEI's traffic
+// reroutes), the engaged set of the last interval, and every host with
+// an open fault window or injected contention. Deduplicated keeping the
+// first occurrence (extraction consumes hints in priority order under a
+// budget) — a deterministic function of federation state, so a
+// re-issued request (serve's parked-repair resume) rebuilds the exact
+// same extraction. Pass to core::RepairSubgraph / serve::RepairScope.
+std::vector<sim::NodeId> RepairScopeHints(
+    const sim::Federation& federation,
+    const std::vector<sim::NodeId>& failed_brokers);
+
 class IntervalStepper {
  public:
   // Borrows all three; they must outlive the stepper. The detector and

@@ -374,5 +374,82 @@ TEST(Routing, SiteGroupedCandidatesMatchPerBrokerScanUnderFuzz) {
   }
 }
 
+// Large-H partitions: the site-grouped path at fleet scale, with cuts
+// opening, NESTING (refcounted) and healing while broker liveness churns.
+// This is the configuration the scoped-repair scenarios run (H=512,
+// sites = H/64), where BrokerCandidatesBySite carries all routing.
+
+TEST(Routing, SiteGroupedCandidatesAtH512UnderActivePartitions) {
+  const int hosts = 512;
+  const int num_sites = hosts / 64;  // the RescaleScenario site density
+  sim::NetworkConfig ncfg;
+  ncfg.num_sites = num_sites;
+  common::Rng net_rng(81);
+  sim::Network net(hosts, ncfg, net_rng);
+
+  // One broker per 16 hosts, grouped by site as Federation caches them.
+  std::vector<sim::NodeId> brokers;
+  std::vector<std::vector<sim::NodeId>> site_brokers(
+      static_cast<std::size_t>(num_sites));
+  for (sim::NodeId n = 0; n < hosts; n += 16) {
+    brokers.push_back(n);
+    site_brokers[static_cast<std::size_t>(net.site_of(n))].push_back(n);
+  }
+  std::vector<bool> alive(static_cast<std::size_t>(hosts), true);
+
+  auto expect_paths_agree = [&](const char* stage) {
+    for (int site = 0; site < num_sites; ++site) {
+      const auto scan = net.BrokerCandidates(site, brokers, alive);
+      const auto grouped =
+          net.BrokerCandidatesBySite(site, site_brokers, alive);
+      ASSERT_EQ(grouped, scan) << stage << " gateway_site=" << site;
+    }
+  };
+  expect_paths_agree("healthy");
+
+  common::Rng churn(82);
+  // Phase 1: open partitions while brokers churn. Two overlapping cuts
+  // land on the 0-1 link (a storm window nested inside a maintenance
+  // window), plus a fully dark site.
+  net.SeverLink(0, 1);
+  net.SeverLink(0, 1);  // nested second window on the same link
+  net.SeverSite(num_sites - 1);
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 6; ++k) {
+      const auto b = brokers[churn.Choice(brokers.size())];
+      alive[static_cast<std::size_t>(b)] = churn.Bernoulli(0.7);
+    }
+    expect_paths_agree("partitioned");
+  }
+  for (int site = 0; site + 1 < num_sites; ++site) {
+    EXPECT_TRUE(net.IsSevered(num_sites - 1, site));
+  }
+  // Intra-site links never sever: the dark site's gateways still reach
+  // the site's OWN alive brokers, and nothing else.
+  const int dark = num_sites - 1;
+  for (sim::NodeId c :
+       net.BrokerCandidatesBySite(dark, site_brokers, alive)) {
+    EXPECT_EQ(net.site_of(c), dark);
+  }
+
+  // Phase 2: the inner window closes — the link must STAY severed (the
+  // outer window still holds its refcount).
+  net.HealLink(0, 1);
+  EXPECT_TRUE(net.IsSevered(0, 1));
+  expect_paths_agree("inner-heal");
+
+  // Phase 3: full heal. Connectivity and both candidate paths recover.
+  net.HealLink(0, 1);
+  net.HealSite(num_sites - 1);
+  EXPECT_FALSE(net.IsSevered(0, 1));
+  std::fill(alive.begin(), alive.end(), true);
+  expect_paths_agree("healed");
+  for (int site = 0; site < num_sites; ++site) {
+    EXPECT_FALSE(
+        net.BrokerCandidatesBySite(site, site_brokers, alive).empty())
+        << "site " << site << " found no candidates after full heal";
+  }
+}
+
 }  // namespace
 }  // namespace carol
