@@ -19,6 +19,11 @@ inline int EnvInt(const char* name, int fallback) {
   return v == nullptr ? fallback : std::atoi(v);
 }
 
+inline std::string EnvStr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
 inline bool FastMode() { return EnvInt("CAROL_BENCH_FAST", 0) != 0; }
 
 inline void PrintRule(int width = 118) {

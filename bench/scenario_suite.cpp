@@ -17,8 +17,13 @@
 //   CAROL_SUITE_WORKERS=N     — service worker shards (default 2)
 //   CAROL_SUITE_SCENARIOS=a,b — run only the named scenarios
 //   CAROL_SUITE_OUT=path      — output path (default BENCH_scenarios.json)
+//   CAROL_SUITE_METRICS=path  — stream live metrics JSONL during the
+//                               soak (one line every 4 intervals per
+//                               scenario: live SLO/gate-confusion
+//                               counters + the service MetricsSnapshot)
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -92,7 +97,20 @@ int main() {
     service.TrainOffline(harness::CollectTrainingTrace(trace_cfg, 10),
                          fast ? 3 : 6);
   }
-  scenario::ScenarioDriver driver(service, {SuiteSessionConfig()});
+  scenario::ScenarioDriverOptions driver_options{SuiteSessionConfig()};
+  std::ofstream metrics_out;
+  const char* metrics_env = std::getenv("CAROL_SUITE_METRICS");
+  if (metrics_env != nullptr) {
+    metrics_out.open(metrics_env);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_env);
+      return 1;
+    }
+    driver_options.emit_out = &metrics_out;
+    driver_options.emit_every = 4;
+    std::printf("streaming live metrics JSONL -> %s\n", metrics_env);
+  }
+  scenario::ScenarioDriver driver(service, driver_options);
 
   std::printf("%-18s %-7s %-7s %-9s %-9s %-11s %-11s %-9s %-9s %-8s %s\n",
               "scenario", "fleets", "done", "slo_rate", "energy",

@@ -33,6 +33,11 @@ using Clock = std::chrono::steady_clock;
 constexpr int kHosts = 16;
 constexpr int kBrokers = 4;
 
+// CAROL_BENCH_OBS=0 disables the service's observability layer for the
+// whole sweep — CI runs the bench twice and gates the on/off throughput
+// delta (the obs overhead tripwire).
+bool g_observability = true;
+
 core::CarolConfig BenchCarolConfig(unsigned seed) {
   core::CarolConfig cfg;
   cfg.gon.hidden_width = 32;
@@ -94,6 +99,7 @@ SweepResult RunSweep(int workers, int sessions, int requests_per_session,
   cfg.pipeline = pipeline;
   cfg.batch_linger_us = linger_us;
   cfg.attention_threads = attention_threads;
+  cfg.observability = g_observability;
   serve::ResilienceService service(cfg);
 
   std::vector<serve::SessionId> ids;
@@ -164,11 +170,16 @@ int main() {
   const bool fast = carol::bench::FastMode();
   const int requests_per_session =
       carol::bench::EnvInt("CAROL_BENCH_REQUESTS", fast ? 4 : 12);
+  g_observability = carol::bench::EnvInt("CAROL_BENCH_OBS", 1) != 0;
+  const std::string out_path =
+      carol::bench::EnvStr("CAROL_BENCH_OUT", "BENCH_service.json");
 
   carol::bench::PrintBanner(
-      "ResilienceService throughput: decisions/sec and latency vs "
-      "workers x sessions (H=16 broker-failure repairs; pipeline mode "
-      "stacks cross-session frontiers with zero linger)");
+      std::string("ResilienceService throughput: decisions/sec and latency "
+                  "vs workers x sessions (H=16 broker-failure repairs; "
+                  "pipeline mode stacks cross-session frontiers with zero "
+                  "linger; observability ") +
+      (g_observability ? "ON)" : "OFF)"));
   std::printf("%-9s %-9s %-9s %-7s %-7s %-9s %-9s %-14s %-9s %-9s %-8s "
               "%-8s %-8s\n",
               "mode", "workers", "sessions", "hosts", "threads", "requests",
@@ -246,9 +257,9 @@ int main() {
     }
   }
 
-  FILE* out = std::fopen("BENCH_service.json", "w");
+  FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(out, "[\n");
@@ -263,7 +274,8 @@ int main() {
         "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"score_batches\": %llu, \"stacked_jobs\": %llu, "
         "\"pipeline_passes\": %llu, \"pipeline_jobs\": %llu, "
-        "\"pipeline_states\": %llu, \"stacking_ratio\": %.3f}%s\n",
+        "\"pipeline_states\": %llu, \"stacking_ratio\": %.3f, "
+        "\"observability\": %s}%s\n",
         r.workers, r.sessions, r.hosts, r.attention_threads, r.requests,
         r.linger_us,
         r.pipeline ? "true" : "false", r.decisions_per_sec, r.p50_ms,
@@ -272,10 +284,11 @@ int main() {
         static_cast<unsigned long long>(r.pipeline_passes),
         static_cast<unsigned long long>(r.pipeline_jobs),
         static_cast<unsigned long long>(r.pipeline_states),
-        r.stacking_ratio, i + 1 < results.size() ? "," : "");
+        r.stacking_ratio, g_observability ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);
-  std::printf("\nwrote BENCH_service.json (%zu rows)\n", results.size());
+  std::printf("\nwrote %s (%zu rows)\n", out_path.c_str(), results.size());
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "harness/runtime.h"
 #include "harness/serve_experiment.h"
+#include "obs/export.h"
 #include "serve/service.h"
 
 int main() {
@@ -37,10 +38,11 @@ int main() {
   trace_cfg.seed = 7;
   service.TrainOffline(harness::CollectTrainingTrace(trace_cfg, 10), 8);
 
-  // Eight federations with heterogeneous host counts: the per-session
+  // Eight federations with heterogeneous host counts (whole 4-node
+  // sites, as sim::ScaledTestbedSpecs requires): the per-session
   // mixed-H decisions exercise the service's host-count bucketing.
   const std::vector<std::pair<int, int>> fleets = {
-      {8, 2}, {10, 2}, {12, 3}, {16, 4}, {16, 4}, {20, 5}, {24, 6}, {32, 8}};
+      {8, 2}, {12, 3}, {16, 4}, {16, 4}, {20, 5}, {24, 6}, {28, 7}, {32, 8}};
   std::vector<serve::FederationSpec> specs;
   std::vector<harness::RunConfig> configs;
   for (std::size_t i = 0; i < fleets.size(); ++i) {
@@ -98,5 +100,10 @@ int main() {
               "propagate to all worker replicas; concurrently repairing "
               "fleets share GON kernel passes (stacking ratio > 1 when "
               "sessions outnumber idle workers).\n");
+
+  // The observability surface: the same counters as stats() plus the
+  // repair-path latency histograms, rendered scrape-ready.
+  std::printf("\n-- service MetricsSnapshot() (Prometheus text) --\n%s",
+              obs::ToPrometheusText(service.MetricsSnapshot()).c_str());
   return 0;
 }

@@ -13,7 +13,7 @@
 namespace carol::harness {
 
 SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
-                          const std::vector<std::int64_t>& decision_ns,
+                          const obs::LatencyRing& decision_ns,
                           int finetunes) {
   SessionQos qos;
   qos.name = name;
@@ -25,17 +25,30 @@ SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
   qos.total_tasks = result.total_tasks;
   qos.failures_injected = result.failures_injected;
   qos.broker_failures_detected = result.broker_failures_detected;
-  qos.decisions = static_cast<int>(decision_ns.size());
+  qos.decisions = static_cast<int>(decision_ns.total());
   qos.finetunes = finetunes;
-  if (!decision_ns.empty()) {
-    std::vector<double> ms;
-    ms.reserve(decision_ns.size());
-    for (std::int64_t ns : decision_ns) {
-      ms.push_back(static_cast<double>(ns) / 1e6);
+  if (decision_ns.total() > 0) {
+    if (!decision_ns.overflowed()) {
+      // Short run: every sample is retained, so this is byte-for-byte
+      // the historical full-vector computation.
+      const std::vector<std::int64_t> samples = decision_ns.Samples();
+      std::vector<double> ms;
+      ms.reserve(samples.size());
+      for (std::int64_t ns : samples) {
+        ms.push_back(static_cast<double>(ns) / 1e6);
+      }
+      qos.decision_mean_ms = common::Mean(ms);
+      qos.decision_p50_ms = common::Percentile(ms, 50.0);
+      qos.decision_p99_ms = common::Percentile(ms, 99.0);
+    } else {
+      // Soak-length run: the ring evicted samples, so fall back to the
+      // full-history histogram (exact mean, percentiles within bucket
+      // resolution — see src/obs/README.md).
+      const obs::HistogramData& h = decision_ns.histogram();
+      qos.decision_mean_ms = h.mean() / 1e6;
+      qos.decision_p50_ms = h.Percentile(50.0) / 1e6;
+      qos.decision_p99_ms = h.Percentile(99.0) / 1e6;
     }
-    qos.decision_mean_ms = common::Mean(ms);
-    qos.decision_p50_ms = common::Percentile(ms, 50.0);
-    qos.decision_p99_ms = common::Percentile(ms, 99.0);
   }
   return qos;
 }
@@ -63,7 +76,7 @@ ServiceRunReport RunFederationsViaServiceReport(
         report.results[i] = runtime.Run(model);
         report.sessions[i] =
             MakeSessionQos(specs[i].name, report.results[i],
-                           model.decision_ns_history(),
+                           model.decision_latency(),
                            model.finetune_count());
       } catch (...) {
         errors[i] = std::current_exception();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/runtime.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 
 namespace carol::harness {
@@ -58,10 +59,15 @@ struct ServiceRunReport {
 };
 
 // Builds the per-session breakdown from a finished run's results and the
-// session-side decision-latency history (exposed so the scenario driver
-// can assemble the identical breakdown from its own loop).
+// session-side decision-latency ring (exposed so the scenario driver
+// can assemble the identical breakdown from its own loop). For runs
+// shorter than the ring's capacity the mean/p50/p99 are computed over
+// the raw retained samples — identical to the historical full-vector
+// computation; once the ring overflows they fall back to the ring's
+// histogram (exact mean via the running sum, percentiles within bucket
+// resolution).
 SessionQos MakeSessionQos(const std::string& name, const RunResult& result,
-                          const std::vector<std::int64_t>& decision_ns,
+                          const obs::LatencyRing& decision_ns,
                           int finetunes);
 
 // --- client-side retry with seeded jittered exponential backoff ---------

@@ -1,0 +1,78 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace carol::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    out += "# TYPE carol_" + c.name + " counter\n";
+    out += "carol_" + c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    out += "# TYPE carol_" + g.name + " gauge\n";
+    out += "carol_" + g.name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string family = "carol_" + h.name;
+    out += "# TYPE " + family + " histogram\n";
+    std::uint64_t cum = 0;
+    for (int b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+      const std::uint64_t n = h.data.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;  // fixed layout: empty buckets add no info
+      cum += n;
+      out += family + "_bucket{le=\"" +
+             std::to_string(HistogramLayout::UpperBound(b)) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.data.count) +
+           "\n";
+    out += family + "_sum " + std::to_string(h.data.sum) + "\n";
+    out += family + "_count " + std::to_string(h.data.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + c.name + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + g.name + "\":" + FormatDouble(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + h.name + "\":{\"count\":" + std::to_string(h.data.count) +
+           ",\"sum\":" + std::to_string(h.data.sum) +
+           ",\"mean\":" + FormatDouble(h.data.mean()) +
+           ",\"p50\":" + FormatDouble(h.data.Percentile(50.0)) +
+           ",\"p99\":" + FormatDouble(h.data.Percentile(99.0)) +
+           ",\"p999\":" + FormatDouble(h.data.Percentile(99.9)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace carol::obs

@@ -1,0 +1,29 @@
+// Serializers for MetricsSnapshot: Prometheus text exposition (scrape /
+// human dump) and a compact single-line JSON object (the scenario
+// driver's streaming JSONL surface). Pure functions over the snapshot —
+// no I/O, no clock reads, nothing that could perturb the service.
+#ifndef CAROL_OBS_EXPORT_H_
+#define CAROL_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace carol::obs {
+
+// Prometheus text format, one family per metric, names prefixed
+// "carol_". Histograms emit cumulative `_bucket{le="..."}` lines for
+// buckets with mass (plus `+Inf`), then `_sum` and `_count` — the
+// standard shape, so a scraper recovers the exact same mergeable
+// distribution the registry holds.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// One compact JSON object: {"counters":{...},"gauges":{...},
+// "histograms":{name:{"count":..,"sum":..,"mean":..,"p50":..,"p99":..,
+// "p999":..}}}. Histogram percentiles are pre-derived (the JSONL
+// consumer wants SLO lines, not 496 buckets).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace carol::obs
+
+#endif  // CAROL_OBS_EXPORT_H_

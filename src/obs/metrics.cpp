@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace carol::obs {
+
+// --- HistogramData ------------------------------------------------------
+
+void HistogramData::Merge(const HistogramData& other) {
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+namespace {
+
+// Representative value of the k-th (0-based) sample in sorted order:
+// walk the cumulative bucket counts. k must be < count.
+double SortedSampleRep(const HistogramData& h, std::uint64_t k) {
+  std::uint64_t cum = 0;
+  int last_nonzero = 0;
+  for (int b = 0; b < HistogramLayout::kNumBuckets; ++b) {
+    if (h.buckets[static_cast<std::size_t>(b)] == 0) continue;
+    cum += h.buckets[static_cast<std::size_t>(b)];
+    last_nonzero = b;
+    if (k < cum) return HistogramLayout::Representative(b);
+  }
+  return HistogramLayout::Representative(last_nonzero);
+}
+
+}  // namespace
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  // Same interpolation as common::Percentile: rank p/100*(n-1), linear
+  // blend of the two straddling (representative) samples.
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(count - 1);
+  const auto lo = static_cast<std::uint64_t>(rank);
+  const std::uint64_t hi = std::min(lo + 1, count - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return SortedSampleRep(*this, lo) * (1.0 - frac) +
+         SortedSampleRep(*this, hi) * frac;
+}
+
+// --- MetricsSnapshot ----------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  throw std::out_of_range("MetricsSnapshot: unknown counter " +
+                          std::string(name));
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  throw std::out_of_range("MetricsSnapshot: unknown gauge " +
+                          std::string(name));
+}
+
+const HistogramData& MetricsSnapshot::histogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return h.data;
+  }
+  throw std::out_of_range("MetricsSnapshot: unknown histogram " +
+                          std::string(name));
+}
+
+bool MetricsSnapshot::has_counter(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+// --- Registry -----------------------------------------------------------
+
+Registry::Registry(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+std::size_t Registry::AddCounter(std::string name) {
+  counter_names_.push_back(std::move(name));
+  for (Shard& shard : shards_) shard.counters.emplace_back(0);
+  return counter_names_.size() - 1;
+}
+
+std::size_t Registry::AddGauge(std::string name) {
+  gauge_names_.push_back(std::move(name));
+  gauges_.emplace_back(0.0);
+  return gauge_names_.size() - 1;
+}
+
+std::size_t Registry::AddHistogram(std::string name) {
+  histogram_names_.push_back(std::move(name));
+  for (Shard& shard : shards_) shard.histograms.emplace_back();
+  return histogram_names_.size() - 1;
+}
+
+void Registry::Count(std::size_t id, std::size_t shard, std::uint64_t delta) {
+  shards_[shard].counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::Record(std::size_t id, std::size_t shard, std::uint64_t value) {
+  HistogramShard& h = shards_[shard].histograms[id];
+  const auto b =
+      static_cast<std::size_t>(HistogramLayout::BucketFor(value));
+  h.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Registry::SetGauge(std::size_t id, double value) {
+  gauges_[id].store(value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t id = 0; id < counter_names_.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.counters[id].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back({counter_names_[id], total});
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t id = 0; id < gauge_names_.size(); ++id) {
+    snap.gauges.push_back(
+        {gauge_names_[id], gauges_[id].load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t id = 0; id < histogram_names_.size(); ++id) {
+    HistogramSnapshot hs;
+    hs.name = histogram_names_[id];
+    for (const Shard& shard : shards_) {
+      const HistogramShard& h = shard.histograms[id];
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        hs.data.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+      hs.data.count += h.count.load(std::memory_order_relaxed);
+      hs.data.sum += h.sum.load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+// --- LatencyRing --------------------------------------------------------
+
+void LatencyRing::Add(std::int64_t ns) {
+  hist_.Record(ns < 0 ? 0u : static_cast<std::uint64_t>(ns));
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ns);
+  } else {
+    ring_[next_] = ns;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<std::int64_t> LatencyRing::Samples() const {
+  if (ring_.size() < capacity_ || next_ == 0) return ring_;
+  std::vector<std::int64_t> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+// --- TraceRing ----------------------------------------------------------
+
+void TraceRing::Push(DecisionTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace.seq = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::uint64_t TraceRing::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<DecisionTrace> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_ || next_ == 0) return ring_;
+  std::vector<DecisionTrace> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+}  // namespace carol::obs

@@ -7,12 +7,15 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "common/stats.h"
 #include "harness/runtime.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 #include "simkern/stepper.h"
 #include "workload/profiles.h"
@@ -80,6 +83,40 @@ class SessionGuard {
   serve::SessionId id_;
 };
 
+// Live scenario counters behind the streaming emitter: one registry
+// shard per fleet thread, so fleets bump their own relaxed atomics and
+// the emitter merges a consistent point-in-time view without ever
+// touching another thread's score struct (which stays thread-local and
+// unsynchronized, exactly as before).
+struct LiveCounters {
+  obs::Registry registry;
+  std::size_t completed;
+  std::size_t violated;
+  std::size_t stranded;
+  std::size_t decisions;
+  std::size_t failures_detected;
+  std::size_t gate_fired;
+  std::size_t gate_distress;
+  std::size_t gate_true_pos;
+  std::size_t gate_false_pos;
+  std::size_t gate_false_neg;
+  std::size_t gate_true_neg;
+
+  explicit LiveCounters(std::size_t fleets) : registry(fleets) {
+    completed = registry.AddCounter("tasks_completed");
+    violated = registry.AddCounter("tasks_violated");
+    stranded = registry.AddCounter("stranded_task_intervals");
+    decisions = registry.AddCounter("decisions");
+    failures_detected = registry.AddCounter("broker_failures_detected");
+    gate_fired = registry.AddCounter("gate_fired");
+    gate_distress = registry.AddCounter("gate_distress");
+    gate_true_pos = registry.AddCounter("gate_true_pos");
+    gate_false_pos = registry.AddCounter("gate_false_pos");
+    gate_false_neg = registry.AddCounter("gate_false_neg");
+    gate_true_neg = registry.AddCounter("gate_true_neg");
+  }
+};
+
 // One fleet's behavior at the shared protocol's hook points: the
 // resilience service makes the repair decision (latency recorded), the
 // compiled schedule drives faults and arrivals, and Observe folds the
@@ -96,10 +133,14 @@ class FleetHooks : public simkern::IntervalHooks {
   workload::WorkloadGenerator* workload = nullptr;
   const CompiledFleet* events = nullptr;
   const ScenarioSpec* spec = nullptr;
-  std::vector<std::int64_t>* decision_ns = nullptr;
+  obs::LatencyRing* decision_ns = nullptr;
   harness::RunResult* result = nullptr;
   SessionScore* score = nullptr;
   std::vector<double>* all_responses = nullptr;
+  // Streaming emitter (null when no emit_out): this fleet bumps its own
+  // registry shard; scorecard accounting above is untouched.
+  LiveCounters* live = nullptr;
+  std::size_t live_shard = 0;
   // spec->scoped_repair: extraction budget for scoped requests (from the
   // session's CarolConfig, so spec and session tuning stay in one place).
   core::ScopedRepairOptions scoped_options;
@@ -129,7 +170,13 @@ class FleetHooks : public simkern::IntervalHooks {
         session, ctx.fed->topology(), ctx.report->failed_brokers,
         ctx.fed->last_snapshot(), /*deadline_us=*/0,
         scope ? &*scope : nullptr);
-    decision_ns->push_back(resp.decision_ns);
+    decision_ns->Add(resp.decision_ns);
+    if (live != nullptr) {
+      live->registry.Count(live->decisions, live_shard);
+      live->registry.Count(
+          live->failures_detected, live_shard,
+          static_cast<std::uint64_t>(ctx.report->failed_brokers.size()));
+    }
     return resp.topology;
     // An invalid response falls through to the stepper's FallbackRepair,
     // silently — the scorecard tells the story.
@@ -183,6 +230,22 @@ class FleetHooks : public simkern::IntervalHooks {
     if (fired && !distress) ++score->gate.false_pos;
     if (!fired && distress) ++score->gate.false_neg;
     if (!fired && !distress) ++score->gate.true_neg;
+
+    if (live != nullptr) {
+      obs::Registry& reg = live->registry;
+      reg.Count(live->completed, live_shard,
+                static_cast<std::uint64_t>(std::max(0, r.completed)));
+      reg.Count(live->violated, live_shard,
+                static_cast<std::uint64_t>(std::max(0, r.violated)));
+      reg.Count(live->stranded, live_shard,
+                static_cast<std::uint64_t>(std::max(0, r.stranded)));
+      if (fired) reg.Count(live->gate_fired, live_shard);
+      if (distress) reg.Count(live->gate_distress, live_shard);
+      if (fired && distress) reg.Count(live->gate_true_pos, live_shard);
+      if (fired && !distress) reg.Count(live->gate_false_pos, live_shard);
+      if (!fired && distress) reg.Count(live->gate_false_neg, live_shard);
+      if (!fired && !distress) reg.Count(live->gate_true_neg, live_shard);
+    }
   }
 };
 
@@ -277,7 +340,27 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
   std::barrier restart_barrier(static_cast<std::ptrdiff_t>(n), on_restart);
 
   std::vector<std::exception_ptr> errors(n);
-  std::vector<std::vector<std::int64_t>> decision_ns(n);
+  std::vector<obs::LatencyRing> decision_ns(n);
+
+  // Streaming SLO export: fleet 0 serializes a JSONL line at its
+  // interval boundaries (after any restart rendezvous, so the service
+  // pointer is stable) merging the fleets' live counters with the
+  // service's MetricsSnapshot(). Pure reads over relaxed atomics —
+  // nothing a fingerprint could observe.
+  std::unique_ptr<LiveCounters> live;
+  const int emit_every = std::max(1, options_.emit_every);
+  if (options_.emit_out != nullptr) {
+    live = std::make_unique<LiveCounters>(n);
+  }
+  auto emit_line = [&](int interval) {
+    std::ostream& out = *options_.emit_out;
+    out << "{\"scenario\":\"" << spec.name << "\",\"interval\":" << interval
+        << ",\"live\":" << obs::ToJson(live->registry.Snapshot())
+        << ",\"service\":" << obs::ToJson(service_->MetricsSnapshot())
+        << "}\n";
+    out.flush();
+  };
+
   std::vector<std::thread> drivers;
   drivers.reserve(n);
   for (std::size_t f = 0; f < n; ++f) {
@@ -334,6 +417,14 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
             if (restart_error) std::rethrow_exception(restart_error);
           }
 
+          // Live export tick (fleet 0 only, post-rendezvous): other
+          // fleets may be mid-interval — their shard contributions
+          // simply land in a later line.
+          if (f == 0 && live != nullptr &&
+              ctx.interval % emit_every == 0) {
+            emit_line(ctx.interval);
+          }
+
           // Scheduled link mutations fire at the interval boundary,
           // before detection and routing.
           while (net_pos < events.network_events.size() &&
@@ -353,6 +444,8 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
         hooks.result = &result;
         hooks.score = &score;
         hooks.all_responses = &all_responses;
+        hooks.live = live.get();
+        hooks.live_shard = f;
         hooks.scoped_options = session_spec.carol.scoped;
 
         simkern::IntervalStepper stepper(fed, scheduler, hooks);
@@ -403,16 +496,40 @@ Scorecard ScenarioDriver::Play(const ScenarioSpec& spec,
   card.wall_s =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
+  // Final export line: the completed run's totals (every fleet joined,
+  // so the merge is exact, not point-in-time).
+  if (live != nullptr) emit_line(spec.intervals);
+
   // Runtime section: service-side latency + stacking over this run.
+  // While no fleet's ring overflowed this is the historical exact
+  // all-samples percentile; a soak long enough to evict samples falls
+  // back to the merged full-history histograms (fixed bucket layout =>
+  // the merge is exact; see src/obs/README.md).
+  std::uint64_t total_decisions = 0;
+  bool overflowed = false;
+  obs::HistogramData merged;
   std::vector<double> all_ms;
-  for (const auto& ns : decision_ns) {
-    for (std::int64_t v : ns) all_ms.push_back(static_cast<double>(v) / 1e6);
+  for (const obs::LatencyRing& ring : decision_ns) {
+    total_decisions += ring.total();
+    overflowed = overflowed || ring.overflowed();
+    merged.Merge(ring.histogram());
   }
-  card.decision_p50_ms = common::Percentile(all_ms, 50.0);
-  card.decision_p99_ms = common::Percentile(all_ms, 99.0);
+  if (!overflowed) {
+    for (const obs::LatencyRing& ring : decision_ns) {
+      for (std::int64_t v : ring.Samples()) {
+        all_ms.push_back(static_cast<double>(v) / 1e6);
+      }
+    }
+    card.decision_p50_ms = common::Percentile(all_ms, 50.0);
+    card.decision_p99_ms = common::Percentile(all_ms, 99.0);
+  } else {
+    card.decision_p50_ms = merged.Percentile(50.0) / 1e6;
+    card.decision_p99_ms = merged.Percentile(99.0) / 1e6;
+  }
   card.decisions_per_sec =
-      card.wall_s > 0.0 ? static_cast<double>(all_ms.size()) / card.wall_s
-                        : 0.0;
+      card.wall_s > 0.0
+          ? static_cast<double>(total_decisions) / card.wall_s
+          : 0.0;
   const serve::ServiceStats after = service_->stats();
   card.pipeline_passes =
       banked_passes + after.pipeline_passes - before.pipeline_passes;

@@ -20,6 +20,7 @@
 #ifndef CAROL_SCENARIO_DRIVER_H_
 #define CAROL_SCENARIO_DRIVER_H_
 
+#include <iosfwd>
 #include <memory>
 
 #include "core/carol.h"
@@ -41,6 +42,18 @@ struct ScenarioDriverOptions {
   // master (see src/serve/README.md), so turning this off forfeits the
   // scorecard reproducibility guarantee.
   bool force_never_finetune = true;
+  // Streaming SLO export: when set, one JSONL line is written every
+  // `emit_every` intervals (plus a final line after the run) — the
+  // driver's live scenario counters (tasks completed/violated, gate
+  // confusion, decisions; sharded per fleet thread, merged at emit
+  // time) alongside the service's full MetricsSnapshot(). Emission is
+  // read-only over relaxed atomics and runs on fleet 0's driver thread
+  // at its interval boundary, so scorecards and fingerprints stay
+  // bit-identical with or without an emitter attached (pinned by
+  // tests/obs_test.cpp). The stream is NOT synchronized for external
+  // writers — hand the driver a dedicated ostream.
+  std::ostream* emit_out = nullptr;
+  int emit_every = 4;
 };
 
 class ScenarioDriver {

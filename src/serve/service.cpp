@@ -87,7 +87,47 @@ struct ResilienceService::Session {
 struct ResilienceService::Worker {
   std::unique_ptr<core::GonModel> replica;
   std::uint64_t epoch = 0;  // last weight epoch copied from the master
+  // This worker's registry shard (worker i -> shard i + 1; shard 0 is
+  // reserved for client/master threads). Recording into one's own shard
+  // is what keeps the hot path lock- and contention-free.
+  std::size_t obs_shard = 0;
   std::thread thread;
+};
+
+// Timing instrumentation (ServiceConfig::observability): one histogram
+// registry sharded num_workers + 1 ways plus the bounded trace ring.
+// Everything here is registered in the constructor, before any worker
+// thread starts — the registry's "register before traffic" contract.
+struct ResilienceService::Obs {
+  obs::Registry registry;
+  obs::TraceRing traces;
+  // Request-level latency distributions.
+  std::size_t h_repair_queue_ns;     // submit -> first step popped
+  std::size_t h_repair_decision_ns;  // == RepairResponse::decision_ns
+  std::size_t h_observe_queue_ns;    // submit -> observe step popped
+  std::size_t h_observe_ns;          // == ObserveResponse::observe_ns
+  // Pipeline stage distributions (one sample per completed repair).
+  std::size_t h_encode_ns;
+  std::size_t h_score_wait_ns;
+  std::size_t h_splice_ns;
+  std::size_t h_confidence_wait_ns;
+  // Flush kernel distributions (one sample per stacked pass group).
+  std::size_t h_flush_generate_ns;
+  std::size_t h_flush_confidence_ns;
+
+  Obs(std::size_t shards, std::size_t trace_capacity)
+      : registry(shards), traces(trace_capacity) {
+    h_repair_queue_ns = registry.AddHistogram("repair_queue_ns");
+    h_repair_decision_ns = registry.AddHistogram("repair_decision_ns");
+    h_observe_queue_ns = registry.AddHistogram("observe_queue_ns");
+    h_observe_ns = registry.AddHistogram("observe_ns");
+    h_encode_ns = registry.AddHistogram("repair_encode_ns");
+    h_score_wait_ns = registry.AddHistogram("repair_score_wait_ns");
+    h_splice_ns = registry.AddHistogram("repair_splice_ns");
+    h_confidence_wait_ns = registry.AddHistogram("repair_confidence_wait_ns");
+    h_flush_generate_ns = registry.AddHistogram("flush_generate_ns");
+    h_flush_confidence_ns = registry.AddHistogram("flush_confidence_ns");
+  }
 };
 
 // One in-flight pipelined repair: the resumable core::RepairJob plus the
@@ -125,6 +165,14 @@ struct ResilienceService::RepairPipeline {
   // assembled (confidence filled by the flush).
   core::EncodedState final_state;
   RepairResponse response;
+  // --- observability (only written when the service's obs layer is on;
+  // same single-executing-step ownership as everything above — the
+  // submit stamp is written by the client thread before Enqueue's
+  // queue_mu_ handoff publishes the pipeline) ---
+  Clock::time_point submit{};     // Repair() admission time
+  Clock::time_point step_begin{}; // start of the current compute step
+  Clock::time_point parked_at{};  // last ParkOrSubmit deposit time
+  obs::DecisionTrace trace;       // stage accumulators, pushed at completion
 
   // Mode dispatch: the scheduler/flush code never cares which job kind
   // is driving, only these.
@@ -319,12 +367,20 @@ ResilienceService::ResilienceService(const ServiceConfig& config)
   batcher_ = std::make_unique<ScoreBatcher>(
       std::max<std::size_t>(1, config_.max_batch_jobs),
       config_.batch_linger_us);
+  if (config_.observability) {
+    // Shard 0 belongs to client/master threads, worker i to shard i+1.
+    // Built (and fully registered) before any worker thread starts.
+    obs_ = std::make_unique<Obs>(
+        static_cast<std::size_t>(config_.num_workers) + 1,
+        config_.trace_capacity);
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
     // Same config (and seed) as the master => identical initial weights,
     // so epoch 0 needs no copy.
     worker->replica = std::make_unique<core::GonModel>(config_.gon);
+    worker->obs_shard = static_cast<std::size_t>(i) + 1;
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
@@ -661,6 +717,11 @@ RepairResponse ResilienceService::Repair(
     pipe->promise = &promise;
     pipe->deadline = deadline;
     pipe->scope = std::move(effective_scope);
+    if (obs_) {
+      pipe->submit = Clock::now();
+      pipe->trace.session = id;
+      pipe->trace.scoped = pipe->scope.has_value();
+    }
     Enqueue(
         session, [this, pipe](Worker&) { StartRepairPipeline(pipe); },
         /*is_repair=*/true, deadline, [pipe](std::exception_ptr e) {
@@ -683,7 +744,12 @@ RepairResponse ResilienceService::Repair(
     Enqueue(
         session,
         [this, session, &current, &failed_brokers, &snapshot, &promise,
-         deadline, eff = std::move(effective_scope)](Worker& worker) {
+         deadline, eff = std::move(effective_scope),
+         submit = obs_ ? Clock::now() : Clock::time_point{}](Worker& worker) {
+          if (obs_) {
+            obs_->registry.Record(obs_->h_repair_queue_ns, worker.obs_shard,
+                                  static_cast<std::uint64_t>(NsSince(submit)));
+          }
           RepairResponse response;
           std::exception_ptr error;
           try {
@@ -732,7 +798,12 @@ ObserveResponse ResilienceService::Observe(SessionId id,
   // stack): confidence, POT update, Gamma bookkeeping, maybe fine-tune.
   Enqueue(
       session,
-      [this, session, &snapshot, &promise, deadline](Worker& worker) {
+      [this, session, &snapshot, &promise, deadline,
+       submit = obs_ ? Clock::now() : Clock::time_point{}](Worker& worker) {
+        if (obs_) {
+          obs_->registry.Record(obs_->h_observe_queue_ns, worker.obs_shard,
+                                static_cast<std::uint64_t>(NsSince(submit)));
+        }
         ObserveResponse response;
         std::exception_ptr error;
         try {
@@ -766,6 +837,14 @@ ObserveResponse ResilienceService::Observe(SessionId id,
 void ResilienceService::StartRepairPipeline(
     const std::shared_ptr<RepairPipeline>& pipe) {
   pipe->t0 = Clock::now();
+  if (obs_) {
+    // Queue wait ends here: a worker popped the start step. The encode
+    // span of this step runs from t0 to the ParkOrSubmit deposit.
+    pipe->trace.queue_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               pipe->t0 - pipe->submit)
+                               .count();
+    pipe->step_begin = pipe->t0;
+  }
   if (Expired(pipe->deadline)) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     FinishRequest(*pipe->session);
@@ -852,7 +931,26 @@ void ResilienceService::AdvanceRepairPipeline(
     return;
   }
   try {
-    pipe->AdvanceJob(scores);
+    if (obs_) {
+      // The gap since ParkOrSubmit is time spent waiting for a stacked
+      // flush plus scheduler handoff — the pipeline's "queueing inside
+      // the search" span.
+      const Clock::time_point now = Clock::now();
+      pipe->trace.score_wait_ns +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - pipe->parked_at)
+              .count();
+      pipe->step_begin = now;
+      pipe->AdvanceJob(scores);
+      const Clock::time_point spliced = Clock::now();
+      pipe->trace.splice_ns +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              spliced - pipe->step_begin)
+              .count();
+      pipe->step_begin = spliced;
+    } else {
+      pipe->AdvanceJob(scores);
+    }
     if (pipe->JobDone()) {
       SubmitConfidence(pipe);
       return;
@@ -917,6 +1015,17 @@ void ResilienceService::SubmitFrontier(
   pipe->contexts =
       core::EncodeFrontier(pipe->session->encoder, pipe->ScoringSnapshot(),
                            pipe->Frontier());
+  if (obs_) {
+    const Clock::time_point now = Clock::now();
+    pipe->trace.encode_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - pipe->step_begin)
+            .count();
+    pipe->trace.frontier_rounds += 1;
+    pipe->trace.states_scored +=
+        static_cast<std::uint32_t>(pipe->contexts.size());
+    pipe->parked_at = now;
+  }
   ParkOrSubmit(pipe);
 }
 
@@ -941,6 +1050,14 @@ void ResilienceService::SubmitConfidence(
   } else {
     pipe->final_state = pipe->session->encoder.EncodeForTopology(
         *pipe->snapshot, pipe->response.topology);
+  }
+  if (obs_) {
+    const Clock::time_point now = Clock::now();
+    pipe->trace.encode_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - pipe->step_begin)
+            .count();
+    pipe->parked_at = now;
   }
   ParkOrSubmit(pipe);
 }
@@ -979,8 +1096,14 @@ void ResilienceService::FlushPendingScores(
           ctxs.push_back(&ctx);
         }
       }
+      const Clock::time_point gen_start =
+          obs_ ? Clock::now() : Clock::time_point{};
       const std::vector<core::GenerationResult> gens =
           worker.replica->GenerateBatch(inits, ctxs);
+      if (obs_) {
+        obs_->registry.Record(obs_->h_flush_generate_ns, worker.obs_shard,
+                              static_cast<std::uint64_t>(NsSince(gen_start)));
+      }
       std::size_t pos = 0;
       for (std::size_t j = 0; j < searching.size(); ++j) {
         const RepairPipeline& pipe = *searching[j];
@@ -1015,9 +1138,15 @@ void ResilienceService::FlushPendingScores(
         finals.push_back(&pipe->final_state);
         host_counts.insert(pipe->final_state.num_hosts());
       }
+      const Clock::time_point disc_start =
+          obs_ ? Clock::now() : Clock::time_point{};
       const std::vector<double> confidences =
           worker.replica->DiscriminateBatch(
               std::span<const core::EncodedState* const>(finals));
+      if (obs_) {
+        obs_->registry.Record(obs_->h_flush_confidence_ns, worker.obs_shard,
+                              static_cast<std::uint64_t>(NsSince(disc_start)));
+      }
       for (std::size_t j = 0; j < finishing.size(); ++j) {
         finishing[j]->response.confidence = confidences[j];
       }
@@ -1050,6 +1179,41 @@ void ResilienceService::FlushPendingScores(
   for (const std::shared_ptr<RepairPipeline>& pipe : finishing) {
     pipe->response.decision_ns = NsSince(pipe->t0);
     repairs_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_) {
+      // Completion: close the trailing spans, record this repair into
+      // the worker's histogram shard and push the finished span trace.
+      // All of it happens before FinishRequest so a woken client's next
+      // request can never observe a missing sample.
+      const Clock::time_point now = Clock::now();
+      pipe->trace.confidence_wait_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - pipe->parked_at)
+              .count();
+      pipe->trace.total_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - pipe->submit)
+              .count();
+      const std::size_t shard = worker.obs_shard;
+      obs_->registry.Record(
+          obs_->h_repair_decision_ns, shard,
+          static_cast<std::uint64_t>(pipe->response.decision_ns));
+      obs_->registry.Record(
+          obs_->h_repair_queue_ns, shard,
+          static_cast<std::uint64_t>(pipe->trace.queue_ns));
+      obs_->registry.Record(
+          obs_->h_encode_ns, shard,
+          static_cast<std::uint64_t>(pipe->trace.encode_ns));
+      obs_->registry.Record(
+          obs_->h_score_wait_ns, shard,
+          static_cast<std::uint64_t>(pipe->trace.score_wait_ns));
+      obs_->registry.Record(
+          obs_->h_splice_ns, shard,
+          static_cast<std::uint64_t>(pipe->trace.splice_ns));
+      obs_->registry.Record(
+          obs_->h_confidence_wait_ns, shard,
+          static_cast<std::uint64_t>(pipe->trace.confidence_wait_ns));
+      obs_->traces.Push(pipe->trace);
+    }
     FinishRequest(*pipe->session);
     pipe->promise->set_value(std::move(pipe->response));
   }
@@ -1112,6 +1276,11 @@ RepairResponse ResilienceService::DoRepair(
   response.confidence = worker.replica->Discriminate(encoded);
   response.decision_ns = NsSince(start);
   repairs_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_) {
+    obs_->registry.Record(
+        obs_->h_repair_decision_ns, worker.obs_shard,
+        static_cast<std::uint64_t>(response.decision_ns));
+  }
   return response;
 }
 
@@ -1142,6 +1311,10 @@ ObserveResponse ResilienceService::DoObserve(
   }
   response.observe_ns = NsSince(start);
   observes_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_) {
+    obs_->registry.Record(obs_->h_observe_ns, worker.obs_shard,
+                          static_cast<std::uint64_t>(response.observe_ns));
+  }
   return response;
 }
 
@@ -1539,6 +1712,55 @@ ServiceStats ResilienceService::stats() const {
   return s;
 }
 
+obs::MetricsSnapshot ResilienceService::MetricsSnapshot() const {
+  // Histograms come from the sharded registry; counters are copied from
+  // the SAME atomics stats() reads, so the two views reconcile exactly
+  // by construction (pinned by tests/obs_test.cpp) — and the counters
+  // are present even with observability off.
+  obs::MetricsSnapshot snap =
+      obs_ ? obs_->registry.Snapshot() : obs::MetricsSnapshot{};
+  const ServiceStats s = stats();
+  auto add = [&snap](const char* name, std::uint64_t value) {
+    snap.counters.push_back({name, value});
+  };
+  add("repairs", s.repairs);
+  add("observes", s.observes);
+  add("finetunes", s.finetunes);
+  add("proactive_optimizations", s.proactive_optimizations);
+  add("score_batches", s.score_batches);
+  add("stacked_jobs", s.stacked_jobs);
+  add("pipeline_passes", s.pipeline_passes);
+  add("pipeline_jobs", s.pipeline_jobs);
+  add("pipeline_states", s.pipeline_states);
+  add("confidence_passes", s.confidence_passes);
+  add("confidence_jobs", s.confidence_jobs);
+  add("shed_observes", s.shed_observes);
+  add("shed_repairs", s.shed_repairs);
+  add("quota_rejections", s.quota_rejections);
+  add("timeouts", s.timeouts);
+  add("suspended", s.suspended);
+  snap.gauges.push_back(
+      {"weight_epoch", static_cast<double>(s.weight_epoch)});
+  snap.gauges.push_back(
+      {"sessions", static_cast<double>(session_count())});
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    snap.gauges.push_back(
+        {"pending_requests",
+         static_cast<double>(queue_.size() + inflight_)});
+  }
+  if (obs_) {
+    snap.gauges.push_back(
+        {"decision_traces", static_cast<double>(obs_->traces.total())});
+  }
+  return snap;
+}
+
+std::vector<obs::DecisionTrace> ResilienceService::DecisionTraces() const {
+  if (!obs_) return {};
+  return obs_->traces.Snapshot();
+}
+
 double ResilienceService::MemoryFootprintMb() const {
   // Master + one replica per worker shard...
   double mb = master_->MemoryFootprintMb() *
@@ -1576,7 +1798,7 @@ sim::Topology SessionModel::Repair(
     const sim::SystemSnapshot& snapshot) {
   RepairResponse response =
       service_->Repair(id_, current, failed_brokers, snapshot);
-  decision_ns_.push_back(response.decision_ns);
+  decision_ns_.Add(response.decision_ns);
   return std::move(response.topology);
 }
 

@@ -58,6 +58,7 @@
 
 #include "core/carol.h"
 #include "core/resilience.h"
+#include "obs/metrics.h"
 
 namespace carol::common {
 class BinaryReader;
@@ -183,6 +184,18 @@ struct ServiceConfig {
   // monopolizing the global budget; rejections throw
   // ServiceOverloadedError and count as ServiceStats::quota_rejections.
   std::size_t max_pending_per_session = 0;
+  // Observability (src/obs): per-stage latency histograms (sharded per
+  // worker, relaxed atomics — never the service lock) and the
+  // repair-path DecisionTrace ring. Determinism-neutral: timestamps are
+  // only ever RECORDED, never branched on, so decisions are bit-identical
+  // with this on or off (pinned by tests/obs_test.cpp). When false,
+  // MetricsSnapshot() still reports every ServiceStats counter (they are
+  // the service's own accounting, always on) but histograms/traces stay
+  // empty and the hot path takes zero extra clock reads.
+  bool observability = true;
+  // Bounded capacity of the DecisionTrace ring (completed pipelined
+  // repairs; oldest retired first).
+  std::size_t trace_capacity = 256;
 };
 
 // Scoped-repair mode for one request: plan on the subgraph-extracted
@@ -368,6 +381,16 @@ class ResilienceService {
     return weight_epoch_.load(std::memory_order_acquire);
   }
   ServiceStats stats() const;
+  // --- observability ---------------------------------------------------
+  // Merged point-in-time metrics view: every ServiceStats counter (the
+  // two reconcile exactly — same atomics), liveness gauges, and — when
+  // ServiceConfig::observability is on — the per-stage latency
+  // histograms merged across worker shards. Safe to poll while traffic
+  // flows.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+  // The retained window of completed repair-path span traces, oldest
+  // first (empty in legacy mode or with observability off).
+  std::vector<obs::DecisionTrace> DecisionTraces() const;
   // Master + replicas + per-session Gamma budgets, in MB.
   double MemoryFootprintMb() const;
   const ServiceConfig& config() const { return config_; }
@@ -383,6 +406,7 @@ class ResilienceService {
   class ScoreBatcher;
   struct RepairPipeline;
   struct ParkedRepair;
+  struct Obs;
 
   // A queued request start with its session attached, so the scheduler
   // can hold back requests of sessions that already have a request in
@@ -498,6 +522,11 @@ class ResilienceService {
 
   std::unique_ptr<ScoreBatcher> batcher_;  // legacy path only
 
+  // Timing instrumentation (ServiceConfig::observability): the sharded
+  // histogram registry + trace ring. Null when observability is off —
+  // every instrumentation site is gated on this one pointer.
+  std::unique_ptr<Obs> obs_;
+
   std::mutex shutdown_mu_;
   bool shut_down_ = false;
 
@@ -534,9 +563,17 @@ class SessionModel : public core::ResilienceModel {
   double MemoryFootprintMb() const override;
 
   SessionId id() const { return id_; }
-  // Per-decision service-side latency, one entry per Repair call.
-  const std::vector<std::int64_t>& decision_ns_history() const {
-    return decision_ns_;
+  // Per-decision service-side latency: bounded ring over the last
+  // obs::LatencyRing::kDefaultCapacity Repair calls plus a histogram +
+  // running count/sum over all of them — a year-long session no longer
+  // grows a vector forever. harness::MakeSessionQos consumes this
+  // directly (exact percentiles until the ring overflows, histogram
+  // percentiles after).
+  const obs::LatencyRing& decision_latency() const { return decision_ns_; }
+  // Compat shim for the old unbounded accessor: the RETAINED window,
+  // oldest first (now a copy, capped at the ring capacity).
+  std::vector<std::int64_t> decision_ns_history() const {
+    return decision_ns_.Samples();
   }
   int finetune_count() const { return finetunes_; }
 
@@ -545,7 +582,7 @@ class SessionModel : public core::ResilienceModel {
   SessionId id_;
   std::string name_;
   std::size_t gamma_capacity_;
-  std::vector<std::int64_t> decision_ns_;
+  obs::LatencyRing decision_ns_;
   int finetunes_ = 0;
 };
 
